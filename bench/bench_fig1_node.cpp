@@ -1,0 +1,68 @@
+// E1 — Figure 1 and the §II node claims: the processor-node organisation,
+// pipeline depths, cycle time, vector geometry and 16 MFLOPS peak.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "node/node.hpp"
+
+using namespace fpst;
+using fpst::bench::claim;
+using fpst::bench::fmt;
+
+int main() {
+  bench::title("E1: Figure 1 — the FPS T Series processor node");
+
+  bench::section("architecture inventory (one board)");
+  std::printf(
+      "  control processor | 2 KB on-chip RAM | dual-port memory "
+      "(bank A 64 KW + bank B 192 KW)\n"
+      "  vector registers (1024-byte rows) | 7-stage multiplier | "
+      "6-stage adder | 4 serial links\n");
+
+  bench::section("paper constants vs model constants");
+  claim("arithmetic cycle", "125 ns",
+        vpu::VpuParams::cycle().to_string());
+  claim("adder pipeline stages", "6",
+        std::to_string(vpu::VpuParams::kAdderStages));
+  claim("multiplier stages (32-bit / 64-bit)", "5 / 7",
+        std::to_string(vpu::VpuParams::kMulStages32) + " / " +
+            std::to_string(vpu::VpuParams::kMulStages64));
+  claim("peak speed (adder + multiplier)", "16 MFLOPS",
+        fmt("%.0f MFLOPS", vpu::VpuParams::peak_mflops()));
+  claim("main memory", "1 MByte",
+        fmt("%.0f KB", mem::MemParams::kBytes / 1024.0));
+  claim("CP view", "256K x 32-bit",
+        fmt("%.0fK words", mem::MemParams::kWords / 1024.0));
+  claim("vector length (32-bit / 64-bit)", "256 / 128",
+        std::to_string(mem::MemParams::kElems32) + " / " +
+            std::to_string(mem::MemParams::kElems64));
+  claim("bank A / bank B vectors", "256 / 768",
+        std::to_string(mem::MemParams::kBankARows) + " / " +
+            std::to_string(mem::MemParams::kBankBRows));
+  claim("CP instruction rate", "7.5 MIPS",
+        fmt("%.2f MIPS", cp::CpuParams::mips()));
+  claim("links per node (4-way multiplexed)", "4 (16 sublinks)",
+        std::to_string(link::LinkParams::kPhysicalLinks) + " (" +
+            std::to_string(link::LinkParams::kSublinksPerNode) +
+            " sublinks)");
+
+  bench::section("measured: SAXPY rate vs vector length (single node)");
+  sim::Simulator sim;
+  node::Node nd{sim, 0};
+  std::printf("  %8s %14s %12s\n", "length", "duration", "MFLOPS");
+  for (std::size_t n : {1u, 8u, 32u, 64u, 128u}) {
+    const vpu::VectorOp op{vpu::VectorForm::vsaxpy, vpu::Precision::f64, n,
+                           0, 300, 600, fp::T64::from_double(2.0)};
+    const sim::SimTime d = nd.vector_unit().duration_of(op);
+    std::printf("  %8zu %14s %12.2f\n", n, d.to_string().c_str(),
+                2.0 * static_cast<double>(n) / d.us());
+  }
+  std::printf(
+      "  -> a full 128-element SAXPY runs at ~%.1f of the 16 MFLOPS peak\n",
+      2.0 * 128 /
+          nd.vector_unit()
+              .duration_of({vpu::VectorForm::vsaxpy, vpu::Precision::f64,
+                            128, 0, 300, 600, fp::T64::from_double(2.0)})
+              .us());
+  return 0;
+}

@@ -1,0 +1,119 @@
+// E11 — application-level behaviour of the machine: speedup of the paper's
+// motivating workloads over machine sizes, and the matmul
+// communication/computation crossover predicted by the 1:130 balance rule
+// (2*blk flops per transferred word => communication-bound when
+// blk = n/P < ~65).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "kernels/kernels.hpp"
+
+using namespace fpst;
+using kernels::KernelResult;
+
+int main() {
+  bench::title("E11: kernels across machine sizes");
+
+  bench::section("SAXPY (256K elements) and DOT (256K elements)");
+  std::printf("  %6s | %14s %9s | %14s %9s\n", "nodes", "saxpy time",
+              "speedup", "dot time", "speedup");
+  const KernelResult s1 = kernels::run_saxpy(0, 1 << 18, 2.0);
+  const KernelResult d1 = kernels::run_dot(0, 1 << 18);
+  for (int dim : {0, 1, 2, 3, 4, 5}) {
+    const KernelResult s = kernels::run_saxpy(dim, 1 << 18, 2.0);
+    const KernelResult d = kernels::run_dot(dim, 1 << 18);
+    std::printf("  %6d | %14s %8.2fx | %14s %8.2fx\n", 1 << dim,
+                s.elapsed.to_string().c_str(), s1.elapsed / s.elapsed,
+                d.elapsed.to_string().c_str(), d1.elapsed / d.elapsed);
+  }
+
+  bench::section("32-bit vs 64-bit SAXPY (64K elements, 8 nodes)");
+  {
+    const KernelResult s64 = kernels::run_saxpy(3, 1 << 16, 1.5);
+    const KernelResult s32 = kernels::run_saxpy32(3, 1 << 16, 1.5f);
+    std::printf("  64-bit: %s (%.2f MFLOPS)   32-bit: %s (%.2f MFLOPS)\n",
+                s64.elapsed.to_string().c_str(), s64.mflops(),
+                s32.elapsed.to_string().c_str(), s32.mflops());
+    std::printf(
+        "  -> same one-result-per-125ns beat either way; 32-bit packs 256\n"
+        "     elements per vector so row staging halves and short-vector\n"
+        "     overheads amortise further.\n");
+  }
+
+  bench::section("dense matmul 256x256: speedup and the balance rule");
+  std::printf("  %6s %8s %12s | %14s %9s %9s\n", "nodes", "blk",
+              "flops/word", "time", "speedup", "MFLOPS");
+  const KernelResult m1 = kernels::run_matmul(0, 256);
+  for (int dim : {0, 1, 2, 3, 4}) {
+    const KernelResult m = kernels::run_matmul(dim, 256);
+    const std::size_t blk = 256 >> dim;
+    std::printf("  %6d %8zu %12zu | %14s %8.2fx %9.2f\n", 1 << dim, blk,
+                2 * blk, m.elapsed.to_string().c_str(),
+                m1.elapsed / m.elapsed, m.mflops());
+  }
+  std::printf(
+      "  -> speedup holds while 2*blk (flops per transferred word) stays\n"
+      "     above the ~130 threshold of the paper's balance table, and\n"
+      "     stalls once the rotating panel's link time dominates.\n");
+
+  bench::section("FFT, 4096 complex points");
+  std::printf("  %6s | %14s %9s %12s\n", "nodes", "time", "speedup",
+              "link bytes");
+  const KernelResult f1 = kernels::run_fft(0, 4096);
+  for (int dim : {0, 1, 2, 3, 4}) {
+    const KernelResult f = kernels::run_fft(dim, 4096);
+    std::printf("  %6d | %14s %8.2fx %12llu\n", 1 << dim,
+                f.elapsed.to_string().c_str(), f1.elapsed / f.elapsed,
+                static_cast<unsigned long long>(f.link_bytes));
+  }
+
+  std::printf(
+      "  -> small cubes lose to block exchanges (each cross stage moves the\n"
+      "     whole local block at 0.5 MB/s); once enough nodes shrink the\n"
+      "     per-node block, speedup returns — who wins flips with size,\n"
+      "     as the 1:130 balance predicts.\n");
+
+  bench::section("Gauss elimination with physical-row pivoting, n = 64");
+  std::printf("  %6s | %14s %9s %14s\n", "nodes", "time", "speedup",
+              "max |U - ref|");
+  const KernelResult g1 = kernels::run_gauss(0, 64);
+  for (int dim : {0, 1, 2, 3}) {
+    const KernelResult g = kernels::run_gauss(dim, 64);
+    std::printf("  %6d | %14s %8.2fx %14g\n", 1 << dim,
+                g.elapsed.to_string().c_str(), g1.elapsed / g.elapsed,
+                g.checksum);
+  }
+
+  std::printf(
+      "  -> the machine's U factor is bit-identical to the host algorithm\n"
+      "     at every size. Elimination moves n words (pivot broadcast) for\n"
+      "     n^2/P flops per step: flops/word = n/P = %d..%d here, far below\n"
+      "     the ~130 balance threshold, so small systems anti-scale — the\n"
+      "     paper's rule says pivoting pays only for n in the thousands.\n",
+      64 / 8, 64 / 1);
+
+  bench::section("Jacobi relaxation, 64x64 grid, 10 sweeps");
+  std::printf("  %6s | %14s %9s\n", "nodes", "time", "speedup");
+  const KernelResult l1 = kernels::run_laplace(0, 64, 10);
+  for (int dim : {0, 1, 2, 3}) {
+    const KernelResult l = kernels::run_laplace(dim, 64, 10);
+    std::printf("  %6d | %14s %8.2fx\n", 1 << dim,
+                l.elapsed.to_string().c_str(), l1.elapsed / l.elapsed);
+  }
+
+  bench::section("distributed sort, 4096 keys (odd-even on the Gray ring)");
+  std::printf("  %6s | %14s %9s %12s\n", "nodes", "time", "speedup",
+              "link bytes");
+  const KernelResult so1 = kernels::run_distributed_sort(0, 4096);
+  for (int dim : {0, 1, 2, 3, 4}) {
+    const KernelResult so = kernels::run_distributed_sort(dim, 4096);
+    std::printf("  %6d | %14s %8.2fx %12llu\n", 1 << dim,
+                so.elapsed.to_string().c_str(), so1.elapsed / so.elapsed,
+                static_cast<unsigned long long>(so.link_bytes));
+  }
+  std::printf(
+      "  -> local sort work shrinks as blk*log(blk)/P but the P merge-split\n"
+      "     phases each move whole blocks at 0.5 MB/s: another balance-rule\n"
+      "     shape, with a shallow optimum at moderate machine sizes.\n");
+  return 0;
+}

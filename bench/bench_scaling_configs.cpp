@@ -1,0 +1,68 @@
+// E5 — §III configuration scaling: "The specifications of any sized FPS T
+// Series can be derived from the properties of the individual modules."
+// Reproduces every configuration quoted in the paper and the link-budget
+// argument behind the 12-cube practical maximum.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/config.hpp"
+#include "core/machine.hpp"
+
+using namespace fpst;
+using core::ConfigReport;
+using core::SystemParams;
+using fpst::bench::claim;
+using fpst::bench::fmt;
+
+int main() {
+  bench::title("E5: system configurations derived from the module");
+
+  bench::section("module properties (8 nodes + system board + disk)");
+  claim("module peak performance", "128 MFLOPS",
+        fmt("%.0f MFLOPS", SystemParams::module_peak_mflops()));
+  claim("module user RAM", "8 MB", fmt("%.0f MB",
+                                       SystemParams::module_ram_mb()));
+  claim("intramodule link bandwidth", "over 12 MB/s",
+        fmt("%.1f MB/s", SystemParams::module_internode_mb_s()));
+  claim("external connection", "0.5 MB/s",
+        fmt("%.1f MB/s", SystemParams::module_external_mb_s()));
+
+  bench::section("configuration table (every buildable cube)");
+  std::printf(
+      "  %4s %6s %8s %9s %10s %9s %7s | %s\n", "dim", "nodes", "modules",
+      "cabinets", "GFLOPS", "RAM MB", "disks", "sublinks cube+sys+io+free");
+  for (int d = 3; d <= 14; ++d) {
+    const ConfigReport r = ConfigReport::derive(d);
+    std::printf("  %4d %6u %8u %9u %10.3f %9.0f %7u |   %2d + %d + %d + %d\n",
+                r.dimension, r.nodes, r.modules, r.cabinets, r.peak_gflops,
+                r.ram_mb, r.system_disks, r.hypercube_sublinks_per_node,
+                r.system_sublinks_per_node, r.io_sublinks_per_node,
+                r.free_sublinks_per_node);
+  }
+
+  bench::section("the configurations the paper quotes");
+  const ConfigReport cab = ConfigReport::derive(4);
+  claim("cabinet = 2 modules", "16 nodes (tesseract)",
+        std::to_string(cab.nodes) + " nodes");
+  const ConfigReport c64 = ConfigReport::derive(6);
+  claim("four-cabinet system", "1 GFLOPS / 64 MB / 8 disks",
+        fmt("%.2f GFLOPS", c64.peak_gflops) +
+            fmt(" / %.0f MB", c64.ram_mb) + " / " +
+            std::to_string(c64.system_disks) + " disks");
+  const ConfigReport cmax = ConfigReport::derive(12);
+  claim("maximum practical 12-cube", "4096 nodes / 65 GFLOPS / 4 GB",
+        std::to_string(cmax.nodes) +
+            fmt(" nodes / %.1f GFLOPS", cmax.peak_gflops) +
+            fmt(" / %.0f MB", cmax.ram_mb));
+  claim("largest constructible", "14-cube",
+        "14-cube feasible = " +
+            std::string(ConfigReport::derive(14).feasible ? "yes" : "no"));
+
+  bench::section("homogeneity check: a built machine matches the algebra");
+  sim::Simulator sim;
+  core::TSeries machine{sim, 6};
+  claim("built 6-cube modules", "8",
+        std::to_string(machine.module_count()));
+  claim("built 6-cube nodes", "64", std::to_string(machine.size()));
+  return 0;
+}

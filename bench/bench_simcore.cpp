@@ -1,0 +1,102 @@
+// E12 — engineering benchmarks of the simulator itself (google-benchmark):
+// DES event throughput, soft-float operation rates, interpreter speed.
+// These gate how large a machine the reproduction can simulate on a laptop.
+#include <benchmark/benchmark.h>
+
+#include "cp/assembler.hpp"
+#include "cp/cpu.hpp"
+#include "fp/softfloat.hpp"
+#include "sim/proc.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace fpst;
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const std::int64_t n = state.range(0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      sim.schedule(sim::SimTime::nanoseconds(i % 1000), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueue)->Arg(1 << 12)->Arg(1 << 16);
+
+sim::Proc chain(sim::Simulator*, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await sim::Delay{sim::SimTime::nanoseconds(1)};
+  }
+}
+
+void BM_CoroutineDelays(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.spawn(chain(&sim, static_cast<int>(state.range(0))));
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutineDelays)->Arg(1 << 12);
+
+void BM_SoftFloatAdd64(benchmark::State& state) {
+  fp::Flags fl;
+  fp::T64 a = fp::T64::from_double(1.234567);
+  const fp::T64 b = fp::T64::from_double(7.654321e-3);
+  for (auto _ : state) {
+    a = add(a, b, fl);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SoftFloatAdd64);
+
+void BM_SoftFloatMul64(benchmark::State& state) {
+  fp::Flags fl;
+  fp::T64 a = fp::T64::from_double(1.0000001);
+  const fp::T64 b = fp::T64::from_double(0.9999999);
+  for (auto _ : state) {
+    a = mul(a, b, fl);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SoftFloatMul64);
+
+void BM_InterpreterLoop(benchmark::State& state) {
+  // Host-seconds per simulated TISA instruction.
+  const cp::Program p = cp::assemble(R"(
+      ldc 20000
+      stl 0
+   loop:
+      ldl 0
+      adc -1
+      stl 0
+      ldl 0
+      cj done
+      j loop
+   done:
+      halt
+  )");
+  for (auto _ : state) {
+    sim::Simulator sim;
+    mem::NodeMemory memory;
+    vpu::VectorUnit vpu{memory};
+    cp::Cpu cpu{sim, memory, vpu};
+    cpu.load(p);
+    cpu.start_process(p.entry(), 0x8000, 1);
+    sim.spawn(cpu.run());
+    sim.run();
+    state.counters["sim_instructions"] = benchmark::Counter(
+        static_cast<double>(cpu.instructions_executed()),
+        benchmark::Counter::kIsIterationInvariantRate);
+  }
+}
+BENCHMARK(BM_InterpreterLoop)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

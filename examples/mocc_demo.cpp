@@ -1,0 +1,107 @@
+// The full software stack in one program: a MOCC (mini-Occam) source with
+// parallel communicating processes is compiled to TISA, loaded on a
+// simulated node, and run — including a vector form dispatched from the
+// high-level language, the paper's central programming claim.
+//
+//   $ ./mocc_demo
+#include <cstdio>
+
+#include "mocc/mocc.hpp"
+#include "node/node.hpp"
+
+using namespace fpst;
+
+int main() {
+  const std::string source = R"(
+    // Three communicating processes compute sum(i*i, i=1..10) in a
+    // pipeline, then the main process asks the vector unit for a
+    // 16-element SAXPY.
+    chan squares;
+    chan results;
+    global pipeline_out;
+
+    proc squarer() {
+      var i = 1;
+      while (i <= 10) {
+        send(squares, i * i);
+        i = i + 1;
+      }
+    }
+
+    proc accumulator() {
+      var total = 0;
+      var n = 0;
+      var v;
+      while (n < 10) {
+        recv(squares, v);
+        total = total + v;
+        n = n + 1;
+      }
+      send(results, total);
+    }
+
+    proc collect() {
+      recv(results, pipeline_out);
+    }
+
+    proc main() {
+      par { squarer(); accumulator(); collect(); }
+      poke(0x2000, pipeline_out);
+
+      // Now drive the vector unit: z := 2*x + y over 16 elements.
+      var d = 0x4000;
+      poke(d, 5);              // VSAXPY
+      poke(d + 4, 1);          // f64
+      poke(d + 8, 16);
+      poke(d + 12, 0);         // row_x (bank A)
+      poke(d + 16, 300);       // row_y (bank B)
+      poke(d + 20, 600);       // row_z
+      poke(d + 24, 0);         // scalar 2.0
+      poke(d + 28, 0x40000000);
+      vform(d);
+      vwait;
+      halt;
+    }
+  )";
+
+  std::printf("=== MOCC source (%zu bytes) compiles to TISA ===\n",
+              source.size());
+  const std::string asm_text = mocc::compile_to_asm(source);
+  std::printf("%s...\n(total %zu bytes of assembly text)\n\n",
+              asm_text.substr(0, 480).c_str(), asm_text.size());
+
+  sim::Simulator sim;
+  node::Node nd{sim, 0};
+  mem::VectorRegister rx;
+  mem::VectorRegister ry;
+  for (std::size_t i = 0; i < 16; ++i) {
+    rx.set_f64(i, fp::T64::from_double(static_cast<double>(i)));
+    ry.set_f64(i, fp::T64::from_double(1.0));
+  }
+  nd.memory().store_row(0, rx);
+  nd.memory().store_row(300, ry);
+
+  const cp::Program prog = mocc::compile(source);
+  nd.cpu().load(prog);
+  nd.cpu().start_process(prog.symbol("main"), 0xA000, 1);
+  sim.spawn(nd.cpu().run());
+  sim.run();
+
+  std::printf("=== execution on the simulated node ===\n");
+  std::printf("halted at t = %s after %llu instructions\n",
+              sim.now().to_string().c_str(),
+              static_cast<unsigned long long>(
+                  nd.cpu().instructions_executed()));
+  const std::uint32_t pipeline = nd.cpu().read_word(0x2000);
+  std::printf("pipeline result sum(i^2, 1..10) = %u (expect 385)\n",
+              pipeline);
+  mem::VectorRegister rz;
+  nd.memory().load_row(600, rz);
+  bool vec_ok = true;
+  for (std::size_t i = 0; i < 16; ++i) {
+    vec_ok &= rz.f64(i).to_double() == 2.0 * static_cast<double>(i) + 1.0;
+  }
+  std::printf("vector unit SAXPY from MOCC: %s\n",
+              vec_ok ? "verified" : "WRONG");
+  return (pipeline == 385 && vec_ok) ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+#include "baseline/sharedbus.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "sim/proc.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "vpu/vpu.hpp"
+
+namespace fpst::baseline {
+
+namespace {
+using kernels::KernelResult;
+using sim::Delay;
+using sim::Proc;
+using sim::SimTime;
+
+/// Time on the bus to burst `words` 64-bit words, including arbitration
+/// and the depth-dependent latency of the processor-memory interconnect.
+SimTime burst_time(const BusParams& bus, int log2_procs, std::size_t words) {
+  const double bytes = static_cast<double>(words) * 8.0;
+  const double us = bytes / bus.bandwidth_mb_s;
+  return bus.arbitration + log2_procs * bus.latency_per_level +
+         SimTime::picoseconds(static_cast<std::int64_t>(us * 1e6));
+}
+
+/// One shared-memory vector processor running a streaming kernel: for each
+/// burst it must win the bus for its operand traffic, then its pipes run at
+/// the node rate (one result per 125 ns, two flops for saxpy).
+Proc processor(sim::Semaphore* bus_mutex, const BusParams* bus,
+               int log2_procs, std::size_t elems, std::size_t words_per_elem,
+               std::uint64_t flops_per_elem, std::uint64_t* flops_done) {
+  const SimTime cycle = vpu::VpuParams::cycle();
+  std::size_t left = elems;
+  while (left > 0) {
+    const std::size_t chunk = std::min(left, bus->burst_words);
+    co_await bus_mutex->acquire();
+    co_await Delay{burst_time(*bus, log2_procs, chunk * words_per_elem)};
+    bus_mutex->release();
+    // Compute phase on private pipes (overlap with others' bus use).
+    co_await Delay{static_cast<std::int64_t>(chunk) * cycle};
+    *flops_done += chunk * flops_per_elem;
+    left -= chunk;
+  }
+}
+
+KernelResult run_shared(int log2_procs, std::size_t n,
+                        std::size_t words_per_elem,
+                        std::uint64_t flops_per_elem, BusParams bus) {
+  sim::Simulator sim;
+  sim::Semaphore bus_mutex{sim, 1};
+  const std::size_t procs = std::size_t{1} << log2_procs;
+  const std::size_t per = (n + procs - 1) / procs;
+  std::vector<std::uint64_t> flops(procs, 0);
+  for (std::size_t p = 0; p < procs; ++p) {
+    const std::size_t begin = std::min(n, p * per);
+    const std::size_t count = std::min(per, n - begin);
+    if (count > 0) {
+      sim.spawn(processor(&bus_mutex, &bus, log2_procs, count,
+                          words_per_elem, flops_per_elem, &flops[p]));
+    }
+  }
+  sim.run();
+  KernelResult r;
+  r.elapsed = sim.now();
+  for (std::uint64_t f : flops) {
+    r.flops += f;
+  }
+  return r;
+}
+
+}  // namespace
+
+KernelResult run_shared_saxpy(int log2_procs, std::size_t n, double a,
+                              BusParams bus) {
+  (void)a;  // the traffic model is value-independent
+  return run_shared(log2_procs, n, /*words_per_elem=*/3,
+                    /*flops_per_elem=*/2, bus);
+}
+
+KernelResult run_shared_dot(int log2_procs, std::size_t n, BusParams bus) {
+  return run_shared(log2_procs, n, /*words_per_elem=*/2,
+                    /*flops_per_elem=*/2, bus);
+}
+
+}  // namespace fpst::baseline

@@ -1,0 +1,46 @@
+// Shared-memory bus baseline (paper §I).
+//
+// The introduction argues: "Shared memory systems are expensive when scaled
+// to large dimensions because of the rapid growth of the interconnection
+// network; the distance from memory to the processing elements also
+// degrades performance by increasing latency." This module provides the
+// quantitative counterpart: P vector processors identical to a T node
+// (16 MFLOPS peak) sharing one global memory over a single bus. Every
+// vector operand stream crosses the bus; a processor's stripe therefore
+// serialises behind all other traffic, and aggregate throughput saturates
+// at (bus bandwidth)/(bytes per flop) no matter how many processors are
+// added — while the distributed machine keeps its operands in node-local
+// dual-ported memory.
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/kernels.hpp"
+#include "sim/time.hpp"
+
+namespace fpst::baseline {
+
+struct BusParams {
+  /// Bus bandwidth. The default, 192 MB/s, is exactly one node's vector
+  /// register bandwidth (§II Figure 2) — i.e. the bus can feed ONE T-class
+  /// vector unit at full speed, a generous 1986 backplane.
+  double bandwidth_mb_s = 192.0;
+  /// Arbitration + address cycle per bus transaction.
+  sim::SimTime arbitration = sim::SimTime::nanoseconds(200);
+  /// Words moved per transaction (burst size).
+  std::size_t burst_words = 256;
+  /// Extra latency per doubling of processor count (interconnect depth —
+  /// "the distance from memory ... increasing latency").
+  sim::SimTime latency_per_level = sim::SimTime::nanoseconds(100);
+};
+
+/// y := a*x + y over n elements split across 2^log2_procs processors
+/// sharing the bus. Traffic: 3 words (2 reads + 1 write) per element.
+kernels::KernelResult run_shared_saxpy(int log2_procs, std::size_t n,
+                                       double a, BusParams bus = {});
+
+/// dot(x, y) over n elements: 2 words per element plus a trivial combine.
+kernels::KernelResult run_shared_dot(int log2_procs, std::size_t n,
+                                     BusParams bus = {});
+
+}  // namespace fpst::baseline

@@ -1,0 +1,130 @@
+#include "core/checkpoint.hpp"
+
+#include <cmath>
+#include <random>
+
+namespace fpst::core {
+
+Disk::Image CheckpointEngine::capture(std::size_t module_index) const {
+  Module& mod = machine_->module(module_index);
+  Disk::Image img;
+  img.node_memories.resize(Module::size());
+  for (int i = 0; i < Module::size(); ++i) {
+    auto& bytes = img.node_memories[static_cast<std::size_t>(i)];
+    bytes.resize(mem::MemParams::kBytes);
+    const mem::NodeMemory& m = mod.node(i).memory();
+    for (std::uint32_t a = 0; a < mem::MemParams::kBytes; ++a) {
+      bytes[a] = m.peek_byte(a);
+    }
+  }
+  img.taken_at = machine_->simulator().now();
+  img.sequence = snapshots_;
+  return img;
+}
+
+sim::Proc CheckpointEngine::snapshot_module(std::size_t module_index) {
+  co_await sim::Delay{CheckpointParams::snapshot_time()};
+  machine_->module(module_index).board().disk().store(capture(module_index));
+  ++snapshots_;
+}
+
+sim::Proc CheckpointEngine::snapshot() {
+  std::vector<sim::Proc> per_module;
+  per_module.reserve(machine_->module_count());
+  for (std::size_t m = 0; m < machine_->module_count(); ++m) {
+    per_module.push_back(snapshot_module(m));
+  }
+  // All modules stream to their own disks concurrently: total time is one
+  // snapshot_time(), independent of configuration.
+  co_await sim::WhenAll{std::move(per_module)};
+}
+
+bool CheckpointEngine::restore_module(std::size_t module_index) {
+  Module& mod = machine_->module(module_index);
+  const Disk::Image* img = mod.board().disk().last();
+  if (img == nullptr) {
+    return false;
+  }
+  for (int i = 0; i < Module::size(); ++i) {
+    mem::NodeMemory& m = mod.node(i).memory();
+    const auto& bytes = img->node_memories[static_cast<std::size_t>(i)];
+    for (std::uint32_t a = 0; a < mem::MemParams::kBytes; ++a) {
+      m.poke_byte(a, bytes[a]);
+    }
+  }
+  return true;
+}
+
+bool CheckpointEngine::restore() {
+  bool ok = true;
+  for (std::size_t m = 0; m < machine_->module_count(); ++m) {
+    ok = restore_module(m) && ok;
+  }
+  return ok;
+}
+
+bool CheckpointEngine::restore_module_from_backup(std::size_t module_index) {
+  const std::size_t neighbor = (module_index + 1) % machine_->module_count();
+  const Disk::Image* img =
+      machine_->module(neighbor).board().disk().last_backup();
+  if (img == nullptr) {
+    return false;
+  }
+  Module& mod = machine_->module(module_index);
+  for (int i = 0; i < Module::size(); ++i) {
+    mem::NodeMemory& m = mod.node(i).memory();
+    const auto& bytes = img->node_memories[static_cast<std::size_t>(i)];
+    for (std::uint32_t a = 0; a < mem::MemParams::kBytes; ++a) {
+      m.poke_byte(a, bytes[a]);
+    }
+  }
+  return true;
+}
+
+sim::Proc CheckpointEngine::timed_restore(bool* ok) {
+  co_await sim::Delay{CheckpointParams::restore_time()};
+  const bool r = restore();
+  if (ok != nullptr) {
+    *ok = r;
+  }
+}
+
+CheckpointEngine::RunStats CheckpointEngine::simulate_run(
+    double work_hours, double interval_s, double mtbf_hours,
+    double snapshot_s, std::uint64_t seed) {
+  RunStats st;
+  std::mt19937_64 rng{seed};
+  std::exponential_distribution<double> fail{1.0 / (mtbf_hours * 3600.0)};
+
+  const double work_s = work_hours * 3600.0;
+  double done = 0;          // committed (checkpointed) work
+  double elapsed = 0;
+  double next_failure = fail(rng);
+
+  while (done < work_s) {
+    // One cycle: up to `interval_s` of work, then a snapshot committing it.
+    const double segment = std::min(interval_s, work_s - done);
+    const double cycle = segment + snapshot_s;
+    if (elapsed + cycle <= next_failure) {
+      elapsed += cycle;
+      done += segment;
+      ++st.snapshots;
+      continue;
+    }
+    // Failure mid-cycle: everything since the last snapshot is lost; pay
+    // the restore, then continue from `done`.
+    const double lost = next_failure - elapsed;
+    elapsed += lost + snapshot_s;  // restore streams the image back
+    ++st.failures;
+    next_failure = elapsed + fail(rng);
+  }
+  st.elapsed_hours = elapsed / 3600.0;
+  st.overhead_fraction = (elapsed - work_s) / work_s;
+  return st;
+}
+
+double CheckpointEngine::optimal_interval_s(double snapshot_s, double mtbf_s) {
+  return std::sqrt(2.0 * snapshot_s * mtbf_s);
+}
+
+}  // namespace fpst::core

@@ -1,0 +1,83 @@
+// Checkpointing (paper §III): "The primary function of the system disk is
+// to record memory snapshots which checkpoint computations for error
+// recovery... The user is able to specify the interval between snapshots.
+// About 10 minutes provides a good compromise between time spent to record
+// memory and interval between restart points. It takes about 15 seconds to
+// take a snapshot, regardless of configuration."
+//
+// The engine snapshots every module in parallel onto its own system disk —
+// which is exactly why the 15 s cost is configuration-independent — and can
+// restore a module (or the whole machine) from the last image. The
+// interval-optimisation study behind the "about 10 minutes" claim is
+// provided as a deterministic Monte-Carlo model plus Young's closed-form
+// optimum.
+#pragma once
+
+#include <cstdint>
+
+#include "core/machine.hpp"
+#include "sim/proc.hpp"
+#include "sim/time.hpp"
+
+namespace fpst::core {
+
+struct CheckpointParams {
+  /// Calibrated so one module's 8 MB streams through the system-board
+  /// thread to its disk in the paper's "about 15 seconds".
+  static constexpr sim::SimTime snapshot_time() {
+    return sim::SimTime::seconds(15);
+  }
+  static constexpr sim::SimTime default_interval() {
+    return sim::SimTime::seconds(600);  // "about 10 minutes"
+  }
+  /// Reading an image back on restart costs the same stream time.
+  static constexpr sim::SimTime restore_time() { return snapshot_time(); }
+};
+
+class CheckpointEngine {
+ public:
+  explicit CheckpointEngine(TSeries& machine) : machine_{&machine} {}
+
+  /// Snapshot every module in parallel; completes after snapshot_time()
+  /// regardless of machine size.
+  sim::Proc snapshot();
+  /// Snapshot one module onto its system disk.
+  sim::Proc snapshot_module(std::size_t module_index);
+
+  /// Functionally restore all node memories of a module from its disk's
+  /// last image. Returns false when no snapshot exists.
+  bool restore_module(std::size_t module_index);
+  /// Restore the whole machine.
+  bool restore();
+  /// Recover module `module_index` from the BACKUP image held on its ring
+  /// neighbour's disk (module_index+1 mod M) — the path used when the
+  /// module's own system disk is lost. Returns false if no backup exists.
+  bool restore_module_from_backup(std::size_t module_index);
+  /// Timed restore (holds the machine for restore_time()).
+  sim::Proc timed_restore(bool* ok);
+
+  std::uint64_t snapshots_taken() const { return snapshots_; }
+
+  // ---- interval study (reproduces the "10 minutes" compromise) ----
+  struct RunStats {
+    double elapsed_hours = 0;    ///< wall time to finish the workload
+    double overhead_fraction = 0;  ///< (elapsed - work) / work
+    int failures = 0;
+    int snapshots = 0;
+  };
+  /// Run `work_hours` of computation with snapshots every `interval_s`
+  /// under random failures (exponential, mean `mtbf_hours`); on failure the
+  /// machine restarts from the last snapshot. Deterministic in `seed`.
+  static RunStats simulate_run(double work_hours, double interval_s,
+                               double mtbf_hours, double snapshot_s,
+                               std::uint64_t seed);
+  /// Young's first-order optimum: T* = sqrt(2 * C * MTBF).
+  static double optimal_interval_s(double snapshot_s, double mtbf_s);
+
+ private:
+  Disk::Image capture(std::size_t module_index) const;
+  TSeries* machine_;
+  std::uint64_t snapshots_ = 0;
+};
+
+}  // namespace fpst::core

@@ -1,0 +1,72 @@
+// Configuration algebra of the T Series (paper §III).
+//
+// "The specifications of any sized FPS T Series can be derived from the
+// properties of the individual modules": this header derives them. A module
+// is eight nodes + system board + disk (128 MFLOPS peak, 8 MB RAM); a
+// cabinet holds two modules (16 nodes, a tesseract); larger machines are
+// cabinets cabled together, up to the practical maximum of a 12-cube (4096
+// nodes, 65 GFLOPS, 4 GB) with a 14-cube possible when no links are
+// reserved for I/O.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "link/link.hpp"
+#include "mem/memory.hpp"
+#include "vpu/vpu.hpp"
+
+namespace fpst::core {
+
+struct SystemParams {
+  static constexpr int kNodesPerModule = 8;       // a 3-cube
+  static constexpr int kModulesPerCabinet = 2;    // 16 nodes: a tesseract
+  static constexpr int kModuleDim = 3;
+  /// Sublinks each node spends on the system-board thread.
+  static constexpr int kSystemSublinksPerNode = 2;
+  /// Sublinks typically reserved for mass storage / external I/O.
+  static constexpr int kIoSublinksPerNode = 2;
+  /// Largest cube dimension the 16 sublinks permit at all.
+  static constexpr int kMaxDim = 14;
+  /// Largest practical dimension once system + I/O sublinks are reserved.
+  static constexpr int kMaxPracticalDim = 12;
+
+  static constexpr double module_peak_mflops() {
+    return kNodesPerModule * vpu::VpuParams::peak_mflops();  // 128
+  }
+  static constexpr double module_ram_mb() {
+    return kNodesPerModule *
+           static_cast<double>(mem::MemParams::kBytes) / (1 << 20);  // 8
+  }
+  /// Aggregate intramodule link bandwidth: 8 nodes x 3 cube links x 0.5 MB/s
+  /// "over 12 MB/s".
+  static constexpr double module_internode_mb_s() {
+    return kNodesPerModule * kModuleDim *
+           link::LinkParams::unidir_bandwidth_mb_s();
+  }
+  /// External connection through the system board.
+  static constexpr double module_external_mb_s() {
+    return link::LinkParams::unidir_bandwidth_mb_s();  // 0.5
+  }
+};
+
+/// Everything §III states about one machine size, derived from `dimension`.
+struct ConfigReport {
+  int dimension = 0;
+  std::uint32_t nodes = 0;
+  std::uint32_t modules = 0;
+  std::uint32_t cabinets = 0;
+  double peak_gflops = 0;
+  double ram_mb = 0;
+  std::uint32_t system_disks = 0;
+  int hypercube_sublinks_per_node = 0;  // = dimension
+  int system_sublinks_per_node = 0;
+  int io_sublinks_per_node = 0;
+  int free_sublinks_per_node = 0;
+  bool feasible = false;  // within the 16-sublink budget
+
+  static ConfigReport derive(int dimension);
+  std::string to_string() const;
+};
+
+}  // namespace fpst::core

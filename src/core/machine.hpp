@@ -1,0 +1,143 @@
+// The assembled machine: modules (8 nodes + system board + disk), the
+// binary n-cube wiring between nodes, the system ring between boards, and
+// the whole-machine builder.
+//
+// Physical-link modelling: the cube needs `dimension` connections per node
+// but a node has four physical link engines, each multiplexed four ways.
+// Cube dimension d therefore travels on physical port (d mod 4), sublink
+// (d div 4); a per-(node, port) mutex makes the sublinks of one physical
+// port share its 0.5 MB/s — "with software support, these sublinks divide
+// the available bandwidth" (§II).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "link/link.hpp"
+#include "net/hypercube.hpp"
+#include "node/node.hpp"
+#include "sim/proc.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace fpst::core {
+
+/// The per-module system disk. Stores snapshot images; transfer time is
+/// folded into the checkpoint engine's calibrated snapshot duration.
+class Disk {
+ public:
+  struct Image {
+    std::vector<std::vector<std::uint8_t>> node_memories;
+    sim::SimTime taken_at{};
+    std::uint64_t sequence = 0;
+  };
+
+  void store(Image img) { last_ = std::move(img); }
+  const Image* last() const {
+    return last_.node_memories.empty() ? nullptr : &last_;
+  }
+
+  /// Secondary slot holding another module's snapshot ("backup snapshots
+  /// from other modules", §III).
+  void store_backup(Image img) { backup_ = std::move(img); }
+  const Image* last_backup() const {
+    return backup_.node_memories.empty() ? nullptr : &backup_;
+  }
+
+ private:
+  Image last_{};
+  Image backup_{};
+};
+
+/// System board: I/O and management for one module, a disk, and a place on
+/// the system ring.
+class SystemBoard {
+ public:
+  explicit SystemBoard(std::uint32_t module_index)
+      : module_index_{module_index} {}
+
+  std::uint32_t module_index() const { return module_index_; }
+  Disk& disk() { return disk_; }
+  const Disk& disk() const { return disk_; }
+
+ private:
+  std::uint32_t module_index_;
+  Disk disk_;
+};
+
+class TSeries;
+
+/// Eight nodes grouped with a system board and disk. Nodes of module m are
+/// cube nodes [8m, 8m+8): the low three cube dimensions are intramodule.
+class Module {
+ public:
+  Module(TSeries& machine, std::uint32_t index);
+
+  std::uint32_t index() const { return index_; }
+  node::Node& node(int local_index);
+  SystemBoard& board() { return board_; }
+  static constexpr int size() { return SystemParams::kNodesPerModule; }
+
+ private:
+  TSeries* machine_;
+  std::uint32_t index_;
+  SystemBoard board_;
+};
+
+/// A complete T Series machine of 2^dimension nodes.
+class TSeries {
+ public:
+  TSeries(sim::Simulator& sim, int dimension);
+  TSeries(sim::Simulator& sim, int dimension, node::NodeConfig cfg);
+
+  TSeries(const TSeries&) = delete;
+  TSeries& operator=(const TSeries&) = delete;
+
+  sim::Simulator& simulator() { return *sim_; }
+  int dimension() const { return cube_.dimension(); }
+  std::size_t size() const { return cube_.size(); }
+  const net::Hypercube& cube() const { return cube_; }
+
+  node::Node& node(net::NodeId id) { return *nodes_.at(id); }
+  std::size_t module_count() const { return modules_.size(); }
+  Module& module(std::size_t m) { return *modules_.at(m); }
+
+  /// Transmit one packet from `from` along cube dimension `dim`. Holds the
+  /// sending node's physical port (dim mod 4) for the duration, so sublinks
+  /// share the wire.
+  sim::Proc send_dim(net::NodeId from, int dim, link::Packet p);
+  /// Arrival channel at node `at` for packets coming over dimension `dim`.
+  sim::Channel<link::Packet>& inbox(net::NodeId at, int dim);
+
+  /// Aggregate statistics.
+  std::uint64_t total_flops() const;
+  std::uint64_t total_link_bytes() const;
+
+  ConfigReport report() const { return ConfigReport::derive(dimension()); }
+
+ private:
+  friend class Module;
+
+  struct Cable {
+    std::unique_ptr<link::Link> wire;
+    net::NodeId lo = 0;  // side 0
+    net::NodeId hi = 0;  // side 1
+  };
+
+  Cable& cable(net::NodeId at, int dim);
+  int side_of(const Cable& c, net::NodeId at) const;
+
+  sim::Simulator* sim_;
+  net::Hypercube cube_;
+  std::vector<std::unique_ptr<node::Node>> nodes_;
+  std::vector<std::unique_ptr<Module>> modules_;
+  // cables_[node][dim] shared between the two endpoint nodes (stored once,
+  // indexed from the lower endpoint).
+  std::vector<std::vector<Cable>> cables_;
+  // port_mux_[node][port]: one transmission at a time per physical link.
+  std::vector<std::vector<std::unique_ptr<sim::Semaphore>>> port_mux_;
+};
+
+}  // namespace fpst::core

@@ -1,0 +1,118 @@
+#include "core/system_ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fpst::core {
+
+namespace {
+using link::LinkParams;
+using sim::Delay;
+using sim::SimTime;
+
+/// A board/thread hop moves `bytes` as one DMA stream over one serial link.
+SimTime stream_time(std::size_t bytes) {
+  return LinkParams::dma_startup() +
+         static_cast<std::int64_t>(bytes) * LinkParams::byte_time();
+}
+}  // namespace
+
+SystemRing::SystemRing(TSeries& machine)
+    : machine_{&machine}, ring_size_{machine.module_count()} {
+  edges_.resize(ring_size_);
+  for (Edge& e : edges_) {
+    e.dir[0] = std::make_unique<sim::Semaphore>(machine.simulator(), 1);
+    e.dir[1] = std::make_unique<sim::Semaphore>(machine.simulator(), 1);
+  }
+  external_.resize(ring_size_);
+  for (auto& x : external_) {
+    x = std::make_unique<sim::Semaphore>(machine.simulator(), 1);
+  }
+}
+
+std::size_t SystemRing::hops(std::size_t from, std::size_t to) const {
+  const std::size_t fwd = (to + ring_size_ - from) % ring_size_;
+  return std::min(fwd, ring_size_ - fwd);
+}
+
+sim::Proc SystemRing::hop(std::size_t edge, int direction,
+                          std::size_t bytes) {
+  sim::Semaphore& mux =
+      *edges_[edge].dir[static_cast<std::size_t>(direction)];
+  co_await mux.acquire();
+  co_await Delay{stream_time(bytes)};
+  ring_bytes_ += bytes;
+  mux.release();
+}
+
+sim::Proc SystemRing::send(std::size_t from, std::size_t to,
+                           std::size_t bytes) {
+  if (from >= ring_size_ || to >= ring_size_) {
+    throw std::invalid_argument("SystemRing::send: bad board index");
+  }
+  if (ring_size_ == 1 || from == to) {
+    co_return;
+  }
+  const std::size_t fwd = (to + ring_size_ - from) % ring_size_;
+  const bool forward = fwd <= ring_size_ - fwd;
+  std::size_t at = from;
+  while (at != to) {
+    if (forward) {
+      co_await hop(at, 0, bytes);
+      at = (at + 1) % ring_size_;
+    } else {
+      const std::size_t edge = (at + ring_size_ - 1) % ring_size_;
+      co_await hop(edge, 1, bytes);
+      at = edge;
+    }
+  }
+}
+
+sim::Proc SystemRing::board_to_node(std::size_t module_index, int local,
+                                    std::size_t bytes) {
+  if (module_index >= ring_size_ || local < 0 ||
+      local >= SystemParams::kNodesPerModule) {
+    throw std::invalid_argument("SystemRing::board_to_node: bad target");
+  }
+  // The thread chains through the nodes: node k is k+1 links deep.
+  for (int h = 0; h <= local; ++h) {
+    co_await Delay{stream_time(bytes)};
+  }
+}
+
+sim::Proc SystemRing::backup_to_neighbor(std::size_t module_index,
+                                         bool* ok) {
+  Disk& src = machine_->module(module_index).board().disk();
+  const Disk::Image* img = src.last();
+  if (img == nullptr) {
+    if (ok != nullptr) {
+      *ok = false;
+    }
+    co_return;
+  }
+  std::size_t bytes = 0;
+  for (const auto& m : img->node_memories) {
+    bytes += m.size();
+  }
+  const std::size_t neighbor = (module_index + 1) % ring_size_;
+  if (neighbor != module_index) {
+    co_await hop(module_index, 0, bytes);
+  }
+  machine_->module(neighbor).board().disk().store_backup(*img);
+  if (ok != nullptr) {
+    *ok = true;
+  }
+}
+
+sim::Proc SystemRing::external_transfer(std::size_t module_index,
+                                        std::size_t bytes) {
+  if (module_index >= ring_size_) {
+    throw std::invalid_argument("SystemRing::external_transfer: bad module");
+  }
+  sim::Semaphore& mux = *external_[module_index];
+  co_await mux.acquire();
+  co_await Delay{stream_time(bytes)};
+  mux.release();
+}
+
+}  // namespace fpst::core

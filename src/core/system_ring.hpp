@@ -1,0 +1,76 @@
+// The system ring (paper §III): "The system board provides input/output
+// and management functions. It is connected to the nodes by a thread of
+// communications links that traverses the eight processor nodes. The system
+// boards are directly connected by communications links to form a system
+// ring that is independent of the binary n-cube network... The primary
+// function of the system disk is to record memory snapshots which
+// checkpoint computations for error recovery, and to backup snapshots from
+// other modules."
+//
+// Model: one full-duplex link per ring edge between adjacent system boards
+// (minimal-direction multi-hop routing with per-edge contention), plus the
+// intra-module thread: a daisy chain board -> node0 -> ... -> node7, so
+// reaching node k costs k+1 link transfers. Snapshot backup streams a
+// module's 8 MB disk image to the neighbouring board's disk over one ring
+// edge.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "link/link.hpp"
+#include "sim/proc.hpp"
+#include "sim/sync.hpp"
+
+namespace fpst::core {
+
+class SystemRing {
+ public:
+  explicit SystemRing(TSeries& machine);
+
+  SystemRing(const SystemRing&) = delete;
+  SystemRing& operator=(const SystemRing&) = delete;
+
+  std::size_t boards() const { return ring_size_; }
+
+  /// Hop count from board `from` to board `to` taking the shorter way
+  /// around the ring.
+  std::size_t hops(std::size_t from, std::size_t to) const;
+
+  /// Move `bytes` of management traffic from one board to another around
+  /// the ring (store-and-forward per hop; contends per edge direction).
+  sim::Proc send(std::size_t from, std::size_t to, std::size_t bytes);
+
+  /// Move `bytes` between a system board and node `local` of its module
+  /// over the thread (local + 1 chained link transfers).
+  sim::Proc board_to_node(std::size_t module_index, int local,
+                          std::size_t bytes);
+
+  /// Stream module `module_index`'s last snapshot image to the next
+  /// board's disk as a backup ("backup snapshots from other modules").
+  /// Sets *ok to false when there is no snapshot to back up.
+  sim::Proc backup_to_neighbor(std::size_t module_index, bool* ok);
+
+  /// External I/O through a board: the module's 0.5 MB/s external
+  /// connection.
+  sim::Proc external_transfer(std::size_t module_index, std::size_t bytes);
+
+  std::uint64_t ring_bytes() const { return ring_bytes_; }
+
+ private:
+  sim::Proc hop(std::size_t edge, int direction, std::size_t bytes);
+
+  TSeries* machine_;
+  std::size_t ring_size_;
+  // One mutex pair per ring edge (edge i connects boards i and i+1 mod M).
+  struct Edge {
+    std::unique_ptr<sim::Semaphore> dir[2];
+  };
+  std::vector<Edge> edges_;
+  std::vector<std::unique_ptr<sim::Semaphore>> external_;
+  std::uint64_t ring_bytes_ = 0;
+};
+
+}  // namespace fpst::core

@@ -1,0 +1,125 @@
+// Instruction set of the T Series control processor.
+//
+// The paper (§II "Control") describes the node controller: a 32-bit CMOS
+// microprocessor at 7.5 MIPS with byte addressability, 2 KB of single-cycle
+// on-chip RAM, four serial links, a stack-oriented instruction set with
+// variable operand sizes, and two-level process priority — i.e. an
+// Inmos-transputer-class device programmed in Occam. This module defines
+// TISA, a transputer-inspired ISA that reproduces those properties:
+//
+//   * one-byte instructions: 4-bit opcode, 4-bit operand nibble;
+//   * an operand register O built up by pfix/nfix, giving variable operand
+//     sizes exactly as the paper says;
+//   * a three-register evaluation stack (A, B, C) plus workspace pointer;
+//   * secondary operations selected by `opr`, including process control
+//     (startp/endp/stopp/runp), CSP channels (in/out) over both memory
+//     words (soft channels between processes on one node) and link
+//     addresses (hard channels between nodes), timers, and the T Series
+//     extension ops that drive the vector unit (vform/vwait).
+//
+// The memory map (see kOnChipBase etc. below) places the node's 1 MB DRAM
+// at address 0, the 2 KB on-chip RAM in its own region, and hard channel
+// words in a reserved high region, one per (port, sublink, direction).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace fpst::cp {
+
+/// Primary (direct) 4-bit opcodes.
+enum class Op : std::uint8_t {
+  j = 0x0,     ///< jump relative to next instruction
+  ldlp = 0x1,  ///< push Wptr + 4*O
+  pfix = 0x2,  ///< O = (O | nibble) << 4
+  ldnl = 0x3,  ///< A = mem[A + 4*O]
+  ldc = 0x4,   ///< push O
+  ldnlp = 0x5, ///< A = A + 4*O
+  nfix = 0x6,  ///< O = (~(O | nibble)) << 4
+  ldl = 0x7,   ///< push mem[Wptr + 4*O]
+  adc = 0x8,   ///< A = A + O
+  call = 0x9,  ///< push return address to new workspace word; jump
+  cj = 0xA,    ///< if A == 0 jump else pop
+  ajw = 0xB,   ///< Wptr = Wptr + 4*O
+  eqc = 0xC,   ///< A = (A == O) ? 1 : 0
+  stl = 0xD,   ///< mem[Wptr + 4*O] = A; pop
+  stnl = 0xE,  ///< mem[A + 4*O] = B; pop two
+  opr = 0xF,   ///< secondary operation O
+};
+
+/// Secondary opcodes (operand of opr).
+enum class SecOp : std::uint16_t {
+  rev = 0x00,    ///< swap A and B
+  add = 0x01,    ///< A = B + A; pop
+  sub = 0x02,    ///< A = B - A; pop
+  mul = 0x03,    ///< A = B * A; pop (slow: kMulDivCostFactor)
+  divi = 0x04,   ///< A = B / A; pop (trap on 0)
+  rem = 0x05,    ///< A = B % A; pop
+  land = 0x06,   ///< A = B & A; pop
+  lor = 0x07,    ///< A = B | A; pop
+  lxor = 0x08,   ///< A = B ^ A; pop
+  lnot = 0x09,   ///< A = ~A
+  shl = 0x0A,    ///< A = B << A; pop
+  shr = 0x0B,    ///< A = B >> A (logical); pop
+  gt = 0x0C,     ///< A = (B > A) signed; pop
+  mint = 0x0D,   ///< push 0x80000000 (NotProcess)
+  ldpi = 0x0E,   ///< A = Iptr(next) + A  (address of code-relative data)
+  wsub = 0x0F,   ///< A = A + 4*B; pop     (word subscript)
+  bsub = 0x10,   ///< A = A + B; pop       (byte subscript)
+  lb = 0x11,     ///< A = zero-extended byte mem[A]
+  sb = 0x12,     ///< byte mem[A] = B; pop two
+  move = 0x13,   ///< block move: C=src, B=dst, A=count bytes; pop three
+  in = 0x14,     ///< channel input:  C=dst ptr, B=chan addr, A=count; pop 3
+  out = 0x15,    ///< channel output: C=src ptr, B=chan addr, A=count; pop 3
+  startp = 0x16, ///< spawn process: B=new Wptr, A=code offset; pop two
+  endp = 0x17,   ///< end of PAR branch: A=sync block addr
+  stopp = 0x18,  ///< deschedule self, do not requeue
+  runp = 0x19,   ///< enqueue process descriptor A; pop
+  ldtimer = 0x1A,///< push current time (microsecond ticks)
+  tin = 0x1B,    ///< wait until timer >= A; pop
+  ret = 0x1C,    ///< return: Iptr = mem[Wptr]; Wptr += 4
+  vform = 0x1D,  ///< start vector form, A = descriptor address; pop
+  vwait = 0x1E,  ///< block until the vector unit raises completion
+  gather = 0x1F, ///< gather: C=index table, B=dst vector, A=count64; pop 3
+  scatter = 0x20,///< scatter: C=index table, B=src vector, A=count64; pop 3
+  halt = 0x21,   ///< stop the whole processor (end of program)
+  testerr = 0x22,///< push and clear the error flag
+};
+
+/// Memory map.
+inline constexpr std::uint32_t kDramBase = 0x0000'0000;     // 1 MB DRAM
+inline constexpr std::uint32_t kDramBytes = 1u << 20;
+inline constexpr std::uint32_t kOnChipBase = 0x1000'0000;   // 2 KB fast RAM
+inline constexpr std::uint32_t kOnChipBytes = 2048;
+inline constexpr std::uint32_t kHardChanBase = 0xF000'0000;
+/// Hard channel word: kHardChanBase | port<<3 | sublink<<1 | dir.
+/// dir 0 = output (this node transmits), 1 = input.
+inline constexpr std::uint32_t hard_chan_addr(int port, int sublink, int dir) {
+  return kHardChanBase | (static_cast<std::uint32_t>(port) << 3) |
+         (static_cast<std::uint32_t>(sublink) << 1) |
+         static_cast<std::uint32_t>(dir);
+}
+inline constexpr bool is_hard_chan(std::uint32_t addr) {
+  return (addr & 0xF000'0000) == kHardChanBase;
+}
+
+/// The "not a process" marker stored in empty channel words.
+inline constexpr std::uint32_t kNotProcess = 0x8000'0000;
+
+/// Descriptor block layout for `vform` (word offsets from the descriptor
+/// address, which must lie in DRAM):
+///   +0 form (vpu::VectorForm)   +4 precision (0=f32, 1=f64)
+///   +8 n                        +12 row_x
+///   +16 row_y                   +20 row_z
+///   +24 scalar lo32             +28 scalar hi32
+///   +32 result lo32 (written)   +36 result hi32 (written)
+///   +40 result index (written)  +44 flags (written; bit0 invalid,
+///        bit1 overflow, bit2 underflow, bit3 inexact)
+inline constexpr std::uint32_t kVformDescWords = 12;
+
+std::string to_string(Op op);
+std::optional<SecOp> secop_by_name(const std::string& name);
+std::string to_string(SecOp op);
+
+}  // namespace fpst::cp

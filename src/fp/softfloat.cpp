@@ -1,0 +1,470 @@
+#include "fp/softfloat.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+namespace fpst::fp {
+namespace detail {
+namespace {
+
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+enum class Class { zero, normal, inf, nan };
+
+/// A value unpacked for computation: value = (-1)^sign * sig * 2^(exp - f.mant_bits)
+/// with sig in [2^mant_bits, 2^(mant_bits+1)) for normals.
+struct Unpacked {
+  bool sign = false;
+  i64 exp = 0;  // unbiased
+  u64 sig = 0;  // hidden bit included (normals only)
+  Class cls = Class::zero;
+};
+
+bool quiet_bit_set(const Format& f, u64 bits) {
+  return (bits >> (f.mant_bits - 1)) & 1u;
+}
+
+Unpacked unpack(const Format& f, u64 bits) {
+  Unpacked r;
+  r.sign = (bits & f.sign_mask()) != 0;
+  const u64 e = f.exp_field(bits);
+  const u64 m = bits & f.mant_mask();
+  if (e == static_cast<u64>(f.exp_max())) {
+    r.cls = (m == 0) ? Class::inf : Class::nan;
+    r.sig = m;
+    return r;
+  }
+  if (e == 0) {
+    // Zero or denormal: with no gradual underflow the hardware reads any
+    // denormal operand as a signed zero.
+    r.cls = Class::zero;
+    return r;
+  }
+  r.cls = Class::normal;
+  r.exp = static_cast<i64>(e) - f.bias();
+  r.sig = m | (u64{1} << f.mant_bits);
+  return r;
+}
+
+u64 pack_zero(const Format& f, bool sign) { return sign ? f.sign_mask() : 0; }
+
+u64 propagate_nan(const Format& f, u64 a, u64 b, Flags& flags) {
+  const bool a_nan = is_nan(f, a);
+  const bool b_nan = is_nan(f, b);
+  if ((a_nan && !quiet_bit_set(f, a)) || (b_nan && !quiet_bit_set(f, b))) {
+    flags.invalid = true;  // signaling NaN operand
+  }
+  return f.quiet_nan();
+}
+
+/// 64x64 -> 128 multiply without relying on __int128 (kept ISO-portable).
+void umul64wide(u64 a, u64 b, u64& hi, u64& lo) {
+  const u64 a_lo = a & 0xffff'ffffu;
+  const u64 a_hi = a >> 32;
+  const u64 b_lo = b & 0xffff'ffffu;
+  const u64 b_hi = b >> 32;
+  const u64 p0 = a_lo * b_lo;
+  const u64 p1 = a_lo * b_hi;
+  const u64 p2 = a_hi * b_lo;
+  const u64 p3 = a_hi * b_hi;
+  const u64 mid = p1 + (p0 >> 32);
+  const u64 mid2 = p2 + (mid & 0xffff'ffffu);
+  hi = p3 + (mid >> 32) + (mid2 >> 32);
+  lo = (mid2 << 32) | (p0 & 0xffff'ffffu);
+}
+
+/// Round-to-nearest-even and pack. `sig3` carries the significand with three
+/// extra low bits (guard, round, sticky); the hidden bit is expected at
+/// position f.mant_bits + 3 after normalisation. exp is the unbiased
+/// exponent matching that position. Flush-to-zero applies on underflow.
+u64 round_and_pack(const Format& f, bool sign, i64 exp, u64 sig3,
+                   Flags& flags) {
+  if (sig3 == 0) {
+    return pack_zero(f, sign);
+  }
+  const int hidden_pos = f.mant_bits + 3;
+  // Normalise so the leading one sits exactly at hidden_pos.
+  int msb = 63 - std::countl_zero(sig3);
+  if (msb > hidden_pos) {
+    const int sh = msb - hidden_pos;
+    const u64 lost = sig3 & ((u64{1} << sh) - 1);
+    sig3 = (sig3 >> sh) | (lost != 0 ? 1 : 0);
+    exp += sh;
+  } else if (msb < hidden_pos) {
+    sig3 <<= (hidden_pos - msb);
+    exp -= (hidden_pos - msb);
+  }
+  // Round to nearest, ties to even, on the three GRS bits.
+  const u64 grs = sig3 & 7u;
+  u64 sig = sig3 >> 3;
+  if (grs > 4 || (grs == 4 && (sig & 1u))) {
+    ++sig;
+    if (sig >> (f.mant_bits + 1)) {  // rounding carried out
+      sig >>= 1;
+      ++exp;
+    }
+  }
+  if (grs != 0) {
+    flags.inexact = true;
+  }
+  const i64 biased = exp + f.bias();
+  if (biased >= f.exp_max()) {
+    flags.overflow = true;
+    flags.inexact = true;
+    return f.infinity(sign);
+  }
+  if (biased <= 0) {
+    // Result magnitude below the smallest normal: flush to signed zero.
+    flags.underflow = true;
+    flags.inexact = true;
+    return pack_zero(f, sign);
+  }
+  return (sign ? f.sign_mask() : 0) |
+         (static_cast<u64>(biased) << f.mant_bits) | (sig & f.mant_mask());
+}
+
+/// Shift right, ORing all lost bits into the LSB (sticky).
+u64 shift_right_sticky(u64 v, i64 sh) {
+  if (sh <= 0) {
+    return v;
+  }
+  if (sh >= 64) {
+    return v != 0 ? 1 : 0;
+  }
+  const u64 lost = v & ((u64{1} << sh) - 1);
+  return (v >> sh) | (lost != 0 ? 1 : 0);
+}
+
+u64 add_magnitudes(const Format& f, const Unpacked& big, const Unpacked& small,
+                   bool sign, Flags& flags) {
+  const u64 sig_a = big.sig << 3;
+  const u64 sig_b = shift_right_sticky(small.sig << 3, big.exp - small.exp);
+  return round_and_pack(f, sign, big.exp, sig_a + sig_b, flags);
+}
+
+u64 sub_magnitudes(const Format& f, const Unpacked& big, const Unpacked& small,
+                   bool sign, Flags& flags) {
+  const u64 sig_a = big.sig << 3;
+  const u64 sig_b = shift_right_sticky(small.sig << 3, big.exp - small.exp);
+  if (sig_a == sig_b) {
+    return pack_zero(f, false);  // exact cancellation gives +0 under RNE
+  }
+  if (sig_a > sig_b) {
+    return round_and_pack(f, sign, big.exp, sig_a - sig_b, flags);
+  }
+  return round_and_pack(f, !sign, big.exp, sig_b - sig_a, flags);
+}
+
+}  // namespace
+
+bool is_nan(const Format& f, u64 a) {
+  return f.exp_field(a) == static_cast<u64>(f.exp_max()) &&
+         (a & f.mant_mask()) != 0;
+}
+
+bool is_inf(const Format& f, u64 a) {
+  return f.exp_field(a) == static_cast<u64>(f.exp_max()) &&
+         (a & f.mant_mask()) == 0;
+}
+
+bool is_zero_or_denormal(const Format& f, u64 a) {
+  return f.exp_field(a) == 0;
+}
+
+u64 ftz_input(const Format& f, u64 a) {
+  if (f.exp_field(a) == 0) {
+    return a & f.sign_mask();
+  }
+  return a;
+}
+
+u64 negate(const Format& f, u64 a) { return a ^ f.sign_mask(); }
+
+u64 abs(const Format& f, u64 a) { return a & ~f.sign_mask(); }
+
+u64 add(const Format& f, u64 a, u64 b, Flags& flags) {
+  if (is_nan(f, a) || is_nan(f, b)) {
+    return propagate_nan(f, a, b, flags);
+  }
+  const Unpacked ua = unpack(f, a);
+  const Unpacked ub = unpack(f, b);
+  if (ua.cls == Class::inf && ub.cls == Class::inf) {
+    if (ua.sign != ub.sign) {
+      flags.invalid = true;  // inf - inf
+      return f.quiet_nan();
+    }
+    return f.infinity(ua.sign);
+  }
+  if (ua.cls == Class::inf) {
+    return f.infinity(ua.sign);
+  }
+  if (ub.cls == Class::inf) {
+    return f.infinity(ub.sign);
+  }
+  if (ua.cls == Class::zero && ub.cls == Class::zero) {
+    // (+0) + (-0) = +0 under round-to-nearest; like signs keep the sign.
+    return pack_zero(f, ua.sign && ub.sign);
+  }
+  if (ua.cls == Class::zero) {
+    return ftz_input(f, b);
+  }
+  if (ub.cls == Class::zero) {
+    return ftz_input(f, a);
+  }
+  const bool a_bigger =
+      ua.exp > ub.exp || (ua.exp == ub.exp && ua.sig >= ub.sig);
+  const Unpacked& big = a_bigger ? ua : ub;
+  const Unpacked& small = a_bigger ? ub : ua;
+  if (ua.sign == ub.sign) {
+    return add_magnitudes(f, big, small, ua.sign, flags);
+  }
+  return sub_magnitudes(f, big, small, big.sign, flags);
+}
+
+u64 sub(const Format& f, u64 a, u64 b, Flags& flags) {
+  if (is_nan(f, a) || is_nan(f, b)) {
+    return propagate_nan(f, a, b, flags);
+  }
+  return add(f, a, negate(f, b), flags);
+}
+
+u64 mul(const Format& f, u64 a, u64 b, Flags& flags) {
+  if (is_nan(f, a) || is_nan(f, b)) {
+    return propagate_nan(f, a, b, flags);
+  }
+  const Unpacked ua = unpack(f, a);
+  const Unpacked ub = unpack(f, b);
+  const bool sign = ua.sign != ub.sign;
+  if (ua.cls == Class::inf || ub.cls == Class::inf) {
+    if (ua.cls == Class::zero || ub.cls == Class::zero) {
+      flags.invalid = true;  // 0 * inf
+      return f.quiet_nan();
+    }
+    return f.infinity(sign);
+  }
+  if (ua.cls == Class::zero || ub.cls == Class::zero) {
+    return pack_zero(f, sign);
+  }
+  // sig_a * sig_b with sig in [2^m, 2^(m+1)): product has its leading one at
+  // bit 2m or 2m+1. Reduce to hidden-at-(m+3) with sticky, then round.
+  u64 hi = 0;
+  u64 lo = 0;
+  umul64wide(ua.sig, ub.sig, hi, lo);
+  const int m = f.mant_bits;
+  // Desired: keep the top (m+4) bits of the 2m+2 -bit product, i.e. shift
+  // right by (2m + 2) - (m + 4) = m - 2 bits (one less when the leading one
+  // is at 2m; round_and_pack renormalises either way).
+  const int sh = m - 2;
+  u64 sig3;
+  if (sh < 64) {
+    const u64 lost_lo = lo & ((u64{1} << sh) - 1);
+    sig3 = (lo >> sh) | (hi << (64 - sh)) | (lost_lo != 0 ? 1 : 0);
+    // For binary64 the significant bits extend into `hi`; the shift above
+    // already folded them in because 2m+2 = 106 < 64 + sh + m + 4.
+  } else {
+    sig3 = shift_right_sticky(hi, sh - 64) | (lo != 0 ? 1 : 0);
+  }
+  // Value identity: P * 2^(e - 2m) = sig3 * 2^sh * 2^(e - 2m)
+  //               = sig3 * 2^(e - m - 2), and round_and_pack interprets its
+  // arguments as sig3 * 2^(exp - m - 3); hence exp = e + 1. Normalisation of
+  // the hidden-bit position (2m vs 2m+1 product) happens inside.
+  const i64 e = ua.exp + ub.exp;
+  return round_and_pack(f, sign, e + 1, sig3, flags);
+}
+
+Ordering compare(const Format& f, u64 a, u64 b, Flags& flags) {
+  if (is_nan(f, a) || is_nan(f, b)) {
+    if ((is_nan(f, a) && !quiet_bit_set(f, a)) ||
+        (is_nan(f, b) && !quiet_bit_set(f, b))) {
+      flags.invalid = true;
+    }
+    return Ordering::unordered;
+  }
+  const u64 fa = ftz_input(f, a);
+  const u64 fb = ftz_input(f, b);
+  const bool za = (fa & ~f.sign_mask()) == 0;
+  const bool zb = (fb & ~f.sign_mask()) == 0;
+  if (za && zb) {
+    return Ordering::equal;  // -0 == +0
+  }
+  const bool sa = (fa & f.sign_mask()) != 0;
+  const bool sb = (fb & f.sign_mask()) != 0;
+  if (sa != sb) {
+    return sa ? Ordering::less : Ordering::greater;
+  }
+  const u64 ma = fa & ~f.sign_mask();
+  const u64 mb = fb & ~f.sign_mask();
+  if (ma == mb) {
+    return Ordering::equal;
+  }
+  const bool mag_less = ma < mb;
+  return (mag_less != sa) ? Ordering::less : Ordering::greater;
+}
+
+u64 from_int32(const Format& f, std::int32_t v, Flags& flags) {
+  if (v == 0) {
+    return 0;
+  }
+  const bool sign = v < 0;
+  const u64 mag = sign ? (~static_cast<u64>(static_cast<std::uint32_t>(v)) &
+                          0xffff'ffffu) + 1
+                       : static_cast<u64>(v);
+  // round_and_pack interprets its arguments as (mag<<3) * 2^(exp - m - 3) =
+  // mag * 2^(exp - m); for the integer value itself, exp = m.
+  return round_and_pack(f, sign, f.mant_bits, mag << 3, flags);
+}
+
+std::int32_t to_int32(const Format& f, u64 a, Flags& flags) {
+  if (is_nan(f, a) || is_inf(f, a)) {
+    flags.invalid = true;
+    return (a & f.sign_mask()) && !is_nan(f, a)
+               ? std::numeric_limits<std::int32_t>::min()
+               : std::numeric_limits<std::int32_t>::max();
+  }
+  const Unpacked u = unpack(f, a);
+  if (u.cls == Class::zero) {
+    return 0;
+  }
+  // Truncation toward zero. u.sig * 2^(exp - m).
+  const int m = f.mant_bits;
+  i64 value;
+  if (u.exp < 0) {
+    flags.inexact = true;
+    return 0;
+  }
+  if (u.exp >= 32) {
+    flags.invalid = true;
+    return u.sign ? std::numeric_limits<std::int32_t>::min()
+                  : std::numeric_limits<std::int32_t>::max();
+  }
+  if (u.exp >= m) {
+    value = static_cast<i64>(u.sig) << (u.exp - m);
+  } else {
+    const int sh = m - static_cast<int>(u.exp);
+    value = static_cast<i64>(u.sig >> sh);
+    if ((u.sig & ((u64{1} << sh) - 1)) != 0) {
+      flags.inexact = true;
+    }
+  }
+  if (u.sign) {
+    value = -value;
+  }
+  if (value > std::numeric_limits<std::int32_t>::max() ||
+      value < std::numeric_limits<std::int32_t>::min()) {
+    flags.invalid = true;
+    return u.sign ? std::numeric_limits<std::int32_t>::min()
+                  : std::numeric_limits<std::int32_t>::max();
+  }
+  return static_cast<std::int32_t>(value);
+}
+
+u64 widen(u64 a32) {
+  const Format& s = kBinary32;
+  const Format& d = kBinary64;
+  const u64 sign = (a32 & s.sign_mask()) ? d.sign_mask() : 0;
+  const u64 e = s.exp_field(a32);
+  const u64 m = a32 & s.mant_mask();
+  if (e == static_cast<u64>(s.exp_max())) {
+    if (m == 0) {
+      return sign | (static_cast<u64>(d.exp_max()) << d.mant_bits);
+    }
+    // Preserve NaN payload in the high mantissa bits; force quiet.
+    return sign | (static_cast<u64>(d.exp_max()) << d.mant_bits) |
+           (m << (d.mant_bits - s.mant_bits)) |
+           (u64{1} << (d.mant_bits - 1));
+  }
+  if (e == 0) {
+    return sign;  // zero or flushed denormal
+  }
+  const i64 unbiased = static_cast<i64>(e) - s.bias();
+  return sign | (static_cast<u64>(unbiased + d.bias()) << d.mant_bits) |
+         (m << (d.mant_bits - s.mant_bits));
+}
+
+u64 narrow(u64 a64, Flags& flags) {
+  const Format& s = kBinary64;
+  const Format& d = kBinary32;
+  if (is_nan(s, a64)) {
+    if (!quiet_bit_set(s, a64)) {
+      flags.invalid = true;
+    }
+    return d.quiet_nan();
+  }
+  const Unpacked u = unpack(s, a64);
+  if (u.cls == Class::inf) {
+    return d.infinity(u.sign);
+  }
+  if (u.cls == Class::zero) {
+    return pack_zero(d, u.sign);
+  }
+  // Reduce the 53-bit significand to 24 bits + GRS with sticky, then round
+  // in the destination format.
+  const int drop = s.mant_bits - d.mant_bits;  // 29
+  const u64 lost = u.sig & ((u64{1} << (drop - 3)) - 1);
+  const u64 sig3 = (u.sig >> (drop - 3)) | (lost != 0 ? 1 : 0);
+  return round_and_pack(d, u.sign, u.exp, sig3, flags);
+}
+
+std::string to_string(const Format& f, u64 a) {
+  char buf[64];
+  double approx;
+  if (f.total_bits() == 64) {
+    std::memcpy(&approx, &a, sizeof approx);
+  } else {
+    const u64 wide = widen(a);
+    std::memcpy(&approx, &wide, sizeof approx);
+  }
+  std::snprintf(buf, sizeof buf, "0x%0*llx (~%g)", f.total_bits() / 4,
+                static_cast<unsigned long long>(a), approx);
+  return buf;
+}
+
+}  // namespace detail
+
+T64 T64::from_double(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return T64::from_bits(detail::ftz_input(kBinary64, bits));
+}
+
+double T64::to_double() const {
+  double v;
+  std::memcpy(&v, &bits_, sizeof v);
+  return v;
+}
+
+T32 T32::from_float(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return T32::from_bits(static_cast<std::uint32_t>(
+      detail::ftz_input(kBinary32, bits)));
+}
+
+float T32::to_float() const {
+  float v;
+  std::memcpy(&v, &bits_, sizeof v);
+  return v;
+}
+
+T64 t64_from_int32(std::int32_t v, Flags& fl) {
+  return T64::from_bits(detail::from_int32(kBinary64, v, fl));
+}
+
+std::int32_t t64_to_int32(T64 v, Flags& fl) {
+  return detail::to_int32(kBinary64, v.bits(), fl);
+}
+
+T32 t32_from_int32(std::int32_t v, Flags& fl) {
+  return T32::from_bits(
+      static_cast<std::uint32_t>(detail::from_int32(kBinary32, v, fl)));
+}
+
+std::int32_t t32_to_int32(T32 v, Flags& fl) {
+  return detail::to_int32(kBinary32, v.bits(), fl);
+}
+
+}  // namespace fpst::fp

@@ -1,0 +1,200 @@
+// Software model of the T Series floating-point formats.
+//
+// The paper (§II "Arithmetic") specifies: the proposed IEEE standard format,
+// 32- and 64-bit, round-to-nearest, but **gradual underflow is not
+// supported** — denormalised numbers neither enter nor leave the pipelines.
+// This module implements those semantics bit-exactly in integer arithmetic:
+//   * binary32 / binary64 layouts (1 sign, 8/11 exponent, 23/52 mantissa);
+//   * add, subtract, multiply (the node has an adder and a multiplier; there
+//     is no divide unit — division is software, see vpu/recip);
+//   * comparisons and format/integer conversions (the adder performs these);
+//   * flush-to-zero: denormal inputs are read as signed zero, results that
+//     would be denormal are flushed to signed zero with the underflow flag.
+//
+// All operations take an accumulating `Flags` so tests and the VPU model can
+// observe exceptions exactly where the hardware would raise its status line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fpst::fp {
+
+/// IEEE exception flags (sticky, accumulate across operations).
+struct Flags {
+  bool invalid = false;
+  bool overflow = false;
+  bool underflow = false;
+  bool inexact = false;
+
+  void merge(const Flags& o) {
+    invalid |= o.invalid;
+    overflow |= o.overflow;
+    underflow |= o.underflow;
+    inexact |= o.inexact;
+  }
+  bool any() const { return invalid || overflow || underflow || inexact; }
+};
+
+/// Static description of a binary interchange format.
+struct Format {
+  int exp_bits;
+  int mant_bits;  // explicit mantissa bits (hidden bit not counted)
+
+  constexpr int total_bits() const { return 1 + exp_bits + mant_bits; }
+  constexpr int bias() const { return (1 << (exp_bits - 1)) - 1; }
+  constexpr std::int64_t exp_max() const { return (1 << exp_bits) - 1; }
+  constexpr std::uint64_t mant_mask() const {
+    return (std::uint64_t{1} << mant_bits) - 1;
+  }
+  constexpr std::uint64_t sign_mask() const {
+    return std::uint64_t{1} << (total_bits() - 1);
+  }
+  constexpr std::uint64_t exp_field(std::uint64_t bits) const {
+    return (bits >> mant_bits) & static_cast<std::uint64_t>(exp_max());
+  }
+  constexpr std::uint64_t quiet_nan() const {
+    return (static_cast<std::uint64_t>(exp_max()) << mant_bits) |
+           (std::uint64_t{1} << (mant_bits - 1));
+  }
+  constexpr std::uint64_t infinity(bool negative) const {
+    return (negative ? sign_mask() : 0) |
+           (static_cast<std::uint64_t>(exp_max()) << mant_bits);
+  }
+};
+
+inline constexpr Format kBinary32{8, 23};
+inline constexpr Format kBinary64{11, 52};
+
+/// Result of an IEEE comparison.
+enum class Ordering { less, equal, greater, unordered };
+
+namespace detail {
+// Core operations on raw bit patterns. `f` selects binary32/binary64; bits
+// above f.total_bits() must be zero.
+std::uint64_t add(const Format& f, std::uint64_t a, std::uint64_t b,
+                  Flags& flags);
+std::uint64_t sub(const Format& f, std::uint64_t a, std::uint64_t b,
+                  Flags& flags);
+std::uint64_t mul(const Format& f, std::uint64_t a, std::uint64_t b,
+                  Flags& flags);
+Ordering compare(const Format& f, std::uint64_t a, std::uint64_t b,
+                 Flags& flags);
+std::uint64_t negate(const Format& f, std::uint64_t a);
+std::uint64_t abs(const Format& f, std::uint64_t a);
+std::uint64_t from_int32(const Format& f, std::int32_t v, Flags& flags);
+std::int32_t to_int32(const Format& f, std::uint64_t a, Flags& flags);
+std::uint64_t widen(std::uint64_t a32);                  // binary32→binary64
+std::uint64_t narrow(std::uint64_t a64, Flags& flags);   // binary64→binary32
+/// Flush denormal input to signed zero (the read-side FTZ rule).
+std::uint64_t ftz_input(const Format& f, std::uint64_t a);
+bool is_nan(const Format& f, std::uint64_t a);
+bool is_inf(const Format& f, std::uint64_t a);
+bool is_zero_or_denormal(const Format& f, std::uint64_t a);
+std::string to_string(const Format& f, std::uint64_t a);
+}  // namespace detail
+
+/// A 64-bit T Series floating point value (binary64 layout, FTZ semantics).
+class T64 {
+ public:
+  constexpr T64() = default;
+  static constexpr T64 from_bits(std::uint64_t b) { return T64{b}; }
+  /// Import a host double. Denormals flush to signed zero so that the value
+  /// is representable on the machine.
+  static T64 from_double(double v);
+  double to_double() const;
+
+  constexpr std::uint64_t bits() const { return bits_; }
+  bool is_nan() const { return detail::is_nan(kBinary64, bits_); }
+  bool is_inf() const { return detail::is_inf(kBinary64, bits_); }
+  bool is_zero() const { return (bits_ & ~kBinary64.sign_mask()) == 0; }
+  bool sign() const { return (bits_ & kBinary64.sign_mask()) != 0; }
+
+  friend T64 add(T64 a, T64 b, Flags& fl) {
+    return T64{detail::add(kBinary64, a.bits_, b.bits_, fl)};
+  }
+  friend T64 sub(T64 a, T64 b, Flags& fl) {
+    return T64{detail::sub(kBinary64, a.bits_, b.bits_, fl)};
+  }
+  friend T64 mul(T64 a, T64 b, Flags& fl) {
+    return T64{detail::mul(kBinary64, a.bits_, b.bits_, fl)};
+  }
+  friend Ordering compare(T64 a, T64 b, Flags& fl) {
+    return detail::compare(kBinary64, a.bits_, b.bits_, fl);
+  }
+  T64 negated() const { return T64{detail::negate(kBinary64, bits_)}; }
+  T64 abs() const { return T64{detail::abs(kBinary64, bits_)}; }
+
+  friend constexpr bool operator==(T64 a, T64 b) { return a.bits_ == b.bits_; }
+
+  std::string to_string() const {
+    return detail::to_string(kBinary64, bits_);
+  }
+
+ private:
+  explicit constexpr T64(std::uint64_t b) : bits_{b} {}
+  std::uint64_t bits_ = 0;
+};
+
+/// A 32-bit T Series floating point value (binary32 layout, FTZ semantics).
+class T32 {
+ public:
+  constexpr T32() = default;
+  static constexpr T32 from_bits(std::uint32_t b) { return T32{b}; }
+  static T32 from_float(float v);
+  float to_float() const;
+
+  constexpr std::uint32_t bits() const { return bits_; }
+  bool is_nan() const { return detail::is_nan(kBinary32, bits_); }
+  bool is_inf() const { return detail::is_inf(kBinary32, bits_); }
+  bool is_zero() const {
+    return (bits_ & ~static_cast<std::uint32_t>(kBinary32.sign_mask())) == 0;
+  }
+  bool sign() const { return (bits_ & kBinary32.sign_mask()) != 0; }
+
+  friend T32 add(T32 a, T32 b, Flags& fl) {
+    return T32{static_cast<std::uint32_t>(
+        detail::add(kBinary32, a.bits_, b.bits_, fl))};
+  }
+  friend T32 sub(T32 a, T32 b, Flags& fl) {
+    return T32{static_cast<std::uint32_t>(
+        detail::sub(kBinary32, a.bits_, b.bits_, fl))};
+  }
+  friend T32 mul(T32 a, T32 b, Flags& fl) {
+    return T32{static_cast<std::uint32_t>(
+        detail::mul(kBinary32, a.bits_, b.bits_, fl))};
+  }
+  friend Ordering compare(T32 a, T32 b, Flags& fl) {
+    return detail::compare(kBinary32, a.bits_, b.bits_, fl);
+  }
+  T32 negated() const {
+    return T32{static_cast<std::uint32_t>(detail::negate(kBinary32, bits_))};
+  }
+  T32 abs() const {
+    return T32{static_cast<std::uint32_t>(detail::abs(kBinary32, bits_))};
+  }
+
+  friend constexpr bool operator==(T32 a, T32 b) { return a.bits_ == b.bits_; }
+
+  /// Data conversions performed by the adder pipeline.
+  T64 widened() const { return T64::from_bits(detail::widen(bits_)); }
+  static T32 narrowed(T64 v, Flags& fl) {
+    return T32{static_cast<std::uint32_t>(detail::narrow(v.bits(), fl))};
+  }
+
+  std::string to_string() const {
+    return detail::to_string(kBinary32, bits_);
+  }
+
+ private:
+  explicit constexpr T32(std::uint32_t b) : bits_{b} {}
+  std::uint32_t bits_ = 0;
+};
+
+/// Integer conversions (adder pipeline "data conversions", §II).
+T64 t64_from_int32(std::int32_t v, Flags& fl);
+std::int32_t t64_to_int32(T64 v, Flags& fl);
+T32 t32_from_int32(std::int32_t v, Flags& fl);
+std::int32_t t32_to_int32(T32 v, Flags& fl);
+
+}  // namespace fpst::fp

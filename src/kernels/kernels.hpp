@@ -1,0 +1,99 @@
+// Distributed scientific kernels for the simulated T Series — the workloads
+// the paper names: SAXPY, vector add/multiply, dot products (§II
+// Arithmetic), matrix operations with physical row movement for pivoting
+// and record sorting (§II Memory), and FFT butterflies on the cube (§III).
+//
+// Every kernel builds a machine of the requested cube dimension, distributes
+// a synthetic problem, runs one Occam body per node against the timed node
+// API, and reports simulated time, flops and link traffic together with a
+// checksum that the caller verifies against a host reference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "node/node.hpp"
+#include "sim/time.hpp"
+
+namespace fpst::kernels {
+
+struct KernelResult {
+  sim::SimTime elapsed{};       ///< simulated wall time of the kernel
+  std::uint64_t flops = 0;      ///< floating-point operations (all nodes)
+  std::uint64_t link_bytes = 0; ///< bytes that crossed cube links
+  double checksum = 0;          ///< kernel-defined result digest
+  std::vector<double> output;   ///< kernel-defined result data (verification)
+
+  double mflops() const {
+    return elapsed.is_zero() ? 0.0
+                             : static_cast<double>(flops) / elapsed.us();
+  }
+};
+
+/// y := a*x + y over N elements block-distributed across 2^dim nodes.
+/// output = the full resulting y (gathered for verification).
+KernelResult run_saxpy(int dim, std::size_t n, double a,
+                       node::NodeConfig cfg = {});
+
+/// Single-precision variant: same distribution, 256-element stripes, half
+/// the memory traffic — the machine's 32-bit operating mode at system
+/// level. output = resulting y as doubles.
+KernelResult run_saxpy32(int dim, std::size_t n, float a,
+                         node::NodeConfig cfg = {});
+
+/// checksum = dot(x, y) over N elements block-distributed across 2^dim
+/// nodes (local VDOT reductions + hypercube allreduce).
+KernelResult run_dot(int dim, std::size_t n, node::NodeConfig cfg = {});
+
+/// C := A*B for n x n matrices, row-block distribution with the B panel
+/// rotating around the Gray-code ring (double-buffered: communication
+/// overlaps compute). n must be a multiple of 2^dim and a multiple of
+/// nothing else. output = C in row-major order.
+KernelResult run_matmul(int dim, std::size_t n, node::NodeConfig cfg = {});
+
+/// Radix-2 DIF FFT of N complex points block-distributed across 2^dim
+/// nodes: the first `dim` stages are cross-node butterflies on cube edges,
+/// the rest are node-local. output = interleaved re/im of the transform in
+/// bit-reversed order; checksum = sum of magnitudes.
+KernelResult run_fft(int dim, std::size_t n, node::NodeConfig cfg = {});
+
+/// Gaussian elimination with partial pivoting on an n x n system, rows
+/// distributed cyclically. Pivot rows move physically (row transfers), per
+/// the paper's suggestion for pivoting. output = the upper-triangular
+/// factor (row-major); checksum = max |residual| of U against a host
+/// reference running the identical algorithm.
+KernelResult run_gauss(int dim, std::size_t n, node::NodeConfig cfg = {});
+
+/// `iters` Jacobi sweeps of a grid x grid Laplace problem, row-block
+/// distributed; halo rows exchanged with ring neighbours each sweep.
+/// output = final interior grid values.
+KernelResult run_laplace(int dim, std::size_t grid, int iters,
+                         node::NodeConfig cfg = {});
+
+/// Distributed sort of n keys by block odd-even transposition over the
+/// Gray-code ring: local CP sorts, then 2^dim merge-split phases with ring
+/// neighbours (single-hop link exchanges). output = globally sorted keys.
+KernelResult run_distributed_sort(int dim, std::size_t n,
+                                  node::NodeConfig cfg = {});
+
+/// Single-node record sort: `records` fixed-size 1024-byte records sorted
+/// by key. When `physical_rows` is true, records move bodily through the
+/// vector registers (400 ns per row transfer, §II Memory: "moving data
+/// physically, rather than keeping linked lists of pointers"); otherwise a
+/// pointer sort leaves records scattered and a final gather pays the CP
+/// gather cost per element. output = sorted keys.
+KernelResult run_record_sort(std::size_t records, bool physical_rows);
+
+// ---- host references for tests/benches ----
+std::vector<double> host_matmul(const std::vector<double>& a,
+                                const std::vector<double>& b, std::size_t n);
+void host_fft(std::vector<double>& re, std::vector<double>& im);
+std::vector<double> host_gauss_upper(std::vector<double> a, std::size_t n);
+std::vector<double> host_laplace(std::vector<double> grid, std::size_t n,
+                                 int iters);
+
+/// Deterministic synthetic data used by all kernels (so host references and
+/// node-distributed data agree): element i of stream `stream`.
+double synth(std::uint64_t stream, std::uint64_t i);
+
+}  // namespace fpst::kernels

@@ -1,0 +1,161 @@
+// Dense matrix multiply on the cube.
+//
+// Row-block decomposition: node at Gray-ring position q owns rows
+// [q*blk, (q+1)*blk) of A, B and C (blk = n / P). The B panel rotates
+// around the dilation-1 Gray-code ring; each step every node adds its
+// A-panel-scaled contribution of the visiting B rows into its C rows as a
+// sequence of VSAXPY forms — one per (local row, visiting row) pair, each
+// of length n. Communication is double-buffered: the panel shift overlaps
+// the compute of the current step.
+//
+// Balance note (paper §II): a step moves n^2/P words and computes
+// 2*n^2*blk/P flops, i.e. 2*blk flops per word. The paper's 1:130 rule
+// therefore predicts the kernel turns communication-bound when
+// blk = n/P < ~65 — the crossover bench E11 measures exactly this.
+#include <cstring>
+
+#include "kernels/kernels.hpp"
+#include "net/hypercube.hpp"
+#include "occam/occam.hpp"
+
+namespace fpst::kernels {
+
+namespace {
+using node::Array64;
+using occam::Ctx;
+using occam::Par;
+using sim::Proc;
+
+struct MmState {
+  std::size_t blk = 0;
+  std::size_t n = 0;
+  std::size_t pos = 0;        // Gray-ring position
+  std::vector<double> a;      // this node's A rows (host mirror: scalars)
+  std::vector<double> bvals;  // currently staged B panel values
+  std::vector<double> next;   // arriving B panel
+  std::vector<Array64> c;     // C rows in bank A
+  std::vector<Array64> b;     // staged B panel rows in bank B
+};
+
+Proc mm_compute(Ctx& ctx, MmState& s, std::size_t origin_pos) {
+  // C[i] += A[i][col] * B_visiting[k] for all local i and visiting k.
+  for (std::size_t i = 0; i < s.blk; ++i) {
+    for (std::size_t k = 0; k < s.blk; ++k) {
+      const std::size_t col = origin_pos * s.blk + k;
+      const double scalar = s.a[i * s.n + col];
+      // The CP fetches the scalar and writes the vector-form descriptor.
+      co_await ctx.node().cp_work(12);
+      co_await ctx.node().vscalar(vpu::VectorForm::vsaxpy, scalar, s.b[k],
+                                  s.c[i], s.c[i]);
+    }
+  }
+}
+
+Proc mm_shift(Ctx& ctx, MmState& s, std::size_t ring_n) {
+  const net::NodeId to = net::gray(static_cast<std::uint32_t>(
+      (s.pos + 1) % ring_n));
+  const net::NodeId from_node = net::gray(static_cast<std::uint32_t>(
+      (s.pos + ring_n - 1) % ring_n));
+  std::vector<double> payload = s.bvals;
+  co_await Par{ctx.send(to, 300, std::move(payload)),
+               ctx.recv(from_node, 300, &s.next)};
+}
+
+Proc mm_body(Ctx& ctx, MmState& s, std::size_t ring_n) {
+  for (std::size_t t = 0; t < ring_n; ++t) {
+    const std::size_t origin_pos = (s.pos + ring_n - t) % ring_n;
+    if (t + 1 < ring_n) {
+      co_await Par{mm_compute(ctx, s, origin_pos), mm_shift(ctx, s, ring_n)};
+      // Re-stage the arrived panel into the bank-B rows (a DMA stream of
+      // whole rows through the vector registers).
+      s.bvals = std::move(s.next);
+      std::size_t staged_rows = 0;
+      for (std::size_t k = 0; k < s.blk; ++k) {
+        ctx.node().write64(s.b[k],
+                           std::span<const double>(s.bvals.data() + k * s.n,
+                                                   s.n));
+        staged_rows += s.b[k].rows();
+      }
+      co_await ctx.node().row_move(staged_rows);
+    } else {
+      co_await mm_compute(ctx, s, origin_pos);
+    }
+  }
+}
+
+}  // namespace
+
+KernelResult run_matmul(int dim, std::size_t n, node::NodeConfig cfg) {
+  sim::Simulator sim;
+  core::TSeries machine{sim, dim, cfg};
+  occam::Runtime rt{machine};
+  const std::size_t nodes = machine.size();
+  if (n % nodes != 0) {
+    throw std::invalid_argument("run_matmul: n must be a multiple of 2^dim");
+  }
+  const std::size_t blk = n / nodes;
+
+  std::vector<MmState> st(nodes);
+  for (std::size_t p = 0; p < nodes; ++p) {
+    MmState& s = st[net::gray(static_cast<std::uint32_t>(p))];
+    s.pos = p;
+  }
+  for (std::size_t id = 0; id < nodes; ++id) {
+    MmState& s = st[id];
+    s.blk = blk;
+    s.n = n;
+    node::Node& nd = machine.node(static_cast<net::NodeId>(id));
+    s.a.resize(blk * n);
+    s.bvals.resize(blk * n);
+    const std::size_t row0 = s.pos * blk;  // global rows owned
+    for (std::size_t i = 0; i < blk; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        s.a[i * n + j] = synth(11, (row0 + i) * n + j);
+        s.bvals[i * n + j] = synth(12, (row0 + i) * n + j);
+      }
+    }
+    for (std::size_t i = 0; i < blk; ++i) {
+      // Prefer bank A for C rows (so the bank-B panel streams in parallel);
+      // spill to bank B when A fills — those rows then pay the same-bank
+      // serialisation, exactly as on the machine.
+      node::Array64 c_row;
+      try {
+        c_row = nd.alloc64(mem::Bank::A, n);
+      } catch (const std::runtime_error&) {
+        c_row = nd.alloc64(mem::Bank::B, n);
+      }
+      s.c.push_back(c_row);
+      std::vector<double> zero(n, 0.0);
+      nd.write64(s.c.back(), zero);
+    }
+    for (std::size_t k = 0; k < blk; ++k) {
+      s.b.push_back(nd.alloc64(mem::Bank::B, n));
+      nd.write64(s.b.back(),
+                 std::span<const double>(s.bvals.data() + k * n, n));
+    }
+  }
+
+  KernelResult r;
+  r.elapsed = rt.run([&](Ctx& ctx) -> Proc {
+    co_await mm_body(ctx, st[ctx.id()], nodes);
+  });
+
+  r.output.resize(n * n);
+  for (std::size_t id = 0; id < nodes; ++id) {
+    const MmState& s = st[id];
+    node::Node& nd = machine.node(static_cast<net::NodeId>(id));
+    for (std::size_t i = 0; i < blk; ++i) {
+      const std::vector<double> row = nd.read64(s.c[i]);
+      std::memcpy(r.output.data() + (s.pos * blk + i) * n, row.data(),
+                  8 * n);
+    }
+  }
+  for (double v : r.output) {
+    r.checksum += v;
+  }
+  r.flops = machine.total_flops();
+  r.link_bytes = machine.total_link_bytes();
+  return r;
+}
+
+}  // namespace fpst::kernels

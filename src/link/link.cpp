@@ -1,0 +1,96 @@
+#include "link/link.hpp"
+
+#include <stdexcept>
+
+namespace fpst::link {
+
+Link::Link(sim::Simulator& sim) : sim_{&sim} {
+  for (auto& d : dir_) {
+    d = std::make_unique<Direction>(sim);
+  }
+  for (auto& side : inboxes_) {
+    for (auto& ch : side) {
+      ch = std::make_unique<sim::Channel<Packet>>(sim);
+    }
+  }
+}
+
+sim::Proc Link::transmit(int from_side, Packet p) {
+  if (from_side != 0 && from_side != 1) {
+    throw std::logic_error("Link::transmit: bad side");
+  }
+  if (p.sublink >= LinkParams::kSublinksPerLink) {
+    throw std::logic_error("Link::transmit: bad sublink");
+  }
+  Direction& d = *dir_[static_cast<std::size_t>(from_side)];
+  const int to_side = 1 - from_side;
+  // One DMA at a time per direction; sublinks queue FIFO and thereby share
+  // the physical bandwidth.
+  co_await d.mutex.acquire();
+  const sim::SimTime start = (co_await sim::ThisSim{}).now();
+  co_await sim::Delay{LinkParams::dma_startup()};
+  co_await sim::Delay{LinkParams::wire_time(p.payload.size())};
+  d.bytes += p.wire_bytes();
+  ++d.packets;
+  d.busy += (co_await sim::ThisSim{}).now() - start;
+  const int sub = p.sublink;
+  sim::Channel<Packet>& box =
+      *inboxes_[static_cast<std::size_t>(to_side)]
+               [static_cast<std::size_t>(sub)];
+  d.mutex.release();  // the wire frees as soon as the last ack returns
+  co_await box.send(std::move(p));
+}
+
+sim::Channel<Packet>& Link::inbox(int side, int sublink) {
+  return *inboxes_[static_cast<std::size_t>(side)]
+                  [static_cast<std::size_t>(sublink)];
+}
+
+std::uint64_t Link::bytes_sent(int direction) const {
+  return dir_[static_cast<std::size_t>(direction)]->bytes;
+}
+
+sim::SimTime Link::busy_time(int direction) const {
+  return dir_[static_cast<std::size_t>(direction)]->busy;
+}
+
+std::uint64_t Link::packets_sent(int direction) const {
+  return dir_[static_cast<std::size_t>(direction)]->packets;
+}
+
+void NodeLinks::attach(int port, Link& cable, int side) {
+  if (port < 0 || port >= LinkParams::kPhysicalLinks) {
+    throw std::logic_error("NodeLinks::attach: bad port");
+  }
+  ports_[static_cast<std::size_t>(port)] = PortRef{&cable, side};
+}
+
+bool NodeLinks::attached(int port) const {
+  return ports_[static_cast<std::size_t>(port)].cable != nullptr;
+}
+
+int NodeLinks::attached_count() const {
+  int n = 0;
+  for (const PortRef& p : ports_) {
+    n += (p.cable != nullptr) ? 1 : 0;
+  }
+  return n;
+}
+
+sim::Proc NodeLinks::send(int port, Packet p) {
+  const PortRef ref = ports_[static_cast<std::size_t>(port)];
+  if (ref.cable == nullptr) {
+    throw std::logic_error("NodeLinks::send: port not wired");
+  }
+  co_await ref.cable->transmit(ref.side, std::move(p));
+}
+
+sim::Channel<Packet>& NodeLinks::inbox(int port, int sublink) {
+  const PortRef ref = ports_[static_cast<std::size_t>(port)];
+  if (ref.cable == nullptr) {
+    throw std::logic_error("NodeLinks::inbox: port not wired");
+  }
+  return ref.cable->inbox(ref.side, sublink);
+}
+
+}  // namespace fpst::link

@@ -1,0 +1,143 @@
+// The T Series inter-node communication links (paper §II "Communications").
+//
+// Each control processor drives four serial, bidirectional links. Every
+// 8-bit byte travels with two synchronisation bits and one stop bit (11 bit
+// times) and requires two acknowledge bits from the receiver before the next
+// byte — 13 bit times per byte in all, giving a maximum unidirectional
+// bandwidth of ~0.5 MB/s per link (so a 64-bit word costs 16 us, the "130"
+// in the paper's 1:13:130 balance ratio). Links operate by DMA with a
+// startup of about 5 us and are multiplexed four ways in software, for 16
+// bidirectional sublinks per node.
+//
+// Model: a Link is a full-duplex cable between two node ports. Each
+// direction is an exclusive resource; concurrent sends on the same
+// direction (e.g. from different sublinks) queue FIFO, which is exactly the
+// "sublinks divide the available bandwidth" behaviour. Delivery demuxes on
+// the packet's sublink number into per-sublink rendezvous channels.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/proc.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/time.hpp"
+
+namespace fpst::link {
+
+/// §II communications constants.
+struct LinkParams {
+  static constexpr int kPhysicalLinks = 4;   // per node
+  static constexpr int kSublinksPerLink = 4;  // 4-way multiplex
+  static constexpr int kSublinksPerNode = kPhysicalLinks * kSublinksPerLink;
+  /// 8 data + 2 sync + 1 stop bits out, 2 ack bits back.
+  static constexpr int kBitTimesPerByte = 13;
+  /// Effective byte period: 2 us => 0.5 MB/s unidirectional.
+  static constexpr sim::SimTime byte_time() {
+    return sim::SimTime::nanoseconds(2000);
+  }
+  /// DMA startup ("about 5 us").
+  static constexpr sim::SimTime dma_startup() {
+    return sim::SimTime::microseconds(5);
+  }
+  /// Per-packet wire header: source, destination, tag, sublink, length.
+  static constexpr std::size_t kHeaderBytes = 8;
+
+  static constexpr double unidir_bandwidth_mb_s() {
+    return 1.0 / byte_time().us();  // 0.5 MB/s
+  }
+  /// Wire time for a payload of n bytes (excluding DMA startup).
+  static constexpr sim::SimTime wire_time(std::size_t payload_bytes) {
+    return static_cast<std::int64_t>(payload_bytes + kHeaderBytes) *
+           byte_time();
+  }
+  /// Full cost of one DMA message.
+  static constexpr sim::SimTime transfer_time(std::size_t payload_bytes) {
+    return dma_startup() + wire_time(payload_bytes);
+  }
+};
+
+/// One message travelling over a link. Payload is raw bytes; higher layers
+/// (net/occam) define their own framing inside it.
+struct Packet {
+  std::uint32_t src = 0;  ///< originating node id
+  std::uint32_t dst = 0;  ///< final destination node id (multi-hop routing)
+  std::uint16_t tag = 0;  ///< user message tag
+  std::uint8_t sublink = 0;  ///< receive-side demux (0..3)
+  std::uint8_t hops = 0;     ///< forwarding count, maintained by the router
+  std::vector<std::uint8_t> payload;
+
+  std::size_t wire_bytes() const {
+    return payload.size() + LinkParams::kHeaderBytes;
+  }
+};
+
+/// A full-duplex cable between two link ports. Side 0 and side 1 each own an
+/// independent transmit direction.
+class Link {
+ public:
+  explicit Link(sim::Simulator& sim);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Transmit `p` from `from_side` (0/1): acquires that direction, charges
+  /// DMA startup + wire time, then offers the packet to the receiving
+  /// side's per-sublink inbox (rendezvous: completes when the receiver
+  /// takes it). co_await the returned Proc.
+  sim::Proc transmit(int from_side, Packet p);
+
+  /// Inbox of `side` for packets arriving addressed to `sublink`.
+  sim::Channel<Packet>& inbox(int side, int sublink);
+
+  // --- statistics per direction (0: side0->side1, 1: side1->side0) ---
+  std::uint64_t bytes_sent(int direction) const;
+  sim::SimTime busy_time(int direction) const;
+  std::uint64_t packets_sent(int direction) const;
+
+ private:
+  struct Direction {
+    explicit Direction(sim::Simulator& sim) : mutex{sim, 1} {}
+    sim::Semaphore mutex;
+    std::uint64_t bytes = 0;
+    std::uint64_t packets = 0;
+    sim::SimTime busy{};
+  };
+
+  sim::Simulator* sim_;
+  std::array<std::unique_ptr<Direction>, 2> dir_;
+  // inboxes_[side][sublink]
+  std::array<std::array<std::unique_ptr<sim::Channel<Packet>>,
+                        LinkParams::kSublinksPerLink>,
+             2>
+      inboxes_;
+};
+
+/// The four link ports of one node, wired to Links by the topology builder.
+/// Port p of this node is some side of some Link; sends and inboxes are
+/// addressed (port, sublink).
+class NodeLinks {
+ public:
+  NodeLinks() = default;
+
+  void attach(int port, Link& cable, int side);
+  bool attached(int port) const;
+  /// Number of ports wired to cables.
+  int attached_count() const;
+
+  /// Send via a port. Throws std::logic_error when the port is not wired.
+  sim::Proc send(int port, Packet p);
+  sim::Channel<Packet>& inbox(int port, int sublink);
+
+ private:
+  struct PortRef {
+    Link* cable = nullptr;
+    int side = 0;
+  };
+  std::array<PortRef, LinkParams::kPhysicalLinks> ports_{};
+};
+
+}  // namespace fpst::link

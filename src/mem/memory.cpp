@@ -1,0 +1,121 @@
+#include "mem/memory.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace fpst::mem {
+
+std::uint32_t VectorRegister::u32(std::size_t i) const {
+  assert(i < MemParams::kElems32);
+  std::uint32_t v;
+  std::memcpy(&v, bytes_.data() + i * 4, sizeof v);
+  return v;
+}
+
+void VectorRegister::set_u32(std::size_t i, std::uint32_t v) {
+  assert(i < MemParams::kElems32);
+  std::memcpy(bytes_.data() + i * 4, &v, sizeof v);
+}
+
+std::uint64_t VectorRegister::u64(std::size_t i) const {
+  assert(i < MemParams::kElems64);
+  std::uint64_t v;
+  std::memcpy(&v, bytes_.data() + i * 8, sizeof v);
+  return v;
+}
+
+void VectorRegister::set_u64(std::size_t i, std::uint64_t v) {
+  assert(i < MemParams::kElems64);
+  std::memcpy(bytes_.data() + i * 8, &v, sizeof v);
+}
+
+NodeMemory::NodeMemory()
+    : data_(MemParams::kBytes, 0), parity_(MemParams::kBytes, false) {
+  // All-zero bytes have even parity; the stored parity bit is their parity,
+  // so a fresh array is consistent.
+}
+
+bool NodeMemory::parity_of(std::uint8_t byte) {
+  return (std::popcount(static_cast<unsigned>(byte)) & 1) != 0;
+}
+
+void NodeMemory::check_parity(std::uint32_t addr) {
+  if (parity_[addr] != parity_of(data_[addr])) {
+    pending_error_ = ParityError{addr};
+    ++parity_error_count_;
+    // Repair so one fault is reported once, as the system board would after
+    // logging and re-writing the word.
+    parity_[addr] = parity_of(data_[addr]);
+  }
+}
+
+std::uint32_t NodeMemory::read_word(std::uint32_t addr) {
+  addr &= ~3u;
+  assert(addr + 3 < MemParams::kBytes);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    check_parity(addr + i);
+  }
+  std::uint32_t v;
+  std::memcpy(&v, data_.data() + addr, sizeof v);
+  ++word_accesses_;
+  return v;
+}
+
+void NodeMemory::write_word(std::uint32_t addr, std::uint32_t v) {
+  addr &= ~3u;
+  assert(addr + 3 < MemParams::kBytes);
+  std::memcpy(data_.data() + addr, &v, sizeof v);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    parity_[addr + i] = parity_of(data_[addr + i]);
+  }
+  ++word_accesses_;
+}
+
+std::uint8_t NodeMemory::read_byte(std::uint32_t addr) {
+  assert(addr < MemParams::kBytes);
+  check_parity(addr);
+  ++word_accesses_;
+  return data_[addr];
+}
+
+void NodeMemory::write_byte(std::uint32_t addr, std::uint8_t v) {
+  assert(addr < MemParams::kBytes);
+  data_[addr] = v;
+  parity_[addr] = parity_of(v);
+  ++word_accesses_;
+}
+
+void NodeMemory::load_row(std::size_t row, VectorRegister& reg) {
+  assert(row < MemParams::kRows);
+  const std::size_t base = row * MemParams::kRowBytes;
+  for (std::size_t i = 0; i < MemParams::kRowBytes; ++i) {
+    check_parity(static_cast<std::uint32_t>(base + i));
+  }
+  std::memcpy(reg.raw().data(), data_.data() + base, MemParams::kRowBytes);
+  ++row_accesses_;
+}
+
+void NodeMemory::store_row(std::size_t row, const VectorRegister& reg) {
+  assert(row < MemParams::kRows);
+  const std::size_t base = row * MemParams::kRowBytes;
+  std::memcpy(data_.data() + base, reg.raw().data(), MemParams::kRowBytes);
+  for (std::size_t i = 0; i < MemParams::kRowBytes; ++i) {
+    parity_[base + i] = parity_of(data_[base + i]);
+  }
+  ++row_accesses_;
+}
+
+void NodeMemory::corrupt_byte(std::uint32_t addr, int bit) {
+  assert(addr < MemParams::kBytes);
+  assert(bit >= 0 && bit < 8);
+  data_[addr] = static_cast<std::uint8_t>(data_[addr] ^ (1u << bit));
+}
+
+std::optional<ParityError> NodeMemory::take_parity_error() {
+  std::optional<ParityError> e = pending_error_;
+  pending_error_.reset();
+  return e;
+}
+
+}  // namespace fpst::mem

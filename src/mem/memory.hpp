@@ -1,0 +1,160 @@
+// The T Series node memory (paper §II "Memory").
+//
+// Each node carries 1 MByte of dual-ported dynamic RAM:
+//   * a conventional random-access port used by the control processor and
+//     the communication links — one 32-bit word per 400 ns (10 MB/s);
+//   * a vector port that moves an entire 1024-byte row between memory and a
+//     vector register in 400 ns (2560 MB/s).
+//
+// The vector unit sees the array as two banks of 1024-byte-aligned vectors:
+// bank A holds 256 vectors (64 KWords) and bank B 768 vectors (192 KWords),
+// so both pipe operands can be fetched in parallel on each 125 ns cycle. A
+// vector is 256 elements of 32 bits or 128 elements of 64 bits. One parity
+// bit guards each byte.
+//
+// This model is functional + timed: reads/writes move real bytes, and the
+// timing constants are exposed for the node-level cost model. Parity is
+// modelled so fault injection (corrupt_byte) is detected on the next read.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fp/softfloat.hpp"
+#include "sim/time.hpp"
+
+namespace fpst::mem {
+
+/// All §II memory constants in one place.
+struct MemParams {
+  static constexpr std::size_t kBytes = 1 << 20;          // 1 MByte
+  static constexpr std::size_t kRowBytes = 1024;          // one vector row
+  static constexpr std::size_t kRows = kBytes / kRowBytes;        // 1024
+  static constexpr std::size_t kBankARows = 256;          // 64 KWords
+  static constexpr std::size_t kBankBRows = kRows - kBankARows;   // 768
+  static constexpr std::size_t kWords = kBytes / 4;       // 256K x 32-bit
+  static constexpr std::size_t kElems32 = kRowBytes / 4;  // 256 per vector
+  static constexpr std::size_t kElems64 = kRowBytes / 8;  // 128 per vector
+
+  /// One 32-bit word through the random-access port.
+  static constexpr sim::SimTime word_access() {
+    return sim::SimTime::nanoseconds(400);
+  }
+  /// One full row through the vector port.
+  static constexpr sim::SimTime row_access() {
+    return sim::SimTime::nanoseconds(400);
+  }
+  /// Moving one 64-bit element CP-side (2 reads + 2 writes): 1.6 us.
+  static constexpr sim::SimTime gather_move64() { return 4 * word_access(); }
+  /// Moving one 32-bit element CP-side (1 read + 1 write): 0.8 us.
+  static constexpr sim::SimTime gather_move32() { return 2 * word_access(); }
+
+  /// Effective CP bandwidth to RAM: 4 bytes / 0.4 us = 10 MB/s.
+  static constexpr double cp_bandwidth_mb_s() {
+    return 4.0 / word_access().us();
+  }
+  /// Row port bandwidth: 1024 bytes / 0.4 us = 2560 MB/s.
+  static constexpr double row_bandwidth_mb_s() {
+    return static_cast<double>(kRowBytes) / row_access().us();
+  }
+};
+
+enum class Bank : std::uint8_t { A, B };
+
+/// A 1024-byte vector register, loadable from / storable to a memory row in
+/// one row-access time. Elements are viewed as 32- or 64-bit values.
+class VectorRegister {
+ public:
+  VectorRegister() { bytes_.fill(std::byte{0}); }
+
+  std::uint32_t u32(std::size_t i) const;
+  void set_u32(std::size_t i, std::uint32_t v);
+  std::uint64_t u64(std::size_t i) const;
+  void set_u64(std::size_t i, std::uint64_t v);
+
+  fp::T32 f32(std::size_t i) const { return fp::T32::from_bits(u32(i)); }
+  void set_f32(std::size_t i, fp::T32 v) { set_u32(i, v.bits()); }
+  fp::T64 f64(std::size_t i) const { return fp::T64::from_bits(u64(i)); }
+  void set_f64(std::size_t i, fp::T64 v) { set_u64(i, v.bits()); }
+
+  std::array<std::byte, MemParams::kRowBytes>& raw() { return bytes_; }
+  const std::array<std::byte, MemParams::kRowBytes>& raw() const {
+    return bytes_;
+  }
+
+ private:
+  std::array<std::byte, MemParams::kRowBytes> bytes_;
+};
+
+/// Where a parity violation was detected.
+struct ParityError {
+  std::uint32_t byte_address;
+};
+
+class NodeMemory {
+ public:
+  NodeMemory();
+
+  // --- random-access (CP / link) port: functional ---
+  /// Read the aligned 32-bit word containing `addr` (little-endian model).
+  std::uint32_t read_word(std::uint32_t addr);
+  void write_word(std::uint32_t addr, std::uint32_t v);
+  std::uint8_t read_byte(std::uint32_t addr);
+  void write_byte(std::uint32_t addr, std::uint8_t v);
+
+  // --- vector port: whole rows ---
+  void load_row(std::size_t row, VectorRegister& reg);
+  void store_row(std::size_t row, const VectorRegister& reg);
+
+  // --- geometry ---
+  static Bank bank_of_row(std::size_t row) {
+    return row < MemParams::kBankARows ? Bank::A : Bank::B;
+  }
+  static std::size_t row_of_address(std::uint32_t addr) {
+    return addr / MemParams::kRowBytes;
+  }
+  static std::uint32_t address_of_row(std::size_t row) {
+    return static_cast<std::uint32_t>(row * MemParams::kRowBytes);
+  }
+
+  // --- debug / loader access (no timing, no stats, no parity checks) ---
+  /// Raw byte view used for instruction fetch (the CP's prefetch stream) and
+  /// by the checkpoint engine; does not model a timed port.
+  std::uint8_t peek_byte(std::uint32_t addr) const { return data_[addr]; }
+  void poke_byte(std::uint32_t addr, std::uint8_t v) {
+    data_[addr] = v;
+    parity_[addr] = parity_of(v);
+  }
+
+  // --- parity / fault injection ---
+  /// Flip one data bit without updating parity; the next read of that byte
+  /// reports a parity error (there is one parity bit per byte, §II).
+  void corrupt_byte(std::uint32_t addr, int bit);
+  /// Error detected since the last call, if any (sticky until consumed).
+  std::optional<ParityError> take_parity_error();
+  std::uint64_t parity_errors_detected() const { return parity_error_count_; }
+
+  // --- traffic statistics (for the bandwidth benches) ---
+  std::uint64_t word_accesses() const { return word_accesses_; }
+  std::uint64_t row_accesses() const { return row_accesses_; }
+  void reset_stats() {
+    word_accesses_ = 0;
+    row_accesses_ = 0;
+  }
+
+ private:
+  void check_parity(std::uint32_t addr);
+  static bool parity_of(std::uint8_t byte);
+
+  std::vector<std::uint8_t> data_;
+  std::vector<bool> parity_;
+  std::optional<ParityError> pending_error_{};
+  std::uint64_t parity_error_count_ = 0;
+  std::uint64_t word_accesses_ = 0;
+  std::uint64_t row_accesses_ = 0;
+};
+
+}  // namespace fpst::mem

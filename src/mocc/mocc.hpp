@@ -1,0 +1,89 @@
+// MOCC — a mini-Occam compiler for the T Series control processor.
+//
+// The paper (§II "Control") stresses that every feature of the node
+// microprocessor "is directly accessed through a high-level language called
+// Occam", whose essence is building one process out of many by "specifying
+// sequential, alternative or parallel execution". MOCC is a small language
+// with exactly that shape — sequential blocks, PAR, ALT, CSP channels — with a
+// C-flavoured surface syntax, compiled to TISA assembly (cp/assembler.hpp)
+// and run on the simulated control processor.
+//
+//   chan c;
+//   global result;
+//
+//   proc worker() {
+//     var x;
+//     recv(c, x);
+//     send(c, x * 2);
+//   }
+//
+//   proc main() {
+//     par { worker(); worker(); }     // fork-join over startp/endp
+//     send(c, 21);
+//     var y;
+//     recv(c, y);
+//     poke(0x2000, y);
+//     halt;
+//   }
+//
+// Language summary
+//   declarations  proc NAME(p1, p2, p3) { ... }   (max 3 value parameters)
+//                 chan NAME;        global channel word (init NotProcess)
+//                 global NAME;      global variable word (init 0)
+//   statements    var NAME (= expr)? ;            (proc-local word)
+//                 NAME = expr ;                   (local or global)
+//                 NAME(args) ;                    (call, result dropped)
+//                 while (expr) { ... }
+//                 if (expr) { ... } (else { ... })?
+//                 par { call(); call(); ... }     (zero-arg calls only)
+//                 send(CHAN, expr) ;  /  recv(CHAN, NAME) ;
+//                 alt { recv(CHAN, NAME) { ... }  ... }  (first ready wins)
+//                 poke(expr, expr) ;              (mem[addr] = value)
+//                 return expr? ;   halt ;   { ... }
+//   expressions   + - * / %, comparisons == != < > <= >=, unary -,
+//                 integer literals (decimal/hex), variables,
+//                 NAME(args) calls, peek(expr), timer()
+//
+// Notes: PAR branch workspaces and join blocks are statically allocated per
+// site, so a given `par` is not re-entrant (matching static Occam
+// configuration); ALT is compiled to a polling loop over the guarded
+// channel words with a one-tick timer backoff, since the guarded channels
+// of an ALT are only ever read by the alting process.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "cp/assembler.hpp"
+
+namespace fpst::mocc {
+
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_{line} {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct Options {
+  std::uint32_t org = 0x1000;        ///< code load address
+  std::uint32_t par_ws_base = 0xE000;  ///< PAR branch workspace pool (grows down)
+  std::uint32_t par_ws_bytes = 0x400;  ///< workspace per PAR branch
+};
+
+/// Compile MOCC source to TISA assembly text (inspectable, assembles with
+/// cp::assemble).
+std::string compile_to_asm(const std::string& source, const Options& opt);
+std::string compile_to_asm(const std::string& source);
+
+/// Compile MOCC source to a loadable program. Entry point is the symbol
+/// "main".
+cp::Program compile(const std::string& source, const Options& opt);
+cp::Program compile(const std::string& source);
+
+}  // namespace fpst::mocc

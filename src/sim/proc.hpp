@@ -1,0 +1,191 @@
+// Coroutine processes for the simulation kernel.
+//
+// A `Proc` is a lazily-started coroutine representing one concurrent activity
+// (an Occam process, a DMA engine, a disk). Processes are composed
+// structurally:
+//
+//   Proc worker(Simulator& sim) {
+//     co_await Delay{SimTime::microseconds(5)};     // advance simulated time
+//     co_await child(sim);                           // run child to completion
+//     co_await WhenAll{child(sim), child(sim)};      // fork-join (Occam PAR)
+//   }
+//
+// Every suspension resumes through the simulator's event queue, never by
+// direct transfer, which keeps execution order a pure function of
+// (time, schedule sequence) — i.e. deterministic.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace fpst::sim {
+
+class Proc {
+ public:
+  struct promise_type {
+    Simulator* sim = nullptr;
+    /// Parent coroutine co_awaiting this process (structured join).
+    std::coroutine_handle<> continuation{};
+    /// Callback alternative to `continuation` (used by WhenAll and spawn).
+    std::function<void()> on_complete{};
+    std::exception_ptr exception{};
+    bool finished = false;
+    /// True when the simulator owns the frame (root process); the final
+    /// awaiter then must not expect a joining parent.
+    bool is_root = false;
+
+    Proc get_return_object() {
+      return Proc{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        promise_type& p = h.promise();
+        p.finished = true;
+        if (p.is_root && p.exception) {
+          p.sim->report_root_failure(p.exception);
+        }
+        if (p.continuation) {
+          p.sim->schedule_resume(SimTime{}, p.continuation);
+        }
+        if (p.on_complete) {
+          p.on_complete();
+        }
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Proc() = default;
+  explicit Proc(std::coroutine_handle<promise_type> h) : handle_{h} {}
+
+  Proc(Proc&& other) noexcept : handle_{std::exchange(other.handle_, {})} {}
+  Proc& operator=(Proc&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+  ~Proc() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.promise().finished; }
+
+  /// Awaiting a Proc starts it (inheriting the parent's simulator) and
+  /// suspends the parent until it completes; exceptions propagate.
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> parent) {
+        promise_type& cp = child.promise();
+        cp.sim = parent.promise().sim;
+        cp.continuation = parent;
+        cp.sim->schedule_resume(SimTime{}, child);
+      }
+      void await_resume() {
+        if (child.promise().exception) {
+          std::rethrow_exception(child.promise().exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  /// Internal: used by Simulator::spawn and WhenAll.
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(handle_, {});
+  }
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+/// Suspend the current process for a simulated duration.
+struct Delay {
+  SimTime duration;
+  bool await_ready() const noexcept { return duration < SimTime{}; }
+  void await_suspend(std::coroutine_handle<Proc::promise_type> h) const {
+    h.promise().sim->schedule_resume(duration, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+/// Awaitable yielding the owning simulator (lets library code written as a
+/// Proc discover its simulator without threading it through every call).
+struct ThisSim {
+  Simulator* sim = nullptr;
+  bool await_ready() const noexcept { return false; }
+  bool await_suspend(std::coroutine_handle<Proc::promise_type> h) {
+    sim = h.promise().sim;
+    return false;  // resume immediately; we only needed the promise
+  }
+  Simulator& await_resume() const noexcept { return *sim; }
+};
+
+/// Fork-join over a set of child processes — the Occam PAR construct. The
+/// parent resumes once every child has completed. If any child threw, the
+/// first (by completion order) exception is rethrown in the parent.
+class WhenAll {
+ public:
+  explicit WhenAll(std::vector<Proc> children) : children_{std::move(children)} {}
+
+  template <class... Procs>
+  explicit WhenAll(Procs&&... procs) {
+    children_.reserve(sizeof...(procs));
+    (children_.push_back(std::forward<Procs>(procs)), ...);
+  }
+
+  bool await_ready() const noexcept { return children_.empty(); }
+
+  void await_suspend(std::coroutine_handle<Proc::promise_type> parent) {
+    Simulator* sim = parent.promise().sim;
+    remaining_ = children_.size();
+    for (Proc& child : children_) {
+      Proc::promise_type& cp = child.handle().promise();
+      cp.sim = sim;
+      cp.on_complete = [this, sim, parent] {
+        if (--remaining_ == 0) {
+          sim->schedule_resume(SimTime{}, parent);
+        }
+      };
+      sim->schedule_resume(SimTime{}, child.handle());
+    }
+  }
+
+  void await_resume() {
+    for (Proc& child : children_) {
+      if (child.handle().promise().exception) {
+        std::rethrow_exception(child.handle().promise().exception);
+      }
+    }
+  }
+
+ private:
+  std::vector<Proc> children_;
+  std::size_t remaining_ = 0;
+};
+
+}  // namespace fpst::sim

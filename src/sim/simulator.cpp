@@ -1,0 +1,80 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "sim/proc.hpp"
+
+namespace fpst::sim {
+
+Simulator::~Simulator() = default;
+
+void Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(QueuedEvent{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_resume(SimTime delay, std::coroutine_handle<> h) {
+  schedule_at(now_ + delay, [h] { h.resume(); });
+}
+
+void Simulator::spawn(Proc p) {
+  Proc::promise_type& promise = p.handle().promise();
+  promise.sim = this;
+  promise.is_root = true;
+  schedule_resume(SimTime{}, p.handle());
+  roots_.push_back(std::move(p));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // std::priority_queue exposes only const top(); the event must be copied
+  // out before pop. Moving via const_cast is safe here because the element
+  // is removed immediately after.
+  QueuedEvent ev = std::move(const_cast<QueuedEvent&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.t;
+  ev.fn();
+  ++events_processed_;
+  if (root_failure_) {
+    std::exception_ptr e = std::exchange(root_failure_, nullptr);
+    try {
+      std::rethrow_exception(e);
+    } catch (const std::exception& inner) {
+      throw ProcError(std::string("root process failed: ") + inner.what());
+    } catch (...) {
+      throw ProcError("root process failed with a non-std exception");
+    }
+  }
+  return true;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (step()) {
+    ++n;
+  }
+  reap_finished_roots();
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().t <= deadline && step()) {
+    ++n;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  reap_finished_roots();
+  return n;
+}
+
+void Simulator::reap_finished_roots() {
+  std::erase_if(roots_, [](const Proc& p) { return p.done(); });
+}
+
+}  // namespace fpst::sim

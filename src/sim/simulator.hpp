@@ -1,0 +1,101 @@
+// Deterministic discrete-event simulation kernel.
+//
+// All model activity — control-processor instruction stepping, vector-form
+// completion, link DMA, disk transfers — is expressed as events on a single
+// priority queue ordered by (time, insertion sequence). Coroutine processes
+// (see proc.hpp) never resume each other directly; every resumption is posted
+// to this queue, so simulations are bit-for-bit reproducible regardless of
+// the host machine.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fpst::sim {
+
+class Proc;
+
+/// Thrown by Simulator::run when a root process escaped with an exception.
+class ProcError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  ~Simulator();
+
+  /// Current simulated time. Advances only inside run()/run_until().
+  SimTime now() const { return now_; }
+
+  /// Post `fn` to execute `delay` after the current time. A zero delay is
+  /// legal and runs after all events already queued for the current instant.
+  void schedule(SimTime delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Post `fn` at absolute time `t` (must not be in the past).
+  void schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Post resumption of a suspended coroutine after `delay`.
+  void schedule_resume(SimTime delay, std::coroutine_handle<> h);
+
+  /// Launch a root process. The simulator takes ownership of the coroutine
+  /// frame; it is destroyed when the process completes (or when the
+  /// simulator is destroyed). Exceptions escaping a root process abort the
+  /// run with ProcError.
+  void spawn(Proc p);
+
+  /// Process events until the queue drains. Returns the number of events
+  /// executed. Throws ProcError if a root process failed.
+  std::size_t run();
+
+  /// Process events with timestamps <= `deadline`; afterwards now() ==
+  /// min(deadline, time of queue exhaustion... never beyond deadline).
+  std::size_t run_until(SimTime deadline);
+
+  /// True when no events remain.
+  bool idle() const { return queue_.empty(); }
+
+  /// Total events executed since construction (for the engine bench).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Used by Proc's final awaiter to report a root-process failure.
+  void report_root_failure(std::exception_ptr e) { root_failure_ = e; }
+
+ private:
+  struct QueuedEvent {
+    SimTime t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+
+  bool step();
+  void reap_finished_roots();
+
+  SimTime now_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
+  std::vector<Proc> roots_;
+  std::exception_ptr root_failure_{};
+};
+
+}  // namespace fpst::sim

@@ -1,0 +1,42 @@
+#include "sim/time.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace fpst::sim {
+
+std::string SimTime::to_string() const {
+  struct Unit {
+    double scale;
+    const char* suffix;
+  };
+  static constexpr std::array<Unit, 5> kUnits{{{1e-12, "s"},
+                                               {1e-9, "ms"},
+                                               {1e-6, "us"},
+                                               {1e-3, "ns"},
+                                               {1.0, "ps"}}};
+  const double ps_value = static_cast<double>(ps_);
+  for (const Unit& u : kUnits) {
+    const double v = ps_value * u.scale;
+    if (std::fabs(v) >= 1.0 || u.scale == 1.0) {
+      char buf[48];
+      // Print integral values without a fractional part ("125 ns", not
+      // "125.000 ns"); keep three significant decimals otherwise.
+      if (v == std::floor(v)) {
+        std::snprintf(buf, sizeof buf, "%.0f %s", v, u.suffix);
+      } else {
+        std::snprintf(buf, sizeof buf, "%.3f %s", v, u.suffix);
+      }
+      return buf;
+    }
+  }
+  return "0 ps";
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.to_string();
+}
+
+}  // namespace fpst::sim

@@ -1,0 +1,56 @@
+// Lightweight activity tracing for the simulator.
+//
+// A Tracer collects (time, category, detail) records from any component
+// that was handed one (the node model traces vector forms, gathers and CP
+// work; user code can add its own). Records are kept in arrival order —
+// which, because the simulator is deterministic, is itself reproducible —
+// and can be rendered as a per-category timeline for debugging and for the
+// utilisation views in examples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fpst::sim {
+
+struct TraceRecord {
+  SimTime at{};
+  SimTime duration{};
+  std::string category;  ///< e.g. "node0.vpu", "node3.cp", "link"
+  std::string detail;    ///< e.g. "VSAXPY n=128"
+};
+
+class Tracer {
+ public:
+  /// Record an instantaneous event.
+  void event(SimTime at, std::string category, std::string detail) {
+    records_.push_back(
+        TraceRecord{at, SimTime{}, std::move(category), std::move(detail)});
+  }
+  /// Record an activity spanning [at, at + duration).
+  void span(SimTime at, SimTime duration, std::string category,
+            std::string detail) {
+    records_.push_back(
+        TraceRecord{at, duration, std::move(category), std::move(detail)});
+  }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Total busy time per category (overlaps within a category are summed,
+  /// not merged — fine for serially-used resources).
+  std::map<std::string, SimTime> busy_by_category() const;
+
+  /// Human-readable chronological dump (capped at `max_lines`).
+  std::string render(std::size_t max_lines = 100) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace fpst::sim

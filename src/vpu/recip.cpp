@@ -1,0 +1,68 @@
+#include "vpu/recip.hpp"
+
+namespace fpst::vpu {
+
+namespace {
+using fp::Flags;
+using fp::kBinary64;
+using fp::T64;
+}  // namespace
+
+T64 recip_newton(T64 x, Flags& flags) {
+  if (x.is_nan()) {
+    return x;
+  }
+  if (x.is_zero()) {
+    return T64::from_bits(kBinary64.infinity(x.sign()));
+  }
+  if (x.is_inf()) {
+    return T64::from_bits(x.sign() ? kBinary64.sign_mask() : 0);
+  }
+  // Write |x| = m * 2^(e+1) with m in [0.5, 1). The classic linear seed
+  //   y0 = 48/17 - 32/17 * m
+  // approximates 1/m on [0.5, 1) with error <= 1/17, so each quadratic
+  // Newton step squares it: five steps land far below 2^-53.
+  const std::uint64_t bits = x.bits();
+  const std::uint64_t mant = bits & kBinary64.mant_mask();
+  const std::int64_t e1 = static_cast<std::int64_t>(kBinary64.exp_field(bits))
+                          - kBinary64.bias() + 1;  // |x| = m * 2^e1
+  const T64 m_hat = T64::from_bits(
+      (static_cast<std::uint64_t>(kBinary64.bias() - 1)
+       << kBinary64.mant_bits) |
+      mant);  // mantissa rescaled into [0.5, 1)
+  fp::Flags seed_fl;
+  T64 y = sub(T64::from_double(48.0 / 17.0),
+              mul(T64::from_double(32.0 / 17.0), m_hat, seed_fl), seed_fl);
+  const T64 two = T64::from_double(2.0);
+  const T64 x_hat = m_hat;  // refine against the scaled operand
+  for (int i = 0; i < kRecipIterations; ++i) {
+    const T64 xy = mul(x_hat, y, flags);
+    const T64 corr = sub(two, xy, flags);
+    y = mul(y, corr, flags);
+  }
+  // y ~ 1/m in (1, 2]; 1/x = y * 2^-e1 with the sign restored. The power
+  // of two is an exact exponent adjustment unless it leaves the normal
+  // range (then flush or overflow, as the pipes would).
+  const std::int64_t y_exp =
+      static_cast<std::int64_t>(kBinary64.exp_field(y.bits())) - e1;
+  if (y_exp <= 0) {
+    flags.underflow = true;
+    flags.inexact = true;
+    return T64::from_bits(x.sign() ? kBinary64.sign_mask() : 0);
+  }
+  if (y_exp >= kBinary64.exp_max()) {
+    flags.overflow = true;
+    flags.inexact = true;
+    return T64::from_bits(kBinary64.infinity(x.sign()));
+  }
+  return T64::from_bits((x.sign() ? kBinary64.sign_mask() : 0) |
+                        (static_cast<std::uint64_t>(y_exp)
+                         << kBinary64.mant_bits) |
+                        (y.bits() & kBinary64.mant_mask()));
+}
+
+T64 div_newton(T64 b, T64 a, Flags& flags) {
+  return mul(b, recip_newton(a, flags), flags);
+}
+
+}  // namespace fpst::vpu

@@ -1,0 +1,33 @@
+// Software division for the T node.
+//
+// The arithmetic hardware is an adder and a multiplier — there is no divide
+// pipe (§II lists only "a floating-point adder, floating-point multiplier").
+// Division is therefore synthesised in software: a reciprocal by Newton's
+// method,
+//     y0   = 48/17 - 32/17 * m   (|x| = m * 2^e with m in [0.5, 1))
+//     y'   = y * (2 - m*y)          (two multiplies + one subtract per step)
+// then an exact power-of-two rescale; the seed error is <= 1/17 and each
+// step squares it, so five iterations reach full binary64 precision. All arithmetic runs through the
+// machine's own soft-float operations, so results are deterministic and
+// identical between the simulated machine and host references that call
+// this function.
+#pragma once
+
+#include "fp/softfloat.hpp"
+
+namespace fpst::vpu {
+
+/// Iterations needed for binary64 from the linear seed.
+inline constexpr int kRecipIterations = 5;
+/// Flops per iteration: two multiplies and one subtract.
+inline constexpr int kRecipFlopsPerIteration = 3;
+
+/// 1/x with round-trip through the machine's add/multiply pipes. Results
+/// are within 1-2 ulp of the correctly rounded reciprocal. Specials:
+/// 1/±0 = ±inf, 1/±inf = ±0, NaN propagates; FTZ applies throughout.
+fp::T64 recip_newton(fp::T64 x, fp::Flags& flags);
+
+/// b / a as b * recip_newton(a) — the machine's only division.
+fp::T64 div_newton(fp::T64 b, fp::T64 a, fp::Flags& flags);
+
+}  // namespace fpst::vpu

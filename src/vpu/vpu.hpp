@@ -1,0 +1,141 @@
+// The T Series vector arithmetic unit (paper §II "Arithmetic").
+//
+// Hardware summary from the paper:
+//   * a floating-point adder (six-stage pipeline: add/sub, comparisons, data
+//     conversions) and a floating-point multiplier (five stages in 32-bit
+//     mode, seven in 64-bit mode);
+//   * each produces one 32- or 64-bit result every 125 ns, so a node peaks
+//     at 16 MFLOPS when both pipes run (e.g. SAXPY);
+//   * a preprogrammed micro-sequencer executes "vector forms": the program
+//     names input/output vectors and the form; scalars can be held in the
+//     pipe input registers; pipe outputs can feed back as inputs to build
+//     dot products and sums;
+//   * the unit runs in parallel with the control processor and interrupts it
+//     only on completion or error.
+//
+// The model is functional + timed: element arithmetic is bit-exact soft
+// float (src/fp) and execute() returns the duration the operation would
+// occupy the pipes, which the node charges to simulated time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fp/softfloat.hpp"
+#include "mem/memory.hpp"
+#include "sim/time.hpp"
+
+namespace fpst::vpu {
+
+/// §II arithmetic constants.
+struct VpuParams {
+  /// One result per pipe per cycle.
+  static constexpr sim::SimTime cycle() {
+    return sim::SimTime::nanoseconds(125);
+  }
+  static constexpr int kAdderStages = 6;
+  static constexpr int kMulStages32 = 5;
+  static constexpr int kMulStages64 = 7;
+  /// Peak node speed: adder + multiplier both producing each cycle.
+  static constexpr double peak_mflops() { return 2.0 / cycle().us(); }
+
+  /// Cycles to collapse the kAdderStages interleaved partial sums that a
+  /// feedback reduction leaves in the adder pipeline (pairwise tree through
+  /// the same six-stage pipe).
+  static constexpr int reduction_drain_cycles() {
+    return 3 * kAdderStages;  // ceil(log2(6)) = 3 passes through the pipe
+  }
+};
+
+enum class Precision : std::uint8_t { f32, f64 };
+
+/// The preprogrammed vector forms. Scalar-register forms hold `scalar` in a
+/// pipe input register; reduction forms use output→input feedback.
+enum class VectorForm : std::uint8_t {
+  vadd,    // z[i] = x[i] + y[i]              (adder)
+  vsub,    // z[i] = x[i] - y[i]              (adder)
+  vmul,    // z[i] = x[i] * y[i]              (multiplier)
+  vsadd,   // z[i] = s + x[i]                 (adder, scalar register)
+  vsmul,   // z[i] = s * x[i]                 (multiplier, scalar register)
+  vsaxpy,  // z[i] = s * x[i] + y[i]          (both pipes chained)
+  vneg,    // z[i] = -x[i]                    (adder)
+  vabs,    // z[i] = |x[i]|                   (adder)
+  vsum,    // s = sum x[i]                    (adder feedback)
+  vdot,    // s = sum x[i]*y[i]               (both pipes + feedback)
+  vmaxval, // s = max x[i], index reported    (adder compare feedback)
+  vcmp_le, // z[i] = (x[i] <= y[i]) ? 1 : 0   (adder compare)
+  vcvt_widen,   // z64[i] = widen(x32[i])     (adder conversion)
+  vcvt_narrow,  // z32[i] = narrow(x64[i])    (adder conversion)
+};
+
+const char* to_string(VectorForm f);
+
+/// True when the form consumes two memory vectors (x and y).
+bool is_two_operand(VectorForm f);
+/// True when the form produces a scalar (no output vector).
+bool is_reduction(VectorForm f);
+/// True when the form chains multiplier into adder (2 flops/element).
+bool uses_both_pipes(VectorForm f);
+
+/// A vector operation as the control processor describes it to the
+/// micro-sequencer: the form, precision, element count, and the memory rows
+/// holding the operands/result.
+struct VectorOp {
+  VectorForm form = VectorForm::vadd;
+  Precision prec = Precision::f64;
+  std::size_t n = 0;          // elements; <=128 (f64) or <=256 (f32)
+  std::size_t row_x = 0;      // first input vector (memory row index)
+  std::size_t row_y = 0;      // second input (two-operand forms)
+  std::size_t row_z = 0;      // output vector (non-reduction forms)
+  fp::T64 scalar{};           // scalar-register forms (narrowed for f32)
+};
+
+/// What came back from the micro-sequencer with the completion interrupt.
+struct OpResult {
+  sim::SimTime duration{};       // pipe occupancy, charged by the node
+  fp::Flags flags{};             // accumulated IEEE exceptions
+  fp::T64 scalar_result{};       // reductions
+  std::size_t reduction_index = 0;  // vmaxval: position of the maximum
+  std::uint64_t flops = 0;       // floating point operations performed
+};
+
+class VectorUnit {
+ public:
+  struct Config {
+    /// When false, models a single-bank memory: the two operand streams of a
+    /// two-input form share one port and the element beat doubles. This is
+    /// the ablation for the paper's dual-bank design claim.
+    bool dual_bank = true;
+  };
+
+  explicit VectorUnit(mem::NodeMemory& memory);
+  VectorUnit(mem::NodeMemory& memory, Config cfg);
+
+  /// Execute one vector form over at most a full row. Throws
+  /// std::invalid_argument for geometry violations (n too large, missing
+  /// rows). Timing is returned, not charged — the node model owns the clock.
+  OpResult execute(const VectorOp& op);
+
+  /// Cumulative statistics for the benches.
+  std::uint64_t total_ops() const { return total_ops_; }
+  std::uint64_t total_flops() const { return total_flops_; }
+  sim::SimTime total_busy() const { return total_busy_; }
+  void reset_stats();
+
+  /// Timing model only (no data movement) — used for analytic sweeps.
+  sim::SimTime duration_of(const VectorOp& op) const;
+
+ private:
+  OpResult execute64(const VectorOp& op);
+  OpResult execute32(const VectorOp& op);
+
+  mem::NodeMemory* memory_;
+  Config cfg_;
+  std::uint64_t total_ops_ = 0;
+  std::uint64_t total_flops_ = 0;
+  sim::SimTime total_busy_{};
+};
+
+}  // namespace fpst::vpu

@@ -1,0 +1,61 @@
+// Tests for the shared-bus baseline: single-processor sanity, bus
+// saturation with processor count, and the distributed-vs-shared contrast
+// from the paper's introduction.
+#include <gtest/gtest.h>
+
+#include "baseline/sharedbus.hpp"
+
+namespace fpst::baseline {
+namespace {
+
+TEST(SharedBus, SingleProcessorRunsNearNodeSpeed) {
+  // The default bus feeds one vector unit: a lone processor should land in
+  // the same MFLOPS range as a T node on the same kernel.
+  const auto r = run_shared_saxpy(0, 1 << 14, 2.0);
+  EXPECT_GT(r.mflops(), 7.5);
+  EXPECT_LE(r.mflops(), 16.0);
+}
+
+TEST(SharedBus, AggregateThroughputSaturates) {
+  const std::size_t n = 1 << 16;
+  const auto r1 = run_shared_saxpy(0, n, 2.0);
+  const auto r4 = run_shared_saxpy(2, n, 2.0);
+  const auto r16 = run_shared_saxpy(4, n, 2.0);
+  const auto r64 = run_shared_saxpy(6, n, 2.0);
+  // Some speedup from overlapping compute with others' bus phases...
+  EXPECT_GT(r4.mflops(), r1.mflops());
+  // ...but the bus caps aggregate throughput: 16 -> 64 processors gains
+  // almost nothing.
+  EXPECT_LT(r64.mflops() / r16.mflops(), 1.15);
+  // Hard ceiling: bandwidth / (24 bytes per 2 flops) = 16 MFLOPS.
+  EXPECT_LT(r64.mflops(), 17.0);
+}
+
+TEST(SharedBus, DistributedMachineOvertakesSharedBus) {
+  // The §I argument quantified: at 16 processors the T Series (node-local
+  // memory) delivers far more aggregate MFLOPS than the same pipes behind
+  // one bus.
+  const std::size_t n = 1 << 16;
+  const auto shared = run_shared_saxpy(4, n, 2.0);
+  const auto distributed = kernels::run_saxpy(4, n, 2.0);
+  EXPECT_GT(distributed.mflops() / shared.mflops(), 5.0);
+}
+
+TEST(SharedBus, DotUsesLessBusThanSaxpy) {
+  const std::size_t n = 1 << 15;
+  const auto dot = run_shared_dot(4, n);
+  const auto saxpy = run_shared_saxpy(4, n, 1.0);
+  EXPECT_LT(dot.elapsed, saxpy.elapsed) << "2 vs 3 words per element";
+}
+
+TEST(SharedBus, DeeperInterconnectAddsLatency) {
+  BusParams slow;
+  slow.latency_per_level = sim::SimTime::microseconds(2);
+  const std::size_t n = 1 << 12;
+  const auto fast = run_shared_saxpy(4, n, 1.0);
+  const auto deep = run_shared_saxpy(4, n, 1.0, slow);
+  EXPECT_GT(deep.elapsed, fast.elapsed);
+}
+
+}  // namespace
+}  // namespace fpst::baseline

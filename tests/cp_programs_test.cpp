@@ -1,0 +1,477 @@
+// A program suite for the control processor: realistic TISA programs
+// exercising recursion, process pipelines over CSP channels, nested PAR,
+// timer multiplexing, byte/string operations, array indexing, code-relative
+// data, and the gather -> vector-form chain a compiled Occam program would
+// emit.
+#include <gtest/gtest.h>
+
+#include "cp/assembler.hpp"
+#include "cp/cpu.hpp"
+
+namespace fpst::cp {
+namespace {
+
+using namespace fpst::sim::literals;
+
+class CpProgramTest : public ::testing::Test {
+ protected:
+  void run(const Program& p, std::uint32_t entry, std::uint32_t wptr = 0x9000,
+           sim::SimTime limit = 50_ms) {
+    cpu.load(p);
+    cpu.start_process(entry, wptr, 1);
+    sim.spawn(cpu.run());
+    sim.run_until(limit);
+  }
+
+  sim::Simulator sim;
+  mem::NodeMemory memory;
+  vpu::VectorUnit vpu{memory};
+  Cpu cpu{sim, memory, vpu};
+};
+
+TEST_F(CpProgramTest, RecursiveFactorial) {
+  const Program p = assemble(R"(
+   main:
+      ldc 10
+      call fact
+      ldc 0x2000
+      stnl 0
+      halt
+   ; fact(n): n in A on entry, n! in A on return. Two locals per frame.
+   fact:
+      ajw -2
+      stl 0          ; local0 = n
+      ldl 0
+      cj base        ; n == 0 -> 1
+      ldl 0
+      adc -1
+      call fact
+      ldl 0
+      mul
+      j done
+   base:
+      ldc 1
+   done:
+      ajw 2
+      ret
+  )");
+  run(p, p.symbol("main"));
+  EXPECT_TRUE(cpu.halted());
+  EXPECT_EQ(cpu.read_word(0x2000), 3628800u);
+}
+
+TEST_F(CpProgramTest, IterativeFibonacci) {
+  const Program p = assemble(R"(
+      ldc 0
+      stl 0          ; a
+      ldc 1
+      stl 1          ; b
+      ldc 20
+      stl 2          ; i
+   loop:
+      ldl 0
+      ldl 1
+      add
+      stl 3          ; t = a + b
+      ldl 1
+      stl 0          ; a = b
+      ldl 3
+      stl 1          ; b = t
+      ldl 2
+      adc -1
+      stl 2
+      ldl 2
+      cj out
+      j loop
+   out:
+      ldl 0
+      ldc 0x2000
+      stnl 0
+      halt
+  )");
+  run(p, p.entry());
+  EXPECT_EQ(cpu.read_word(0x2000), 6765u);  // fib(20)
+}
+
+TEST_F(CpProgramTest, ThreeStagePipelineOverSoftChannels) {
+  // producer -> (chan A) -> doubler -> (chan B) -> consumer, five values.
+  const Program p = assemble(R"(
+   main:
+      mint
+      ldc 0x3000
+      stnl 0          ; chan A
+      mint
+      ldc 0x3004
+      stnl 0          ; chan B
+      ldc doubler
+      ldc 0x8201
+      startp
+      ldc consumer
+      ldc 0x8401
+      startp
+      ; main acts as the producer: send 1..5 on chan A
+      ldc 1
+      stl 0
+   ploop:
+      ldlp 0
+      ldc 0x3000
+      ldc 4
+      out
+      ldl 0
+      adc 1
+      stl 0
+      ldl 0
+      eqc 6
+      cj ploop
+      ; wait for the consumer to finish, then halt
+      ldtimer
+      adc 200
+      tin
+      halt
+   doubler:
+      ldlp 0
+      ldc 0x3000
+      ldc 4
+      in
+      ldl 0
+      ldc 2
+      mul
+      stl 1
+      ldlp 1
+      ldc 0x3004
+      ldc 4
+      out
+      j doubler
+   consumer:
+      ldc 0
+      stl 2           ; accumulator
+      ldc 5
+      stl 3           ; remaining
+   cloop:
+      ldlp 0
+      ldc 0x3004
+      ldc 4
+      in
+      ldl 2
+      ldl 0
+      add
+      stl 2
+      ldl 3
+      adc -1
+      stl 3
+      ldl 3
+      cj cdone
+      j cloop
+   cdone:
+      ldl 2
+      ldc 0x2000
+      stnl 0
+      stopp
+  )");
+  run(p, p.symbol("main"), 0x8000);
+  EXPECT_EQ(cpu.read_word(0x2000), 2u * (1 + 2 + 3 + 4 + 5));
+}
+
+TEST_F(CpProgramTest, NestedParallelism) {
+  // main PARs a child; the child PARs two grandchildren. Each contributes
+  // to a distinct word; the final continuation sums them.
+  const Program p = assemble(R"(
+   main:
+      ldc 2
+      ldc osync
+      stnl 0
+      ldc 0x8001
+      ldc osync
+      stnl 1
+      ldc final
+      ldc osync
+      stnl 2
+      ldc child
+      ldc 0x8201
+      startp
+      ldc osync
+      endp
+   final:
+      ldc 0x2000
+      ldnl 0
+      ldc 0x2004
+      ldnl 0
+      add
+      ldc 0x2008
+      stnl 0
+      halt
+   child:
+      ldc 3
+      ldc isync
+      stnl 0
+      ldc 0x8201
+      ldc isync
+      stnl 1
+      ldc cdone
+      ldc isync
+      stnl 2
+      ldc g1
+      ldc 0x8601
+      startp
+      ldc g2
+      ldc 0x8801
+      startp
+      ldc isync
+      endp
+   cdone:
+      ldc osync
+      endp
+   g1:
+      ldc 100
+      ldc 0x2000
+      stnl 0
+      ldc isync
+      endp
+   g2:
+      ldc 23
+      ldc 0x2004
+      stnl 0
+      ldc isync
+      endp
+   osync:
+      .word 0
+      .word 0
+      .word 0
+   isync:
+      .word 0
+      .word 0
+      .word 0
+  )");
+  run(p, p.symbol("main"), 0x8000);
+  EXPECT_EQ(cpu.read_word(0x2008), 123u);
+}
+
+TEST_F(CpProgramTest, TwoTimersMultiplex) {
+  // Fast process ticks every 20 us, slow every 50 us; a supervisor halts
+  // the machine after ~200 us.
+  const Program p = assemble(R"(
+   fast:
+      ldtimer
+      stl 0
+   floop:
+      ldl 0
+      adc 20
+      stl 0
+      ldl 0
+      tin
+      ldc 0x2000
+      ldnl 0
+      adc 1
+      ldc 0x2000
+      stnl 0
+      j floop
+   slow:
+      ldtimer
+      stl 0
+   sloop:
+      ldl 0
+      adc 50
+      stl 0
+      ldl 0
+      tin
+      ldc 0x2004
+      ldnl 0
+      adc 1
+      ldc 0x2004
+      stnl 0
+      j sloop
+   boss:
+      ldtimer
+      adc 205
+      tin
+      halt
+  )");
+  cpu.load(p);
+  cpu.start_process(p.symbol("fast"), 0x8000, 1);
+  cpu.start_process(p.symbol("slow"), 0x8200, 1);
+  cpu.start_process(p.symbol("boss"), 0x8400, 1);
+  sim.spawn(cpu.run());
+  sim.run_until(1_ms);
+  EXPECT_TRUE(cpu.halted());
+  const std::uint32_t fast_ticks = cpu.read_word(0x2000);
+  const std::uint32_t slow_ticks = cpu.read_word(0x2004);
+  EXPECT_GE(fast_ticks, 9u);
+  EXPECT_LE(fast_ticks, 11u);
+  EXPECT_GE(slow_ticks, 3u);
+  EXPECT_LE(slow_ticks, 5u);
+}
+
+TEST_F(CpProgramTest, ByteStringReverse) {
+  // Reverse a 6-byte string in place with lb/sb and bsub arithmetic.
+  const Program p = assemble(R"(
+   main:
+      ldc 0
+      stl 0          ; i
+      ldc 5
+      stl 1          ; j
+   loop:
+      ; swap str[i], str[j]
+      ldl 0
+      ldc str
+      bsub
+      lb
+      stl 2          ; t = str[i]
+      ldl 1
+      ldc str
+      bsub
+      lb
+      stl 3          ; u = str[j]
+      ldl 3
+      ldl 0
+      ldc str
+      bsub
+      sb             ; str[i] = u
+      ldl 2
+      ldl 1
+      ldc str
+      bsub
+      sb             ; str[j] = t
+      ldl 0
+      adc 1
+      stl 0
+      ldl 1
+      adc -1
+      stl 1
+      ; while i < j
+      ldl 1
+      ldl 0
+      gt             ; A = (j > i)
+      cj done2
+      j loop
+   done2:
+      halt
+   str:
+      .word 0x64636261   ; "abcd"
+      .word 0x00006665   ; "ef"
+  )");
+  run(p, p.symbol("main"));
+  const std::uint32_t s = p.symbol("str");
+  const char expect[] = {'f', 'e', 'd', 'c', 'b', 'a'};
+  for (int i = 0; i < 6; ++i) {
+    sim::SimTime ignored{};
+    EXPECT_EQ(memory.peek_byte(s + static_cast<std::uint32_t>(i)),
+              static_cast<std::uint8_t>(expect[i]))
+        << i;
+    (void)ignored;
+  }
+}
+
+TEST_F(CpProgramTest, ArraySumWithWordSubscript) {
+  const Program p = assemble(R"(
+   main:
+      ldc 0
+      stl 0          ; sum
+      ldc 0
+      stl 1          ; i
+   loop:
+      ldl 1
+      ldc arr
+      wsub
+      ldnl 0
+      ldl 0
+      add
+      stl 0
+      ldl 1
+      adc 1
+      stl 1
+      ldl 1
+      eqc 5
+      cj loop
+      ldl 0
+      ldc 0x2000
+      stnl 0
+      halt
+   arr:
+      .word 3
+      .word 14
+      .word 15
+      .word 92
+      .word 65
+  )");
+  run(p, p.symbol("main"));
+  EXPECT_EQ(cpu.read_word(0x2000), 189u);
+}
+
+TEST_F(CpProgramTest, CodeRelativeAddressingViaLdpi) {
+  // ldpi adds the next instruction's address to A — the mechanism Occam
+  // compilers use for position-independent constant tables.
+  const Program p = assemble(R"(
+   main:
+      ldc 0
+      ldpi           ; A = address of `mark`
+   mark:
+      ldc 0x2000
+      stnl 0         ; mem[0x2000] = mark
+      halt
+  )");
+  run(p, p.symbol("main"));
+  EXPECT_EQ(cpu.read_word(0x2000), p.symbol("mark"));
+}
+
+TEST_F(CpProgramTest, GatherThenVectorSum) {
+  // Gather four scattered 64-bit values into row 128 (bank A), then run a
+  // VSUM form over them — the compiled idiom for reductions on scattered
+  // data.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const std::uint32_t src = 0x60000 + 40 * i;
+    const fp::T64 v = fp::T64::from_double(1.5 * (i + 1));
+    memory.write_word(src, static_cast<std::uint32_t>(v.bits()));
+    memory.write_word(src + 4, static_cast<std::uint32_t>(v.bits() >> 32));
+    memory.write_word(0x50000 + 4 * i, src);  // index table
+  }
+  const Program p = assemble(R"(
+   main:
+      ldc 0x50000  ; table
+      ldc 0x20000  ; row 128
+      ldc 4
+      gather
+      ldc 8        ; vsum
+      ldc desc
+      stnl 0
+      ldc 1
+      ldc desc
+      stnl 1
+      ldc 4
+      ldc desc
+      stnl 2
+      ldc 128      ; row_x = 128
+      ldc desc
+      stnl 3
+      ldc desc
+      vform
+      vwait
+      halt
+   desc:
+      .space 48
+  )");
+  run(p, p.symbol("main"));
+  const std::uint32_t desc = p.symbol("desc");
+  const std::uint64_t bits =
+      static_cast<std::uint64_t>(cpu.read_word(desc + 32)) |
+      (static_cast<std::uint64_t>(cpu.read_word(desc + 36)) << 32);
+  EXPECT_EQ(fp::T64::from_bits(bits).to_double(), 1.5 + 3.0 + 4.5 + 6.0);
+}
+
+TEST_F(CpProgramTest, BadVformSetsFault) {
+  const Program p = assemble(R"(
+      ldc desc
+      vform          ; n = 0 descriptor: rejected by the vector unit
+      testerr
+      ldc 0x2000
+      stnl 0
+      halt
+   desc:
+      .space 48
+  )");
+  run(p, p.entry());
+  EXPECT_EQ(cpu.read_word(0x2000), 1u) << "error flag was set and read";
+  EXPECT_TRUE(cpu.take_fault().has_value());
+}
+
+}  // namespace
+}  // namespace fpst::cp

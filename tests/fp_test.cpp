@@ -1,0 +1,347 @@
+// Tests for the software T Series floating point: bit-exact agreement with
+// host IEEE-754 wherever flush-to-zero and gradual underflow coincide, plus
+// directed edge cases for the FTZ behaviour the paper specifies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+
+#include "fp/softfloat.hpp"
+
+namespace fpst::fp {
+namespace {
+
+std::uint64_t dbits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+std::uint32_t fbits(float v) {
+  std::uint32_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+bool host_is_denormal(double v) {
+  return v != 0.0 && std::fabs(v) < std::numeric_limits<double>::min();
+}
+bool host_is_denormal(float v) {
+  return v != 0.0f && std::fabs(v) < std::numeric_limits<float>::min();
+}
+
+TEST(T64, BasicArithmeticMatchesHost) {
+  Flags fl;
+  const T64 a = T64::from_double(1.5);
+  const T64 b = T64::from_double(2.25);
+  EXPECT_EQ(add(a, b, fl).to_double(), 3.75);
+  EXPECT_EQ(sub(a, b, fl).to_double(), -0.75);
+  EXPECT_EQ(mul(a, b, fl).to_double(), 3.375);
+  EXPECT_FALSE(fl.any()) << "all operations above are exact";
+}
+
+TEST(T64, InexactFlagRaisedOnRounding) {
+  Flags fl;
+  const T64 one = T64::from_double(1.0);
+  const T64 tiny = T64::from_double(0x1p-60);
+  const T64 r = add(one, tiny, fl);
+  EXPECT_EQ(r.to_double(), 1.0);
+  EXPECT_TRUE(fl.inexact);
+}
+
+TEST(T64, RoundsToNearestEven) {
+  Flags fl;
+  // 1 + 2^-53 is exactly halfway between 1 and nextafter(1): ties to even
+  // keep 1.0; 1 + 3*2^-54 rounds up.
+  EXPECT_EQ(add(T64::from_double(1.0), T64::from_double(0x1p-53), fl)
+                .to_double(),
+            1.0);
+  EXPECT_EQ(add(T64::from_double(1.0), T64::from_double(0x1.8p-53), fl)
+                .to_double(),
+            1.0 + 0x1p-52);
+}
+
+TEST(T64, MantissaPrecisionIs53Bits) {
+  // The paper: "the mantissa has approximately 15 decimal digits of
+  // precision (53 bits)".
+  Flags fl;
+  const T64 big = T64::from_double(0x1p52);
+  const T64 r1 = add(big, T64::from_double(1.0), fl);
+  EXPECT_EQ(r1.to_double(), 0x1p52 + 1.0) << "53-bit integers are exact";
+  const T64 big2 = T64::from_double(0x1p53);
+  const T64 r2 = add(big2, T64::from_double(1.0), fl);
+  EXPECT_EQ(r2.to_double(), 0x1p53) << "54-bit integers are not";
+}
+
+TEST(T64, DynamicRangeMatches11BitExponent) {
+  // Paper: dynamic range roughly 10^-308 to 10^308.
+  Flags fl;
+  const T64 huge = T64::from_double(1e308);
+  const T64 r = mul(huge, T64::from_double(10.0), fl);
+  EXPECT_TRUE(r.is_inf());
+  EXPECT_TRUE(fl.overflow);
+
+  Flags fl2;
+  const T64 tiny = T64::from_double(1e-300);  // smallest normals ~2.2e-308
+  const T64 r2 = mul(tiny, T64::from_double(1e-10), fl2);
+  EXPECT_TRUE(r2.is_zero()) << "no gradual underflow: flush to zero";
+  EXPECT_TRUE(fl2.underflow);
+}
+
+TEST(T64, FlushToZeroOnUnderflowKeepsSign) {
+  Flags fl;
+  const T64 tiny = T64::from_double(-1e-300);
+  const T64 r = mul(tiny, T64::from_double(1e-100), fl);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(r.sign()) << "flushed zero keeps the result sign";
+  EXPECT_TRUE(fl.underflow);
+  EXPECT_TRUE(fl.inexact);
+}
+
+TEST(T64, DenormalInputsReadAsZero) {
+  Flags fl;
+  const T64 denorm = T64::from_bits(0x0000'0000'0000'0001u);  // min denormal
+  const T64 r = add(denorm, T64::from_double(0.0), fl);
+  EXPECT_TRUE(r.is_zero());
+  const T64 r2 = mul(denorm, T64::from_double(1e300), fl);
+  EXPECT_TRUE(r2.is_zero()) << "denormal * huge = 0 under FTZ input rule";
+}
+
+TEST(T64, SpecialValues) {
+  Flags fl;
+  const T64 inf = T64::from_double(std::numeric_limits<double>::infinity());
+  const T64 one = T64::from_double(1.0);
+  const T64 zero = T64::from_double(0.0);
+
+  EXPECT_TRUE(add(inf, one, fl).is_inf());
+  EXPECT_TRUE(mul(inf, one, fl).is_inf());
+  EXPECT_FALSE(fl.invalid);
+
+  Flags fl2;
+  EXPECT_TRUE(sub(inf, inf, fl2).is_nan());
+  EXPECT_TRUE(fl2.invalid);
+
+  Flags fl3;
+  EXPECT_TRUE(mul(inf, zero, fl3).is_nan());
+  EXPECT_TRUE(fl3.invalid);
+
+  Flags fl4;
+  const T64 nan = T64::from_double(std::nan(""));
+  EXPECT_TRUE(add(nan, one, fl4).is_nan());
+}
+
+TEST(T64, SignedZeroRules) {
+  Flags fl;
+  const T64 pz = T64::from_double(0.0);
+  const T64 nz = T64::from_double(-0.0);
+  EXPECT_FALSE(add(pz, nz, fl).sign()) << "(+0) + (-0) = +0 in RNE";
+  EXPECT_TRUE(add(nz, nz, fl).sign()) << "(-0) + (-0) = -0";
+  EXPECT_TRUE(mul(pz, T64::from_double(-1.0), fl).sign());
+  // Exact cancellation gives +0.
+  const T64 x = T64::from_double(3.5);
+  EXPECT_FALSE(sub(x, x, fl).sign());
+}
+
+TEST(T64, Comparisons) {
+  Flags fl;
+  const T64 a = T64::from_double(1.0);
+  const T64 b = T64::from_double(2.0);
+  const T64 na = T64::from_double(-1.0);
+  const T64 nb = T64::from_double(-2.0);
+  EXPECT_EQ(compare(a, b, fl), Ordering::less);
+  EXPECT_EQ(compare(b, a, fl), Ordering::greater);
+  EXPECT_EQ(compare(a, a, fl), Ordering::equal);
+  EXPECT_EQ(compare(na, nb, fl), Ordering::greater);
+  EXPECT_EQ(compare(nb, na, fl), Ordering::less);
+  EXPECT_EQ(compare(na, a, fl), Ordering::less);
+  EXPECT_EQ(compare(T64::from_double(0.0), T64::from_double(-0.0), fl),
+            Ordering::equal);
+  const T64 nan = T64::from_double(std::nan(""));
+  EXPECT_EQ(compare(nan, a, fl), Ordering::unordered);
+}
+
+TEST(T64, IntegerConversions) {
+  Flags fl;
+  EXPECT_EQ(t64_from_int32(0, fl).to_double(), 0.0);
+  EXPECT_EQ(t64_from_int32(42, fl).to_double(), 42.0);
+  EXPECT_EQ(t64_from_int32(-42, fl).to_double(), -42.0);
+  EXPECT_EQ(t64_from_int32(std::numeric_limits<std::int32_t>::min(), fl)
+                .to_double(),
+            -2147483648.0);
+  EXPECT_FALSE(fl.any()) << "all int32 values are exact in binary64";
+
+  EXPECT_EQ(t64_to_int32(T64::from_double(3.99), fl), 3) << "truncates";
+  EXPECT_EQ(t64_to_int32(T64::from_double(-3.99), fl), -3);
+  EXPECT_TRUE(fl.inexact);
+
+  Flags fl2;
+  EXPECT_EQ(t64_to_int32(T64::from_double(1e10), fl2),
+            std::numeric_limits<std::int32_t>::max());
+  EXPECT_TRUE(fl2.invalid);
+}
+
+TEST(T32, WidenIsExact) {
+  Flags fl;
+  const T32 a = T32::from_float(1.375f);
+  EXPECT_EQ(a.widened().to_double(), 1.375);
+  const T32 b = T32::from_float(-3.0e20f);
+  EXPECT_EQ(b.widened().to_double(), static_cast<double>(-3.0e20f));
+}
+
+TEST(T32, NarrowRounds) {
+  Flags fl;
+  const T64 v = T64::from_double(1.0 + 0x1p-30);  // not representable in b32
+  const T32 r = T32::narrowed(v, fl);
+  EXPECT_EQ(r.to_float(), 1.0f);
+  EXPECT_TRUE(fl.inexact);
+
+  Flags fl2;
+  const T64 big = T64::from_double(1e200);
+  EXPECT_TRUE(T32::narrowed(big, fl2).is_inf());
+  EXPECT_TRUE(fl2.overflow);
+
+  Flags fl3;
+  const T64 small = T64::from_double(1e-200);
+  EXPECT_TRUE(T32::narrowed(small, fl3).is_zero());
+  EXPECT_TRUE(fl3.underflow);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: bit-exact agreement with the host FPU over random operand
+// classes, whenever neither inputs nor the exact result are denormal (where
+// the machine's flush-to-zero diverges from IEEE by design).
+// ---------------------------------------------------------------------------
+
+struct SweepSpec {
+  const char* name;
+  int exp_spread;  // operand exponents drawn from [-spread, +spread]
+};
+
+class T64HostAgreement : public ::testing::TestWithParam<SweepSpec> {};
+
+double make_double(std::mt19937_64& rng, int exp_spread) {
+  std::uniform_int_distribution<std::uint64_t> mant(0, (1ull << 52) - 1);
+  std::uniform_int_distribution<int> exp(-exp_spread, exp_spread);
+  std::uniform_int_distribution<int> sign(0, 1);
+  const std::uint64_t e =
+      static_cast<std::uint64_t>(exp(rng) + 1023);
+  const std::uint64_t bits =
+      (static_cast<std::uint64_t>(sign(rng)) << 63) | (e << 52) | mant(rng);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+TEST_P(T64HostAgreement, AddSubMulMatchHostBitExactly) {
+  const SweepSpec spec = GetParam();
+  std::mt19937_64 rng{0xf9570001u};
+  int checked = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = make_double(rng, spec.exp_spread);
+    const double y = make_double(rng, spec.exp_spread);
+    const T64 tx = T64::from_double(x);
+    const T64 ty = T64::from_double(y);
+    Flags fl;
+
+    const double hs = x + y;
+    if (!host_is_denormal(hs) && std::isfinite(hs)) {
+      EXPECT_EQ(add(tx, ty, fl).bits(), dbits(hs))
+          << spec.name << ": " << x << " + " << y;
+      ++checked;
+    }
+    const double hd = x - y;
+    if (!host_is_denormal(hd) && std::isfinite(hd)) {
+      EXPECT_EQ(sub(tx, ty, fl).bits(), dbits(hd))
+          << spec.name << ": " << x << " - " << y;
+    }
+    const double hp = x * y;
+    if (!host_is_denormal(hp) && std::isfinite(hp)) {
+      // The host may compute x*y exactly and then the double rounding
+      // question doesn't arise (single operation); compare directly.
+      EXPECT_EQ(mul(tx, ty, fl).bits(), dbits(hp))
+          << spec.name << ": " << x << " * " << y;
+    }
+  }
+  EXPECT_GT(checked, 1000) << "sweep degenerated; widen operand classes";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperandClasses, T64HostAgreement,
+    ::testing::Values(SweepSpec{"near_one", 4}, SweepSpec{"spread_small", 30},
+                      SweepSpec{"spread_wide", 300},
+                      SweepSpec{"cancellation_prone", 1}),
+    [](const ::testing::TestParamInfo<SweepSpec>& pinfo) {
+      return pinfo.param.name;
+    });
+
+class T32HostAgreement : public ::testing::TestWithParam<SweepSpec> {};
+
+float make_float(std::mt19937_64& rng, int exp_spread) {
+  std::uniform_int_distribution<std::uint32_t> mant(0, (1u << 23) - 1);
+  std::uniform_int_distribution<int> exp(-exp_spread, exp_spread);
+  std::uniform_int_distribution<int> sign(0, 1);
+  const std::uint32_t e = static_cast<std::uint32_t>(exp(rng) + 127);
+  const std::uint32_t bits =
+      (static_cast<std::uint32_t>(sign(rng)) << 31) | (e << 23) | mant(rng);
+  float v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+TEST_P(T32HostAgreement, AddSubMulMatchHostBitExactly) {
+  const SweepSpec spec = GetParam();
+  std::mt19937_64 rng{0xf9570002u};
+  for (int i = 0; i < 20000; ++i) {
+    const float x = make_float(rng, spec.exp_spread);
+    const float y = make_float(rng, spec.exp_spread);
+    const T32 tx = T32::from_float(x);
+    const T32 ty = T32::from_float(y);
+    Flags fl;
+
+    const float hs = x + y;
+    if (!host_is_denormal(hs) && std::isfinite(hs)) {
+      EXPECT_EQ(add(tx, ty, fl).bits(), fbits(hs))
+          << spec.name << ": " << x << " + " << y;
+    }
+    const float hp = x * y;
+    if (!host_is_denormal(hp) && std::isfinite(hp)) {
+      EXPECT_EQ(mul(tx, ty, fl).bits(), fbits(hp))
+          << spec.name << ": " << x << " * " << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperandClasses, T32HostAgreement,
+    ::testing::Values(SweepSpec{"near_one", 4}, SweepSpec{"spread_small", 20},
+                      SweepSpec{"spread_wide", 60},
+                      SweepSpec{"cancellation_prone", 1}),
+    [](const ::testing::TestParamInfo<SweepSpec>& pinfo) {
+      return pinfo.param.name;
+    });
+
+TEST(T64, ConversionRoundTripsInt32) {
+  std::mt19937_64 rng{0xf9570003u};
+  std::uniform_int_distribution<std::int32_t> dist(
+      std::numeric_limits<std::int32_t>::min(),
+      std::numeric_limits<std::int32_t>::max());
+  for (int i = 0; i < 10000; ++i) {
+    const std::int32_t v = dist(rng);
+    Flags fl;
+    EXPECT_EQ(t64_to_int32(t64_from_int32(v, fl), fl), v);
+    EXPECT_FALSE(fl.any());
+  }
+}
+
+TEST(T32, FromInt32RoundsLargeValues) {
+  Flags fl;
+  // 2^24 + 1 is not representable in binary32.
+  const T32 r = t32_from_int32((1 << 24) + 1, fl);
+  EXPECT_EQ(r.to_float(), 16777216.0f);
+  EXPECT_TRUE(fl.inexact);
+}
+
+}  // namespace
+}  // namespace fpst::fp

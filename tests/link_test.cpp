@@ -1,0 +1,204 @@
+// Tests for the serial link model: the paper's protocol timings (13 bit
+// times per byte => 0.5 MB/s, 5 us DMA startup, 16 us per 64-bit word),
+// direction independence, sublink multiplexing and FIFO bandwidth sharing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "link/link.hpp"
+
+namespace fpst::link {
+namespace {
+
+using namespace fpst::sim::literals;
+using sim::Proc;
+using sim::SimTime;
+using sim::Simulator;
+
+TEST(LinkParams, PaperConstants) {
+  EXPECT_EQ(LinkParams::kPhysicalLinks, 4);
+  EXPECT_EQ(LinkParams::kSublinksPerLink, 4);
+  EXPECT_EQ(LinkParams::kSublinksPerNode, 16);
+  EXPECT_EQ(LinkParams::kBitTimesPerByte, 13) << "8+2+1 out, 2 ack back";
+  EXPECT_DOUBLE_EQ(LinkParams::unidir_bandwidth_mb_s(), 0.5);
+  EXPECT_EQ(LinkParams::dma_startup(), 5_us);
+  // A 64-bit word moved alone between nodes: 8 bytes at 2 us each = 16 us of
+  // wire time (the paper's "16 us" excludes startup and framing).
+  EXPECT_EQ(8 * LinkParams::byte_time(), 16_us);
+}
+
+Packet make_packet(std::size_t n, std::uint8_t sublink = 0) {
+  Packet p;
+  p.sublink = sublink;
+  p.payload.assign(n, 0xab);
+  return p;
+}
+
+Proc do_send(Link* link, int side, Packet p, SimTime* done, Simulator* sim) {
+  co_await link->transmit(side, std::move(p));
+  if (done != nullptr) {
+    *done = sim->now();
+  }
+}
+
+Proc do_recv(Link* link, int side, int sublink, Packet* out, SimTime* when,
+             Simulator* sim) {
+  *out = co_await link->inbox(side, sublink).recv();
+  if (when != nullptr) {
+    *when = sim->now();
+  }
+}
+
+TEST(Link, SingleTransferTiming) {
+  Simulator sim;
+  Link link{sim};
+  Packet got;
+  SimTime arrival{};
+  sim.spawn(do_recv(&link, 1, 0, &got, &arrival, &sim));
+  sim.spawn(do_send(&link, 0, make_packet(100), nullptr, &sim));
+  sim.run();
+  EXPECT_EQ(got.payload.size(), 100u);
+  // startup + (100 payload + 8 header) bytes * 2 us
+  EXPECT_EQ(arrival, 5_us + 108 * LinkParams::byte_time());
+}
+
+TEST(Link, DirectionsAreIndependent) {
+  Simulator sim;
+  Link link{sim};
+  Packet a;
+  Packet b;
+  SimTime ta{};
+  SimTime tb{};
+  sim.spawn(do_recv(&link, 1, 0, &a, &ta, &sim));
+  sim.spawn(do_recv(&link, 0, 0, &b, &tb, &sim));
+  sim.spawn(do_send(&link, 0, make_packet(50), nullptr, &sim));
+  sim.spawn(do_send(&link, 1, make_packet(50), nullptr, &sim));
+  sim.run();
+  // Full duplex: both directions complete in one transfer time.
+  EXPECT_EQ(ta, tb);
+  EXPECT_EQ(ta, LinkParams::transfer_time(50));
+}
+
+TEST(Link, SameDirectionSendsSerialise) {
+  Simulator sim;
+  Link link{sim};
+  Packet a;
+  Packet b;
+  SimTime ta{};
+  SimTime tb{};
+  sim.spawn(do_recv(&link, 1, 0, &a, &ta, &sim));
+  sim.spawn(do_recv(&link, 1, 1, &b, &tb, &sim));
+  sim.spawn(do_send(&link, 0, make_packet(50, 0), nullptr, &sim));
+  sim.spawn(do_send(&link, 0, make_packet(50, 1), nullptr, &sim));
+  sim.run();
+  const SimTime one = LinkParams::transfer_time(50);
+  EXPECT_EQ(ta, one);
+  EXPECT_EQ(tb, 2 * one) << "sublinks share one wire FIFO";
+}
+
+TEST(Link, SublinkDemuxRoutesToMatchingInbox) {
+  Simulator sim;
+  Link link{sim};
+  Packet got2;
+  Packet got3;
+  Packet p2 = make_packet(4, 2);
+  p2.tag = 22;
+  Packet p3 = make_packet(4, 3);
+  p3.tag = 33;
+  sim.spawn(do_recv(&link, 1, 3, &got3, nullptr, &sim));
+  sim.spawn(do_recv(&link, 1, 2, &got2, nullptr, &sim));
+  sim.spawn(do_send(&link, 0, std::move(p3), nullptr, &sim));
+  sim.spawn(do_send(&link, 0, std::move(p2), nullptr, &sim));
+  sim.run();
+  EXPECT_EQ(got2.tag, 22);
+  EXPECT_EQ(got3.tag, 33);
+}
+
+TEST(Link, SenderBlocksUntilReceiverTakesPacket) {
+  // Transputer-style links: the byte-level acknowledge protocol means a
+  // transfer only completes when the receiving end is listening.
+  Simulator sim;
+  Link link{sim};
+  SimTime send_done{};
+  Packet got;
+  sim.spawn(do_send(&link, 0, make_packet(1), &send_done, &sim));
+  sim.spawn([](Link* l, Packet* out, Simulator* s) -> Proc {
+    co_await sim::Delay{1_ms};
+    *out = co_await l->inbox(1, 0).recv();
+    (void)s;
+  }(&link, &got, &sim));
+  sim.run();
+  EXPECT_EQ(send_done, 1_ms);
+}
+
+TEST(Link, StatsAccumulatePerDirection) {
+  Simulator sim;
+  Link link{sim};
+  Packet a;
+  sim.spawn(do_recv(&link, 1, 0, &a, nullptr, &sim));
+  sim.spawn(do_send(&link, 0, make_packet(92), nullptr, &sim));
+  sim.run();
+  EXPECT_EQ(link.bytes_sent(0), 100u);  // 92 + 8 header
+  EXPECT_EQ(link.packets_sent(0), 1u);
+  EXPECT_EQ(link.bytes_sent(1), 0u);
+  EXPECT_EQ(link.busy_time(0), LinkParams::transfer_time(92));
+}
+
+TEST(Link, MeasuredBandwidthApproachesHalfMegabytePerSecond) {
+  // Stream 100 KB in 1 KB packets and check the sustained rate lands a
+  // little under 0.5 MB/s (header + startup overhead).
+  Simulator sim;
+  Link link{sim};
+  constexpr int kPackets = 100;
+  constexpr std::size_t kBytes = 1024;
+  sim.spawn([](Link* l, Simulator*) -> Proc {
+    for (int i = 0; i < kPackets; ++i) {
+      co_await l->transmit(0, make_packet(kBytes));
+    }
+  }(&link, &sim));
+  sim.spawn([](Link* l) -> Proc {
+    for (int i = 0; i < kPackets; ++i) {
+      (void)co_await l->inbox(1, 0).recv();
+    }
+  }(&link));
+  sim.run();
+  const double mb = kPackets * static_cast<double>(kBytes) / 1e6;
+  const double rate = mb / sim.now().sec();
+  EXPECT_GT(rate, 0.45);
+  EXPECT_LT(rate, 0.5);
+}
+
+TEST(NodeLinks, AttachAndRoute) {
+  Simulator sim;
+  Link cable{sim};
+  NodeLinks a;
+  NodeLinks b;
+  a.attach(2, cable, 0);
+  b.attach(0, cable, 1);
+  EXPECT_TRUE(a.attached(2));
+  EXPECT_FALSE(a.attached(0));
+  EXPECT_EQ(a.attached_count(), 1);
+
+  Packet got;
+  sim.spawn([](NodeLinks* links, Packet* out) -> Proc {
+    *out = co_await links->inbox(0, 1).recv();
+  }(&b, &got));
+  sim.spawn([](NodeLinks* links) -> Proc {
+    Packet p;
+    p.sublink = 1;
+    p.tag = 9;
+    p.payload = {1, 2, 3};
+    co_await links->send(2, std::move(p));
+  }(&a));
+  sim.run();
+  EXPECT_EQ(got.tag, 9);
+  EXPECT_EQ(got.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(NodeLinks, UnwiredPortThrows) {
+  NodeLinks a;
+  EXPECT_THROW(a.inbox(1, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fpst::link

@@ -1,0 +1,200 @@
+// Tests for the binary n-cube layer: Gray codes, routing, the Figure 3
+// embeddings (ring, mesh, torus, FFT butterfly) and collective schedules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "net/hypercube.hpp"
+
+namespace fpst::net {
+namespace {
+
+TEST(Gray, RoundTripsAndAdjacency) {
+  for (std::uint32_t i = 0; i < (1u << 14); ++i) {
+    EXPECT_EQ(gray_inverse(gray(i)), i);
+  }
+  // Consecutive Gray codes differ in exactly one bit (including wraparound
+  // for power-of-two lengths).
+  for (int dim = 1; dim <= 14; ++dim) {
+    const std::uint32_t n = 1u << dim;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      EXPECT_EQ(Hypercube::hamming(gray(i), gray((i + 1) % n)), 1)
+          << "dim=" << dim << " i=" << i;
+    }
+  }
+}
+
+TEST(Hypercube, BasicGeometry) {
+  const Hypercube cube{4};
+  EXPECT_EQ(cube.size(), 16u);
+  EXPECT_EQ(cube.diameter(), 4) << "O(log2 N) long-range cost";
+  EXPECT_EQ(cube.neighbor(0b0101, 1), 0b0111u);
+  EXPECT_EQ(Hypercube::hamming(0b0000, 0b1111), 4);
+  EXPECT_EQ(cube.edges().size(), 16u * 4 / 2) << "N*n/2 undirected edges";
+}
+
+TEST(Hypercube, RejectsBadDimensions) {
+  EXPECT_THROW(Hypercube{-1}, std::invalid_argument);
+  EXPECT_THROW(Hypercube{15}, std::invalid_argument)
+      << "the largest T Series configuration is a 14-cube";
+  EXPECT_NO_THROW(Hypercube{14});
+}
+
+TEST(Hypercube, EcubePathIsMinimalAndDimensionOrdered) {
+  const Hypercube cube{6};
+  std::mt19937 rng{3};
+  std::uniform_int_distribution<std::uint32_t> pick(0, 63);
+  for (int t = 0; t < 2000; ++t) {
+    const NodeId s = pick(rng);
+    const NodeId d = pick(rng);
+    const auto path = cube.ecube_path(s, d);
+    ASSERT_EQ(path.front(), s);
+    ASSERT_EQ(path.back(), d);
+    EXPECT_EQ(static_cast<int>(path.size()) - 1, Hypercube::hamming(s, d))
+        << "path length equals Hamming distance (minimal)";
+    // Each hop flips exactly one bit, in strictly ascending dimension order.
+    int prev_dim = -1;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const std::uint32_t diff = path[i] ^ path[i + 1];
+      EXPECT_EQ(std::popcount(diff), 1);
+      const int dim = std::countr_zero(diff);
+      EXPECT_GT(dim, prev_dim);
+      prev_dim = dim;
+    }
+  }
+}
+
+class EmbeddingDim : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmbeddingDim, GrayRingPreservesAdjacency) {
+  const int dim = GetParam();
+  const Hypercube cube{dim};
+  const EmbeddingStats st = analyze(cube, ring_embedding(dim));
+  EXPECT_TRUE(st.adjacency_preserved) << "dilation-1 ring for dim " << dim;
+  EXPECT_EQ(st.congestion, 1) << "each cube edge carries at most one ring edge";
+}
+
+TEST_P(EmbeddingDim, NaiveRingIsWorse) {
+  const int dim = GetParam();
+  if (dim < 2) {
+    GTEST_SKIP() << "naive == gray below dim 2";
+  }
+  const Hypercube cube{dim};
+  const EmbeddingStats st = analyze(cube, naive_ring_embedding(dim));
+  EXPECT_GT(st.dilation, 1);
+  EXPECT_EQ(st.dilation, dim)
+      << "the 2^k -> 2^k - 1 step flips every bit up to the top";
+}
+
+TEST_P(EmbeddingDim, ButterflyIsTheCubeItself) {
+  const int dim = GetParam();
+  const Hypercube cube{dim};
+  const EmbeddingStats st = analyze(cube, butterfly_embedding(dim));
+  EXPECT_TRUE(st.adjacency_preserved);
+  EXPECT_EQ(st.congestion, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EmbeddingDim, ::testing::Values(1, 2, 3, 4, 6,
+                                                               8, 10));
+
+TEST(Embedding, Mesh2DPreservesAdjacency) {
+  const Hypercube cube{6};
+  const EmbeddingStats st = analyze(cube, mesh_embedding({3, 3}));  // 8x8
+  EXPECT_TRUE(st.adjacency_preserved);
+  EXPECT_EQ(st.congestion, 1);
+}
+
+TEST(Embedding, Mesh3DPreservesAdjacency) {
+  const Hypercube cube{6};
+  const EmbeddingStats st =
+      analyze(cube, mesh_embedding({2, 2, 2}));  // 4x4x4
+  EXPECT_TRUE(st.adjacency_preserved);
+}
+
+TEST(Embedding, TorusPreservesAdjacencyIncludingWrap) {
+  const Hypercube cube{8};
+  const EmbeddingStats st = analyze(cube, torus_embedding({4, 4}));  // 16x16
+  EXPECT_TRUE(st.adjacency_preserved)
+      << "Gray-coded wraparound edges are cube edges too";
+}
+
+TEST(Embedding, MeshVertexMapIsAPermutation) {
+  const Embedding e = mesh_embedding({3, 4});
+  std::set<NodeId> seen(e.map.begin(), e.map.end());
+  EXPECT_EQ(seen.size(), e.map.size()) << "one node per mesh vertex";
+}
+
+TEST(Embedding, GuestEdgeCounts) {
+  // 8x8 mesh: 2*8*7 = 112 edges; torus adds 16 wrap edges.
+  EXPECT_EQ(mesh_embedding({3, 3}).guest_edges.size(), 112u);
+  EXPECT_EQ(torus_embedding({3, 3}).guest_edges.size(), 128u);
+  // Butterfly on dim d: d * 2^d / 2 edges.
+  EXPECT_EQ(butterfly_embedding(4).guest_edges.size(), 32u);
+}
+
+TEST(Embedding, RejectsOversizedGrids) {
+  EXPECT_THROW(mesh_embedding({8, 8}), std::invalid_argument);
+  EXPECT_THROW(mesh_embedding({0}), std::invalid_argument);
+}
+
+TEST(Collectives, BroadcastReachesAllNodesInLogSteps) {
+  const Hypercube cube{5};
+  const NodeId root = 13;
+  const auto steps = broadcast_schedule(cube, root);
+  EXPECT_EQ(steps.size(), cube.size() - 1) << "every node receives once";
+  std::set<NodeId> have{root};
+  int max_step = 0;
+  for (const CommStep& s : steps) {
+    EXPECT_TRUE(have.count(s.from)) << "sender must already hold the datum";
+    EXPECT_FALSE(have.count(s.to)) << "no duplicate delivery";
+    EXPECT_EQ(cube.neighbor(s.from, s.dim), s.to);
+    have.insert(s.to);
+    max_step = std::max(max_step, s.step);
+  }
+  EXPECT_EQ(have.size(), cube.size());
+  EXPECT_EQ(max_step, cube.dimension() - 1) << "log2 N communication steps";
+}
+
+TEST(Collectives, StepsWithinARoundAreDisjoint) {
+  const Hypercube cube{6};
+  const auto steps = broadcast_schedule(cube, 0);
+  for (int k = 0; k < cube.dimension(); ++k) {
+    std::set<NodeId> busy;
+    for (const CommStep& s : steps) {
+      if (s.step != k) {
+        continue;
+      }
+      EXPECT_TRUE(busy.insert(s.from).second);
+      EXPECT_TRUE(busy.insert(s.to).second)
+          << "a node appears once per round: contention-free schedule";
+    }
+  }
+}
+
+TEST(Collectives, ReduceMirrorsBroadcast) {
+  const Hypercube cube{4};
+  const NodeId root = 5;
+  const auto red = reduce_schedule(cube, root);
+  EXPECT_EQ(red.size(), cube.size() - 1);
+  // After all sends, only the root has not transmitted its accumulator.
+  std::set<NodeId> senders;
+  for (const CommStep& s : red) {
+    EXPECT_TRUE(senders.insert(s.from).second) << "each node sends once";
+  }
+  EXPECT_FALSE(senders.count(root));
+}
+
+TEST(Collectives, AllreduceExchangesEveryDimension) {
+  const Hypercube cube{4};
+  const auto steps = allreduce_schedule(cube);
+  EXPECT_EQ(steps.size(), cube.size() * 4);
+  for (const CommStep& s : steps) {
+    EXPECT_EQ(s.dim, s.step) << "recursive doubling: dimension k at step k";
+    EXPECT_EQ(cube.neighbor(s.from, s.dim), s.to);
+  }
+}
+
+}  // namespace
+}  // namespace fpst::net

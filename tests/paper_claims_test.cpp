@@ -1,0 +1,131 @@
+// Executable EXPERIMENTS.md: a single regression suite asserting the
+// paper's headline quantitative claims directly against the model, so any
+// future change that breaks a reproduced number fails CI here even before
+// the bench tables are re-read by a human.
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.hpp"
+#include "core/config.hpp"
+#include "net/hypercube.hpp"
+#include "node/node.hpp"
+
+namespace fpst {
+namespace {
+
+using namespace fpst::sim::literals;
+
+TEST(PaperClaims, Section2_NodeArithmetic) {
+  // "a peak speed of 16 MFLOPS" per node; 125 ns cycle; 6-stage adder,
+  // 5/7-stage multiplier.
+  EXPECT_DOUBLE_EQ(vpu::VpuParams::peak_mflops(), 16.0);
+  EXPECT_EQ(vpu::VpuParams::cycle(), 125_ns);
+  EXPECT_EQ(vpu::VpuParams::kAdderStages, 6);
+  EXPECT_EQ(vpu::VpuParams::kMulStages32, 5);
+  EXPECT_EQ(vpu::VpuParams::kMulStages64, 7);
+}
+
+TEST(PaperClaims, Section2_Memory) {
+  // "1 MByte of dual-ported dynamic RAM"; "256K words"; vectors of
+  // 256/128 elements; banks of 256 and 768 vectors; 400 ns word access
+  // (10 MB/s); 400 ns row transfer (2560 MB/s); 1.6 us / 0.8 us gather
+  // moves.
+  EXPECT_EQ(mem::MemParams::kBytes, 1u << 20);
+  EXPECT_EQ(mem::MemParams::kWords, 256u * 1024);
+  EXPECT_EQ(mem::MemParams::kElems32, 256u);
+  EXPECT_EQ(mem::MemParams::kElems64, 128u);
+  EXPECT_EQ(mem::MemParams::kBankARows, 256u);
+  EXPECT_EQ(mem::MemParams::kBankBRows, 768u);
+  EXPECT_DOUBLE_EQ(mem::MemParams::cp_bandwidth_mb_s(), 10.0);
+  EXPECT_DOUBLE_EQ(mem::MemParams::row_bandwidth_mb_s(), 2560.0);
+  EXPECT_EQ(mem::MemParams::gather_move64(), 1600_ns);
+  EXPECT_EQ(mem::MemParams::gather_move32(), 800_ns);
+}
+
+TEST(PaperClaims, Section2_Control) {
+  // "7.5 MIPS instruction rate"; "2048 bytes of on-chip RAM"; "four
+  // bidirectional serial communications links".
+  EXPECT_NEAR(cp::CpuParams::mips(), 7.5, 0.001);
+  EXPECT_EQ(cp::kOnChipBytes, 2048u);
+  EXPECT_EQ(link::LinkParams::kPhysicalLinks, 4);
+}
+
+TEST(PaperClaims, Section2_Communications) {
+  // "8-bit byte ... two synchronization bits and one stop bit ... two
+  // acknowledge bits"; ">0.5 MB/s per link"; ">4 MB/s total"; "startup
+  // time of about 5 us"; "16 bidirectional sublinks".
+  EXPECT_EQ(link::LinkParams::kBitTimesPerByte, 13);
+  EXPECT_DOUBLE_EQ(link::LinkParams::unidir_bandwidth_mb_s(), 0.5);
+  EXPECT_GE(4 * 2 * link::LinkParams::unidir_bandwidth_mb_s(), 4.0);
+  EXPECT_EQ(link::LinkParams::dma_startup(), 5_us);
+  EXPECT_EQ(link::LinkParams::kSublinksPerNode, 16);
+}
+
+TEST(PaperClaims, Section2_BalanceRatios) {
+  // "(Arithmetic Time) : (Gather Time) : (Link Transfer Time)
+  //    .125 us : 1.6 us : 16 us = 1 : 13 : 130"
+  EXPECT_EQ(node::BalanceRatios::arithmetic(), 125_ns);
+  EXPECT_EQ(node::BalanceRatios::gather(), 1600_ns);
+  EXPECT_EQ(node::BalanceRatios::link_word(), 16_us);
+  EXPECT_NEAR(node::BalanceRatios::gather_over_arith(), 13.0, 0.5);
+  EXPECT_NEAR(node::BalanceRatios::link_over_arith(), 130.0, 3.0);
+}
+
+TEST(PaperClaims, Section3_Topology) {
+  // "2^n processors, with n connections per node ... long-range
+  // communication costs grow only as O(log2 n)"; dilation-1 embeddings for
+  // rings, meshes, toroids and FFT butterflies.
+  for (int d : {3, 6, 10}) {
+    const net::Hypercube cube{d};
+    EXPECT_EQ(cube.diameter(), d);
+    EXPECT_TRUE(analyze(cube, net::ring_embedding(d)).adjacency_preserved);
+    EXPECT_TRUE(
+        analyze(cube, net::butterfly_embedding(d)).adjacency_preserved);
+  }
+  EXPECT_TRUE(analyze(net::Hypercube{6}, net::mesh_embedding({3, 3}))
+                  .adjacency_preserved);
+  EXPECT_TRUE(analyze(net::Hypercube{6}, net::torus_embedding({3, 3}))
+                  .adjacency_preserved);
+}
+
+TEST(PaperClaims, Section3_ModulesAndSystems) {
+  // Module: "128 MFLOPS peak ... 8 MB of user RAM ... over 12 MB/s";
+  // cabinet = 16 nodes; 64 nodes = 1 GFLOPS / 64 MB / 8 disks; practical
+  // maximum 12-cube = 4096 nodes, >65 GFLOPS, 4 GB; 14-cube constructible.
+  EXPECT_DOUBLE_EQ(core::SystemParams::module_peak_mflops(), 128.0);
+  EXPECT_DOUBLE_EQ(core::SystemParams::module_ram_mb(), 8.0);
+  EXPECT_GE(core::SystemParams::module_internode_mb_s(), 12.0);
+  EXPECT_EQ(core::ConfigReport::derive(4).nodes, 16u);
+  const core::ConfigReport c64 = core::ConfigReport::derive(6);
+  EXPECT_NEAR(c64.peak_gflops, 1.0, 0.03);
+  EXPECT_EQ(c64.system_disks, 8u);
+  const core::ConfigReport cmax = core::ConfigReport::derive(12);
+  EXPECT_EQ(cmax.nodes, 4096u);
+  EXPECT_GE(cmax.peak_gflops, 65.0);
+  EXPECT_EQ(cmax.cabinets, 256u);
+  EXPECT_TRUE(core::ConfigReport::derive(14).feasible);
+  EXPECT_FALSE(core::ConfigReport::derive(14).io_sublinks_per_node > 0);
+}
+
+TEST(PaperClaims, Section3_Checkpointing) {
+  // "about 15 seconds to take a snapshot, regardless of configuration";
+  // "about 10 minutes provides a good compromise".
+  EXPECT_EQ(core::CheckpointParams::snapshot_time(), 15_s);
+  EXPECT_EQ(core::CheckpointParams::default_interval(), 600_s);
+  // The 10-minute compromise is Young-optimal for an MTBF of ~3.3 hours.
+  EXPECT_NEAR(core::CheckpointEngine::optimal_interval_s(15.0, 12000.0),
+              600.0, 1.0);
+}
+
+TEST(PaperClaims, Section2_NoGradualUnderflow) {
+  // "gradual underflow is not supported" with 53-bit mantissa and ~1e±308
+  // range.
+  fp::Flags fl;
+  const fp::T64 tiny = fp::T64::from_double(1e-300);
+  EXPECT_TRUE(mul(tiny, fp::T64::from_double(1e-10), fl).is_zero());
+  EXPECT_TRUE(fl.underflow);
+  EXPECT_EQ(fp::kBinary64.mant_bits + 1, 53);
+  EXPECT_EQ(fp::kBinary64.exp_bits, 11);
+}
+
+}  // namespace
+}  // namespace fpst

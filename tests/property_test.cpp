@@ -1,0 +1,327 @@
+// Cross-module property tests: algebraic invariants of the soft float,
+// assembler round-trip fuzzing, collective-schedule properties over random
+// roots, channel ordering under load, and a large-machine smoke test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <random>
+
+#include "cp/assembler.hpp"
+#include "fp/softfloat.hpp"
+#include "net/hypercube.hpp"
+#include "occam/occam.hpp"
+
+namespace fpst {
+namespace {
+
+using namespace fpst::sim::literals;
+
+// ---------------------------- soft float ----------------------------------
+
+double rnd_normal(std::mt19937_64& rng, int spread) {
+  std::uniform_real_distribution<double> mant(1.0, 2.0);
+  std::uniform_int_distribution<int> exp(-spread, spread);
+  std::uniform_int_distribution<int> sign(0, 1);
+  return (sign(rng) ? -1.0 : 1.0) * std::ldexp(mant(rng), exp(rng));
+}
+
+TEST(FpProperties, AdditionIsCommutative) {
+  std::mt19937_64 rng{1};
+  for (int i = 0; i < 20000; ++i) {
+    const fp::T64 a = fp::T64::from_double(rnd_normal(rng, 100));
+    const fp::T64 b = fp::T64::from_double(rnd_normal(rng, 100));
+    fp::Flags f1;
+    fp::Flags f2;
+    EXPECT_EQ(add(a, b, f1).bits(), add(b, a, f2).bits());
+  }
+}
+
+TEST(FpProperties, MultiplicationIsCommutative) {
+  std::mt19937_64 rng{2};
+  for (int i = 0; i < 20000; ++i) {
+    const fp::T64 a = fp::T64::from_double(rnd_normal(rng, 200));
+    const fp::T64 b = fp::T64::from_double(rnd_normal(rng, 200));
+    fp::Flags f1;
+    fp::Flags f2;
+    EXPECT_EQ(mul(a, b, f1).bits(), mul(b, a, f2).bits());
+  }
+}
+
+TEST(FpProperties, AdditiveIdentityAndInverse) {
+  std::mt19937_64 rng{3};
+  const fp::T64 zero = fp::T64::from_double(0.0);
+  for (int i = 0; i < 10000; ++i) {
+    const fp::T64 a = fp::T64::from_double(rnd_normal(rng, 300));
+    fp::Flags fl;
+    EXPECT_EQ(add(a, zero, fl).bits(), a.bits());
+    EXPECT_TRUE(add(a, a.negated(), fl).is_zero());
+  }
+}
+
+TEST(FpProperties, MultiplyByOneIsIdentity) {
+  std::mt19937_64 rng{4};
+  const fp::T64 one = fp::T64::from_double(1.0);
+  for (int i = 0; i < 10000; ++i) {
+    const fp::T64 a = fp::T64::from_double(rnd_normal(rng, 300));
+    fp::Flags fl;
+    EXPECT_EQ(mul(a, one, fl).bits(), a.bits());
+    EXPECT_FALSE(fl.any());
+  }
+}
+
+TEST(FpProperties, CompareIsAntisymmetric) {
+  std::mt19937_64 rng{5};
+  for (int i = 0; i < 20000; ++i) {
+    const fp::T64 a = fp::T64::from_double(rnd_normal(rng, 50));
+    const fp::T64 b = fp::T64::from_double(rnd_normal(rng, 50));
+    fp::Flags fl;
+    const fp::Ordering ab = compare(a, b, fl);
+    const fp::Ordering ba = compare(b, a, fl);
+    if (ab == fp::Ordering::less) {
+      EXPECT_EQ(ba, fp::Ordering::greater);
+    } else if (ab == fp::Ordering::greater) {
+      EXPECT_EQ(ba, fp::Ordering::less);
+    } else {
+      EXPECT_EQ(ba, ab);
+    }
+  }
+}
+
+TEST(FpProperties, NarrowOfWidenIsIdentity) {
+  std::mt19937_64 rng{6};
+  for (int i = 0; i < 20000; ++i) {
+    std::uniform_int_distribution<std::uint32_t> bits32;
+    const fp::T32 a = fp::T32::from_bits(bits32(rng));
+    if (a.is_nan()) {
+      continue;  // NaN payloads are canonicalised, not preserved
+    }
+    fp::Flags fl;
+    const fp::T32 back = fp::T32::narrowed(a.widened(), fl);
+    // Denormal inputs flush on the way in; everything else round-trips.
+    const bool denorm = fp::kBinary32.exp_field(a.bits()) == 0 &&
+                        (a.bits() & fp::kBinary32.mant_mask()) != 0;
+    if (!denorm) {
+      EXPECT_EQ(back.bits(), a.bits());
+      EXPECT_FALSE(fl.inexact);
+    }
+  }
+}
+
+TEST(FpProperties, SmallestNormalBoundary) {
+  // min_normal / 2 flushes; min_normal * 1 survives.
+  const fp::T64 min_normal = fp::T64::from_bits(0x0010'0000'0000'0000ull);
+  fp::Flags fl;
+  EXPECT_TRUE(mul(min_normal, fp::T64::from_double(0.5), fl).is_zero());
+  EXPECT_TRUE(fl.underflow);
+  fp::Flags fl2;
+  EXPECT_EQ(mul(min_normal, fp::T64::from_double(1.0), fl2).bits(),
+            min_normal.bits());
+  EXPECT_FALSE(fl2.any());
+}
+
+// ---------------------------- assembler fuzz ------------------------------
+
+TEST(AssemblerFuzz, RandomOperandsRoundTripThroughPrefixes) {
+  std::mt19937_64 rng{7};
+  std::uniform_int_distribution<std::int32_t> val(
+      std::numeric_limits<std::int32_t>::min(),
+      std::numeric_limits<std::int32_t>::max());
+  const cp::Op ops[] = {cp::Op::ldc, cp::Op::adc, cp::Op::j, cp::Op::ldl,
+                        cp::Op::stl, cp::Op::ajw, cp::Op::eqc};
+  for (int i = 0; i < 50000; ++i) {
+    const cp::Op op = ops[static_cast<std::size_t>(i) % std::size(ops)];
+    const std::int32_t v = val(rng);
+    const auto bytes = cp::encode(op, v);
+    const cp::Decoded d = cp::decode(bytes, 0);
+    ASSERT_EQ(d.op, op);
+    ASSERT_EQ(d.operand, v);
+    ASSERT_EQ(d.size, bytes.size());
+  }
+}
+
+TEST(AssemblerFuzz, ProgramsOfRandomInstructionsDisassembleCompletely) {
+  std::mt19937_64 rng{8};
+  std::uniform_int_distribution<std::int32_t> val(-100000, 100000);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string src;
+    int count = 0;
+    for (int i = 0; i < 200; ++i) {
+      src += "adc " + std::to_string(val(rng)) + "\n";
+      ++count;
+    }
+    src += "halt\n";
+    const cp::Program p = cp::assemble(src);
+    // Decode the whole image instruction by instruction.
+    std::size_t pos = 0;
+    int decoded = 0;
+    while (pos < p.bytes.size()) {
+      const cp::Decoded d = cp::decode(p.bytes, pos);
+      pos += d.size;
+      ++decoded;
+    }
+    EXPECT_EQ(decoded, count + 1);
+  }
+}
+
+// -------------------------- collectives over roots ------------------------
+
+class BroadcastRoots : public ::testing::TestWithParam<net::NodeId> {};
+
+TEST_P(BroadcastRoots, ScheduleIsValidFromEveryRoot) {
+  const net::Hypercube cube{5};
+  const net::NodeId root = GetParam();
+  std::set<net::NodeId> have{root};
+  for (const net::CommStep& s : net::broadcast_schedule(cube, root)) {
+    EXPECT_TRUE(have.count(s.from));
+    EXPECT_TRUE(have.insert(s.to).second);
+  }
+  EXPECT_EQ(have.size(), cube.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Roots, BroadcastRoots,
+                         ::testing::Values(0, 1, 7, 13, 21, 31));
+
+TEST(NetProperties, AllreduceScheduleLoadsEveryEdgeEqually) {
+  const net::Hypercube cube{5};
+  std::map<std::pair<net::NodeId, net::NodeId>, int> load;
+  for (const net::CommStep& s : net::allreduce_schedule(cube)) {
+    const net::NodeId a = std::min(s.from, s.to);
+    const net::NodeId b = std::max(s.from, s.to);
+    ++load[{a, b}];
+  }
+  EXPECT_EQ(load.size(), cube.edges().size()) << "every edge used";
+  for (const auto& [edge, count] : load) {
+    EXPECT_EQ(count, 2) << "each edge carries one exchange in each direction";
+  }
+}
+
+TEST(NetProperties, EcubeRoutesNeverLoop) {
+  const net::Hypercube cube{8};
+  std::mt19937 rng{9};
+  std::uniform_int_distribution<net::NodeId> pick(0, 255);
+  for (int t = 0; t < 5000; ++t) {
+    const auto path = cube.ecube_path(pick(rng), pick(rng));
+    std::set<net::NodeId> seen(path.begin(), path.end());
+    EXPECT_EQ(seen.size(), path.size()) << "no node visited twice";
+  }
+}
+
+// ------------------------------ channels ----------------------------------
+
+sim::Proc stress_sender(sim::Channel<int>* ch, int base) {
+  for (int i = 0; i < 50; ++i) {
+    co_await ch->send(base + i);
+  }
+}
+
+sim::Proc stress_receiver(sim::Channel<int>* ch, std::vector<int>* got,
+                          int n) {
+  for (int i = 0; i < n; ++i) {
+    got->push_back(co_await ch->recv());
+  }
+}
+
+TEST(ChannelProperties, ManySendersDrainCompletelyAndFairly) {
+  sim::Simulator sim;
+  sim::Channel<int> ch{sim};
+  std::vector<int> got;
+  constexpr int kSenders = 8;
+  for (int s = 0; s < kSenders; ++s) {
+    sim.spawn(stress_sender(&ch, 1000 * s));
+  }
+  sim.spawn(stress_receiver(&ch, &got, kSenders * 50));
+  sim.run();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kSenders) * 50);
+  // Per-sender FIFO: each sender's values arrive in its own order.
+  std::map<int, int> last;
+  for (int v : got) {
+    const int s = v / 1000;
+    EXPECT_GT(v, last.count(s) ? last[s] : -1);
+    last[s] = v;
+  }
+}
+
+// --------------------------- messaging fuzz -------------------------------
+
+TEST(OccamFuzz, RandomPointToPointTrafficDeliversExactly) {
+  // 120 random messages with unique tags between random node pairs on a
+  // 4-cube; every payload must arrive intact despite multi-hop routing and
+  // shared wires.
+  sim::Simulator sim;
+  core::TSeries machine{sim, 4};
+  occam::Runtime rt{machine};
+  std::mt19937_64 rng{0xfeed};
+  struct M {
+    net::NodeId src;
+    net::NodeId dst;
+    std::uint16_t tag;
+    std::vector<double> data;
+  };
+  std::vector<M> plan;
+  std::uniform_int_distribution<net::NodeId> pick(0, 15);
+  std::uniform_int_distribution<std::size_t> len(1, 40);
+  for (std::uint16_t k = 0; k < 120; ++k) {
+    M m;
+    m.src = pick(rng);
+    do {
+      m.dst = pick(rng);
+    } while (m.dst == m.src);
+    m.tag = static_cast<std::uint16_t>(1000 + k);
+    m.data.resize(len(rng));
+    for (double& v : m.data) {
+      v = static_cast<double>(k) + 0.001 * static_cast<double>(m.data.size());
+    }
+    plan.push_back(std::move(m));
+  }
+  std::vector<std::vector<double>> received(plan.size());
+  rt.run([&](occam::Ctx& ctx) -> sim::Proc {
+    std::vector<sim::Proc> ops;
+    for (std::size_t k = 0; k < plan.size(); ++k) {
+      if (plan[k].src == ctx.id()) {
+        ops.push_back(ctx.send(plan[k].dst, plan[k].tag, plan[k].data));
+      }
+      if (plan[k].dst == ctx.id()) {
+        ops.push_back(ctx.recv(plan[k].src, plan[k].tag, &received[k]));
+      }
+    }
+    co_await occam::Par{std::move(ops)};
+  });
+  for (std::size_t k = 0; k < plan.size(); ++k) {
+    EXPECT_EQ(received[k], plan[k].data) << "message " << k;
+  }
+}
+
+// --------------------------- large machine smoke --------------------------
+
+TEST(LargeMachine, BarrierOn512Nodes) {
+  // Half-gigabyte of simulated DRAM, 4608 router daemons: the simulator
+  // handles a 9-cube (64 modules / 32 cabinets) on a laptop.
+  sim::Simulator sim;
+  core::TSeries machine{sim, 9};
+  occam::Runtime rt{machine};
+  const sim::SimTime t = rt.run([](occam::Ctx& ctx) -> sim::Proc {
+    co_await ctx.barrier();
+  });
+  EXPECT_GT(t.ps(), 0);
+  EXPECT_EQ(machine.module_count(), 64u);
+}
+
+TEST(LargeMachine, AllreduceOn128Nodes) {
+  sim::Simulator sim;
+  core::TSeries machine{sim, 7};
+  occam::Runtime rt{machine};
+  std::vector<double> results(machine.size());
+  rt.run([&](occam::Ctx& ctx) -> sim::Proc {
+    double x = 1.0;
+    co_await ctx.allreduce_sum(&x);
+    results[ctx.id()] = x;
+  });
+  for (net::NodeId i = 0; i < machine.size(); ++i) {
+    ASSERT_EQ(results[i], 128.0);
+  }
+}
+
+}  // namespace
+}  // namespace fpst

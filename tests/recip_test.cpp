@@ -1,0 +1,108 @@
+// Tests for software division (Newton reciprocal on the pipes): accuracy
+// against the host, special values, FTZ interplay, and the timed node-level
+// wrapper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "node/node.hpp"
+#include "vpu/recip.hpp"
+
+namespace fpst::vpu {
+namespace {
+
+using fp::Flags;
+using fp::T64;
+
+double ulps_apart(double a, double b) {
+  if (a == b) {
+    return 0;
+  }
+  const double scale = std::ldexp(1.0, std::ilogb(a) - 52);
+  return std::fabs(a - b) / scale;
+}
+
+TEST(Recip, ExactPowersOfTwo) {
+  Flags fl;
+  EXPECT_EQ(recip_newton(T64::from_double(1.0), fl).to_double(), 1.0);
+  EXPECT_EQ(recip_newton(T64::from_double(2.0), fl).to_double(), 0.5);
+  EXPECT_EQ(recip_newton(T64::from_double(0.25), fl).to_double(), 4.0);
+  EXPECT_EQ(recip_newton(T64::from_double(-8.0), fl).to_double(), -0.125);
+}
+
+TEST(Recip, WithinTwoUlpsOfHostAcrossMagnitudes) {
+  std::mt19937_64 rng{0xd10f77};
+  std::uniform_real_distribution<double> mant(1.0, 2.0);
+  std::uniform_int_distribution<int> exp(-300, 300);
+  std::uniform_int_distribution<int> sign(0, 1);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = (sign(rng) ? -1.0 : 1.0) *
+                     std::ldexp(mant(rng), exp(rng));
+    Flags fl;
+    const double r = recip_newton(T64::from_double(x), fl).to_double();
+    EXPECT_LE(ulps_apart(r, 1.0 / x), 2.0) << "x = " << x;
+  }
+}
+
+TEST(Recip, DivNewtonAgreesWithHostClosely) {
+  std::mt19937_64 rng{123};
+  std::uniform_real_distribution<double> dist(-100.0, 100.0);
+  for (int i = 0; i < 5000; ++i) {
+    const double b = dist(rng);
+    double a = dist(rng);
+    if (std::fabs(a) < 1e-3) {
+      a = 1.0;
+    }
+    Flags fl;
+    const double q =
+        div_newton(T64::from_double(b), T64::from_double(a), fl).to_double();
+    EXPECT_NEAR(q, b / a, std::fabs(b / a) * 1e-15 + 1e-300);
+  }
+}
+
+TEST(Recip, SpecialValues) {
+  Flags fl;
+  EXPECT_TRUE(recip_newton(T64::from_double(0.0), fl).is_inf());
+  const T64 rneg0 = recip_newton(T64::from_double(-0.0), fl);
+  EXPECT_TRUE(rneg0.is_inf());
+  EXPECT_TRUE(rneg0.sign());
+  EXPECT_TRUE(
+      recip_newton(T64::from_double(std::numeric_limits<double>::infinity()),
+                   fl)
+          .is_zero());
+  EXPECT_TRUE(recip_newton(T64::from_double(std::nan("")), fl).is_nan());
+}
+
+TEST(Recip, HugeInputsFlushToZeroWithUnderflow) {
+  // 1 / 1e308 ~ 1e-309 is below the smallest normal: FTZ returns zero.
+  Flags fl;
+  const T64 r = recip_newton(T64::from_double(1e308), fl);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(fl.underflow);
+}
+
+TEST(Recip, IterationCountMatchesConstant) {
+  // 3 flops per iteration, 6 iterations: the published cost model.
+  EXPECT_EQ(kRecipIterations, 5);
+  EXPECT_EQ(kRecipFlopsPerIteration, 3);
+}
+
+sim::Proc run_recip(node::Node* nd, double x, double* out) {
+  co_await nd->scalar_recip(x, out);
+}
+
+TEST(Recip, NodeWrapperChargesPipeTime) {
+  sim::Simulator sim;
+  node::Node nd{sim, 0};
+  double out = 0;
+  sim.spawn(run_recip(&nd, 3.0, &out));
+  sim.run();
+  EXPECT_NEAR(out, 1.0 / 3.0, 1e-15);
+  // 5 iterations x (2 multiplies @7 + subtract @6 stages) x 125 ns.
+  EXPECT_EQ(sim.now(), 5 * 20 * vpu::VpuParams::cycle());
+}
+
+}  // namespace
+}  // namespace fpst::vpu

@@ -1,0 +1,318 @@
+// Unit and property tests for the discrete-event kernel: time arithmetic,
+// event ordering, coroutine processes, synchronisation primitives.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/proc.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/time.hpp"
+
+namespace fpst::sim {
+namespace {
+
+using namespace fpst::sim::literals;
+
+TEST(SimTime, UnitFactoriesAgree) {
+  EXPECT_EQ(SimTime::nanoseconds(1).ps(), 1000);
+  EXPECT_EQ(SimTime::microseconds(1), SimTime::nanoseconds(1000));
+  EXPECT_EQ(SimTime::milliseconds(1), SimTime::microseconds(1000));
+  EXPECT_EQ(SimTime::seconds(1), SimTime::milliseconds(1000));
+  EXPECT_EQ(125_ns, SimTime::picoseconds(125'000));
+}
+
+TEST(SimTime, PaperConstantsAreExact) {
+  // 62.5 ns (one 32-bit word per vector-register beat) must be exact.
+  const SimTime half_cycle = 125_ns / 2;
+  EXPECT_EQ(half_cycle.ps(), 62'500);
+  EXPECT_EQ(half_cycle * 2, 125_ns);
+}
+
+TEST(SimTime, Arithmetic) {
+  EXPECT_EQ((3_us + 500_ns).ps(), 3'500'000);
+  EXPECT_EQ((3_us - 500_ns).ps(), 2'500'000);
+  EXPECT_EQ(4_us / 2_us, 2.0);
+  EXPECT_LT(1_ns, 1_us);
+  SimTime t = 1_us;
+  t += 1_us;
+  t -= 250_ns;
+  EXPECT_EQ(t.ps(), 1'750'000);
+}
+
+TEST(SimTime, ToStringPicksUnit) {
+  EXPECT_EQ((125_ns).to_string(), "125 ns");
+  EXPECT_EQ((5_us).to_string(), "5 us");
+  EXPECT_EQ((15_s).to_string(), "15 s");
+  EXPECT_EQ((125_ns / 2).to_string(), "62.500 ns");
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3_us, [&] { order.push_back(3); });
+  sim.schedule(1_us, [&] { order.push_back(1); });
+  sim.schedule(2_us, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3_us);
+}
+
+TEST(Simulator, SimultaneousEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(1_us, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1_us, [&] { fired |= 1; });
+  sim.schedule(10_us, [&] { fired |= 2; });
+  sim.run_until(5_us);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 5_us);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, NestedSchedulingAdvancesTime) {
+  Simulator sim;
+  SimTime seen{};
+  sim.schedule(1_us, [&] {
+    sim.schedule(1_us, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 2_us);
+}
+
+Proc delay_then_mark(SimTime d, SimTime* out) {
+  co_await Delay{d};
+  Simulator& sim = co_await ThisSim{};
+  *out = sim.now();
+}
+
+TEST(Proc, DelayAdvancesSimulatedTime) {
+  Simulator sim;
+  SimTime out{};
+  sim.spawn(delay_then_mark(125_ns, &out));
+  sim.run();
+  EXPECT_EQ(out, 125_ns);
+}
+
+Proc sequential_child(std::vector<int>* log, int id, SimTime d) {
+  co_await Delay{d};
+  log->push_back(id);
+}
+
+Proc sequential_parent(std::vector<int>* log) {
+  co_await sequential_child(log, 1, 2_us);
+  co_await sequential_child(log, 2, 1_us);
+  log->push_back(3);
+}
+
+TEST(Proc, StructuredJoinIsSequential) {
+  Simulator sim;
+  std::vector<int> log;
+  sim.spawn(sequential_parent(&log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3_us);
+}
+
+Proc par_parent(std::vector<int>* log) {
+  // Occam PAR: both children run concurrently; total elapsed time is the
+  // max of the two, not the sum.
+  co_await WhenAll{sequential_child(log, 1, 1_us),
+                   sequential_child(log, 2, 3_us)};
+  log->push_back(3);
+}
+
+TEST(Proc, WhenAllJoinsConcurrently) {
+  Simulator sim;
+  std::vector<int> log;
+  sim.spawn(par_parent(&log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3_us);
+}
+
+Proc throwing_proc() {
+  co_await Delay{1_us};
+  throw std::runtime_error("boom");
+}
+
+TEST(Proc, RootExceptionSurfacesAsProcError) {
+  Simulator sim;
+  sim.spawn(throwing_proc());
+  EXPECT_THROW(sim.run(), ProcError);
+}
+
+Proc catching_parent(bool* caught) {
+  try {
+    co_await throwing_proc();
+  } catch (const std::runtime_error& e) {
+    *caught = std::string(e.what()) == "boom";
+  }
+}
+
+TEST(Proc, ChildExceptionPropagatesToParent) {
+  Simulator sim;
+  bool caught = false;
+  sim.spawn(catching_parent(&caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+Proc event_waiter(Event* ev, int* count) {
+  co_await ev->wait();
+  ++*count;
+}
+
+Proc event_notifier(Event* ev) {
+  co_await Delay{5_us};
+  ev->notify_all();
+}
+
+TEST(Sync, EventWakesAllWaiters) {
+  Simulator sim;
+  Event ev{sim};
+  int count = 0;
+  sim.spawn(event_waiter(&ev, &count));
+  sim.spawn(event_waiter(&ev, &count));
+  sim.spawn(event_notifier(&ev));
+  sim.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 5_us);
+}
+
+Proc sem_user(Semaphore* sem, SimTime hold, std::vector<SimTime>* acquired,
+              Simulator* sim) {
+  co_await sem->acquire();
+  acquired->push_back(sim->now());
+  co_await Delay{hold};
+  sem->release();
+}
+
+TEST(Sync, SemaphoreSerialisesExclusiveResource) {
+  Simulator sim;
+  Semaphore sem{sim, 1};
+  std::vector<SimTime> acquired;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn(sem_user(&sem, 10_us, &acquired, &sim));
+  }
+  sim.run();
+  ASSERT_EQ(acquired.size(), 3u);
+  EXPECT_EQ(acquired[0], 0_us);
+  EXPECT_EQ(acquired[1], 10_us);
+  EXPECT_EQ(acquired[2], 20_us);
+}
+
+TEST(Sync, SemaphoreAllowsCountConcurrent) {
+  Simulator sim;
+  Semaphore sem{sim, 2};
+  std::vector<SimTime> acquired;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn(sem_user(&sem, 10_us, &acquired, &sim));
+  }
+  sim.run();
+  ASSERT_EQ(acquired.size(), 4u);
+  EXPECT_EQ(acquired[0], 0_us);
+  EXPECT_EQ(acquired[1], 0_us);
+  EXPECT_EQ(acquired[2], 10_us);
+  EXPECT_EQ(acquired[3], 10_us);
+}
+
+Proc chan_sender(Channel<int>* ch, int base, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await ch->send(base + i);
+    co_await Delay{1_us};
+  }
+}
+
+Proc chan_receiver(Channel<int>* ch, std::vector<int>* got, int n) {
+  for (int i = 0; i < n; ++i) {
+    got->push_back(co_await ch->recv());
+  }
+}
+
+TEST(Sync, ChannelRendezvousTransfersInOrder) {
+  Simulator sim;
+  Channel<int> ch{sim};
+  std::vector<int> got;
+  sim.spawn(chan_sender(&ch, 100, 5));
+  sim.spawn(chan_receiver(&ch, &got, 5));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{100, 101, 102, 103, 104}));
+}
+
+Proc chan_blocking_sender(Channel<int>* ch, Simulator* sim, SimTime* done) {
+  co_await ch->send(7);
+  *done = sim->now();
+}
+
+Proc chan_late_receiver(Channel<int>* ch, int* value) {
+  co_await Delay{9_us};
+  *value = co_await ch->recv();
+}
+
+TEST(Sync, SendBlocksUntilReceiverArrives) {
+  Simulator sim;
+  Channel<int> ch{sim};
+  SimTime done{};
+  int value = 0;
+  sim.spawn(chan_blocking_sender(&ch, &sim, &done));
+  sim.spawn(chan_late_receiver(&ch, &value));
+  sim.run();
+  EXPECT_EQ(value, 7);
+  EXPECT_EQ(done, 9_us);
+}
+
+// Determinism property: the same program must produce the identical event
+// trace on every run.
+class DeterminismTest : public ::testing::TestWithParam<int> {};
+
+Proc det_worker(Channel<int>* ch, int id, std::vector<int>* log) {
+  co_await Delay{SimTime::nanoseconds(100 * (id % 3))};
+  co_await ch->send(id);
+  log->push_back(id);
+}
+
+Proc det_sink(Channel<int>* ch, int n, std::vector<int>* log) {
+  for (int i = 0; i < n; ++i) {
+    log->push_back(1000 + co_await ch->recv());
+  }
+}
+
+std::vector<int> run_det_workload(int workers) {
+  Simulator sim;
+  Channel<int> ch{sim};
+  std::vector<int> log;
+  for (int i = 0; i < workers; ++i) {
+    sim.spawn(det_worker(&ch, i, &log));
+  }
+  sim.spawn(det_sink(&ch, workers, &log));
+  sim.run();
+  return log;
+}
+
+TEST_P(DeterminismTest, RepeatedRunsProduceIdenticalTraces) {
+  const int workers = GetParam();
+  const std::vector<int> first = run_det_workload(workers);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(run_det_workload(workers), first) << "workers=" << workers;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, DeterminismTest,
+                         ::testing::Values(1, 2, 5, 16, 64));
+
+}  // namespace
+}  // namespace fpst::sim

@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# CI gate for the FPS T Series simulator.
+#
+# Stages:
+#   1. warnings-as-errors build + full tier-1 ctest under ASan+UBSan
+#   2. tcheck static verification: every shipped example must be clean
+#   3. tcheck over the corpus of deliberately-broken programs: every one
+#      must be flagged (with --werror, so warning-class defects count)
+#   4. clang-tidy over all first-party translation units (skipped when the
+#      toolchain image has no clang-tidy)
+#
+#   usage: ./ci.sh [build-dir]      (default: build-ci)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+build_dir=${1:-"$repo_root/build-ci"}
+
+echo "== [1/4] build (-Werror, ASan+UBSan) and tier-1 tests =="
+cmake -B "$build_dir" -S "$repo_root" \
+      -DFPST_WERROR=ON -DFPST_SANITIZE=address,undefined
+cmake --build "$build_dir" -j
+(cd "$build_dir" && ctest --output-on-failure -j)
+
+tcheck="$build_dir/tools/tcheck"
+
+echo "== [2/4] tcheck: shipped examples must verify clean =="
+"$tcheck" "$repo_root"/examples/tisa/*.tisa "$repo_root"/examples/comm/*.comm
+
+echo "== [3/4] tcheck: corpus of broken programs must all be flagged =="
+bad=0
+for f in "$repo_root"/tests/corpus/*; do
+  if "$tcheck" --werror -q "$f"; then
+    echo "ci: NOT FLAGGED (corpus program slipped through): $f" >&2
+    bad=1
+  fi
+done
+[ "$bad" -eq 0 ] || exit 1
+
+echo "== [4/4] clang-tidy =="
+"$repo_root"/tools/run-tidy.sh "$build_dir"
+
+echo "ci: all stages passed"

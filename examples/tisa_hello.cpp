@@ -62,6 +62,7 @@ int main() {
       vform           ; start the micro-sequencer
       vwait           ; block until the completion interrupt
       halt
+   .align            ; vform descriptors must be word-aligned
    desc:
       .space 48
   )");

@@ -1,0 +1,194 @@
+#include "check/cfg.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace fpst::check {
+
+namespace {
+
+std::string hex(std::uint32_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+}  // namespace
+
+Flow Insn::flow() const {
+  switch (d.op) {
+    case cp::Op::j:
+      return Flow::kJump;
+    case cp::Op::cj:
+      return Flow::kCondJump;
+    case cp::Op::call:
+      return Flow::kCall;
+    case cp::Op::opr:
+      switch (static_cast<cp::SecOp>(d.operand)) {
+        case cp::SecOp::ret:
+        case cp::SecOp::halt:
+        case cp::SecOp::endp:
+        case cp::SecOp::stopp:  // deschedule self, never requeued
+          return Flow::kStop;
+        default:
+          return Flow::kFall;
+      }
+    default:
+      return Flow::kFall;
+  }
+}
+
+std::optional<std::uint32_t> Insn::static_target() const {
+  if (d.op != cp::Op::j && d.op != cp::Op::cj && d.op != cp::Op::call) {
+    return std::nullopt;
+  }
+  // j/cj/call operands are relative to the next instruction.
+  return next() + static_cast<std::uint32_t>(d.operand);
+}
+
+Cfg build_cfg(const cp::Program& p, const std::set<std::uint32_t>& entries,
+              Report& rep) {
+  Cfg cfg;
+  cfg.lo = p.org;
+  cfg.hi = p.org + static_cast<std::uint32_t>(p.bytes.size());
+  cfg.entries = entries;
+
+  // ---- recursive-descent decode ----
+  // blame[a] remembers which instruction first branched to `a`, for
+  // mid-instruction diagnostics.
+  std::map<std::uint32_t, std::uint32_t> blame;
+  std::deque<std::uint32_t> work(entries.begin(), entries.end());
+  std::set<std::uint32_t> truncated_reported;
+
+  auto enqueue = [&](std::uint32_t target, const Insn& from,
+                     const char* what) {
+    if (!cfg.in_image(target)) {
+      rep.error("bad-jump", from.addr,
+                std::string(what) + " target " + hex(target) +
+                    " is outside the program image [" + hex(cfg.lo) + ", " +
+                    hex(cfg.hi) + ")");
+      return;
+    }
+    blame.emplace(target, from.addr);
+    work.push_back(target);
+  };
+
+  while (!work.empty()) {
+    const std::uint32_t addr = work.front();
+    work.pop_front();
+    if (cfg.insns.count(addr) != 0 || !cfg.in_image(addr)) {
+      continue;
+    }
+    Insn in;
+    in.addr = addr;
+    try {
+      in.d = cp::decode(p.bytes, addr - cfg.lo);
+    } catch (const std::runtime_error&) {
+      if (truncated_reported.insert(addr).second) {
+        rep.error("truncated-instruction", addr,
+                  "prefix chain at " + hex(addr) +
+                      " runs off the end of the program image");
+      }
+      continue;
+    }
+    cfg.insns.emplace(addr, in);
+
+    const Flow f = in.flow();
+    if (const auto t = in.static_target()) {
+      enqueue(*t, in, in.d.op == cp::Op::call ? "call" : "jump");
+    }
+    if (f == Flow::kFall || f == Flow::kCondJump || f == Flow::kCall) {
+      if (in.next() >= cfg.hi) {
+        rep.error("falls-off-end", addr,
+                  "execution falls off the end of the program image after " +
+                      hex(addr));
+      } else {
+        work.push_back(in.next());
+      }
+    }
+  }
+
+  // ---- overlapping decodes: a transfer landed mid-instruction ----
+  for (auto it = cfg.insns.begin(); it != cfg.insns.end(); ++it) {
+    auto nx = std::next(it);
+    if (nx == cfg.insns.end()) {
+      break;
+    }
+    if (it->second.next() > nx->first) {
+      const auto b = blame.find(nx->first);
+      std::string msg = "instruction decoded at " + hex(nx->first) +
+                        " overlaps the instruction at " + hex(it->first) +
+                        " — a control transfer lands mid-instruction";
+      rep.error("mid-instruction",
+                b != blame.end() ? b->second : nx->first, std::move(msg));
+    }
+  }
+
+  // ---- leaders and blocks ----
+  std::set<std::uint32_t> leaders(entries.begin(), entries.end());
+  for (const auto& [addr, in] : cfg.insns) {
+    const Flow f = in.flow();
+    if (const auto t = in.static_target(); t && cfg.in_image(*t)) {
+      leaders.insert(*t);
+    }
+    if (f != Flow::kFall && cfg.insns.count(in.next()) != 0) {
+      leaders.insert(in.next());
+    }
+  }
+
+  for (const auto& [addr, in] : cfg.insns) {
+    (void)in;
+    if (leaders.count(addr) == 0) {
+      continue;
+    }
+    BasicBlock bb;
+    bb.start = addr;
+    std::uint32_t a = addr;
+    for (;;) {
+      const auto it = cfg.insns.find(a);
+      if (it == cfg.insns.end()) {
+        break;  // decode failed past here (already diagnosed)
+      }
+      bb.insns.push_back(it->second);
+      const Insn& cur = it->second;
+      const Flow f = cur.flow();
+      const bool block_ends =
+          f != Flow::kFall || leaders.count(cur.next()) != 0;
+      if (block_ends) {
+        const auto add_succ = [&](std::uint32_t s) {
+          if (cfg.insns.count(s) != 0) {
+            bb.succs.push_back(s);
+          }
+        };
+        switch (f) {
+          case Flow::kJump:
+            if (const auto t = cur.static_target()) {
+              add_succ(*t);
+            }
+            break;
+          case Flow::kCondJump:
+          case Flow::kCall:
+            if (const auto t = cur.static_target()) {
+              add_succ(*t);
+            }
+            add_succ(cur.next());
+            break;
+          case Flow::kFall:
+            add_succ(cur.next());
+            break;
+          case Flow::kStop:
+            break;
+        }
+        break;
+      }
+      a = cur.next();
+    }
+    if (!bb.insns.empty()) {
+      cfg.blocks.emplace(addr, std::move(bb));
+    }
+  }
+  return cfg;
+}
+
+}  // namespace fpst::check

@@ -1,0 +1,293 @@
+#include "check/chan_graph.hpp"
+
+#include <bit>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <sstream>
+
+namespace fpst::check {
+
+namespace {
+
+using occam::CommKind;
+using occam::CommOp;
+using occam::CommSpec;
+
+/// One lowered point-to-point event.
+struct Event {
+  bool is_send = false;
+  bool any = false;          ///< recv_any: match the tag from any source
+  net::NodeId peer = 0;      ///< dst for sends, src for receives
+  std::uint32_t tag = 0;
+  std::size_t origin = 0;    ///< index of the CommOp this lowered from
+  std::string detail;        ///< e.g. "barrier exchange, dimension 2"
+};
+
+std::string node_op_desc(const CommSpec& spec, net::NodeId n,
+                         const Event& e) {
+  std::ostringstream os;
+  os << "node " << n << " op #" << e.origin << " ("
+     << occam::to_string(spec.ops(n)[e.origin]) << ")";
+  if (!e.detail.empty()) {
+    os << ", " << e.detail;
+  }
+  return os.str();
+}
+
+/// Lower one node's CommOp sequence to point-to-point events, mirroring
+/// the schedules in occam.cpp (including Ctx::internal_tag numbering:
+/// one fresh 0x8000|seq tag per collective call).
+std::vector<Event> lower(const CommSpec& spec, net::NodeId id) {
+  const int dim = spec.dimension();
+  std::vector<Event> ev;
+  std::uint32_t internal_seq = 0;
+  const auto internal_tag = [&internal_seq]() {
+    return 0x8000u | (internal_seq++ & 0x7FFFu);
+  };
+  const auto push = [&](bool is_send, net::NodeId peer, std::uint32_t tag,
+                        std::size_t origin, std::string detail) {
+    ev.push_back(Event{is_send, false, peer, tag, origin, std::move(detail)});
+  };
+
+  const std::vector<CommOp>& ops = spec.ops(id);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const CommOp& op = ops[i];
+    switch (op.kind) {
+      case CommKind::kSend:
+        push(true, op.peer, op.tag, i, "");
+        break;
+      case CommKind::kRecv:
+        push(false, op.peer, op.tag, i, "");
+        break;
+      case CommKind::kRecvAny:
+        ev.push_back(Event{false, true, 0, op.tag, i, ""});
+        break;
+      case CommKind::kBarrier: {
+        const std::uint32_t t = internal_tag();
+        for (int k = 0; k < dim; ++k) {
+          const net::NodeId peer = id ^ (net::NodeId{1} << k);
+          const std::string d = "exchange, dimension " + std::to_string(k);
+          push(true, peer, t, i, d);
+          push(false, peer, t, i, d);
+        }
+        break;
+      }
+      case CommKind::kBroadcast: {
+        const std::uint32_t t = internal_tag();
+        const std::uint32_t rel = id ^ op.peer;
+        int first_send_dim = 0;
+        if (rel != 0) {
+          const int j = static_cast<int>(std::bit_width(rel)) - 1;
+          push(false, id ^ (net::NodeId{1} << j), t, i,
+               "tree arrival, dimension " + std::to_string(j));
+          first_send_dim = j + 1;
+        }
+        for (int k = first_send_dim; k < dim; ++k) {
+          push(true, id ^ (net::NodeId{1} << k), t, i,
+               "tree fan-out, dimension " + std::to_string(k));
+        }
+        break;
+      }
+      case CommKind::kReduce: {
+        const std::uint32_t t = internal_tag();
+        const std::uint32_t rel = id ^ op.peer;
+        bool merged_upstream = false;
+        for (int k = dim - 1; k >= 0 && !merged_upstream; --k) {
+          const std::uint32_t bit = std::uint32_t{1} << k;
+          if (rel < bit) {
+            push(false, id ^ bit, t, i,
+                 "tree merge, dimension " + std::to_string(k));
+          } else if (rel < 2 * bit) {
+            push(true, id ^ bit, t, i,
+                 "tree partial, dimension " + std::to_string(k));
+            merged_upstream = true;
+          }
+        }
+        break;
+      }
+      case CommKind::kAllreduce: {
+        const std::uint32_t t = internal_tag();
+        for (int k = 0; k < dim; ++k) {
+          const net::NodeId peer = id ^ (net::NodeId{1} << k);
+          const std::string d =
+              "dimension exchange, dimension " + std::to_string(k);
+          push(true, peer, t, i, d);
+          push(false, peer, t, i, d);
+        }
+        break;
+      }
+    }
+  }
+  return ev;
+}
+
+struct Mail {
+  net::NodeId src;
+  std::uint32_t tag;
+};
+
+}  // namespace
+
+CommAnalysis analyze_comm(const CommSpec& spec) {
+  CommAnalysis res;
+  const std::size_t n = spec.size();
+
+  std::vector<std::vector<Event>> ev(n);
+  for (net::NodeId id = 0; id < n; ++id) {
+    ev[id] = lower(spec, id);
+  }
+
+  // ---- abstract execution: buffered sends, blocking receives ----
+  std::vector<std::size_t> pc(n, 0);
+  std::vector<std::deque<Mail>> mail(n);
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (net::NodeId id = 0; id < n; ++id) {
+      while (pc[id] < ev[id].size()) {
+        const Event& e = ev[id][pc[id]];
+        if (e.is_send) {
+          mail[e.peer].push_back(Mail{id, e.tag});
+          ++pc[id];
+          progress = true;
+          continue;
+        }
+        auto& box = mail[id];
+        auto it = box.end();
+        for (auto m = box.begin(); m != box.end(); ++m) {
+          if (m->tag == e.tag && (e.any || m->src == e.peer)) {
+            it = m;
+            break;
+          }
+        }
+        if (it == box.end()) {
+          break;  // blocked
+        }
+        box.erase(it);
+        ++pc[id];
+        progress = true;
+      }
+    }
+  }
+
+  std::vector<net::NodeId> blocked;
+  for (net::NodeId id = 0; id < n; ++id) {
+    if (pc[id] < ev[id].size()) {
+      blocked.push_back(id);
+    }
+  }
+
+  if (blocked.empty()) {
+    // Every node ran to completion; leftover messages are still suspicious.
+    for (net::NodeId id = 0; id < n; ++id) {
+      for (const Mail& m : mail[id]) {
+        std::ostringstream os;
+        os << "message (node " << m.src << " -> node " << id << ", tag "
+           << m.tag << ") is sent but never received";
+        res.report.warning("unconsumed-message", 0, os.str());
+      }
+    }
+    return res;
+  }
+
+  // ---- wait-for graph over the blocked nodes ----
+  std::vector<int> is_blocked(n, 0);
+  for (const net::NodeId b : blocked) {
+    is_blocked[b] = 1;
+  }
+  const auto wait_targets = [&](net::NodeId id) {
+    std::vector<net::NodeId> out;
+    const Event& e = ev[id][pc[id]];
+    if (e.any) {
+      for (const net::NodeId b : blocked) {
+        if (b != id) {
+          out.push_back(b);
+        }
+      }
+    } else if (is_blocked[e.peer] != 0) {
+      out.push_back(e.peer);
+    }
+    return out;
+  };
+
+  // DFS cycle search over blocked nodes.
+  std::vector<int> color(n, 0);  // 0 white, 1 on stack, 2 done
+  std::vector<net::NodeId> stack;
+  std::optional<std::vector<net::NodeId>> cycle;
+  const std::function<bool(net::NodeId)> dfs = [&](net::NodeId u) -> bool {
+    color[u] = 1;
+    stack.push_back(u);
+    for (const net::NodeId v : wait_targets(u)) {
+      if (color[v] == 1) {
+        // Found a cycle: slice it out of the stack.
+        std::vector<net::NodeId> cyc;
+        auto it = stack.begin();
+        while (*it != v) {
+          ++it;
+        }
+        cyc.assign(it, stack.end());
+        cyc.push_back(v);
+        cycle = std::move(cyc);
+        return true;
+      }
+      if (color[v] == 0 && dfs(v)) {
+        return true;
+      }
+    }
+    stack.pop_back();
+    color[u] = 2;
+    return false;
+  };
+  for (const net::NodeId b : blocked) {
+    if (color[b] == 0 && dfs(b)) {
+      break;
+    }
+  }
+
+  if (cycle.has_value()) {
+    res.deadlock = true;
+    res.cycle = *cycle;
+    std::ostringstream os;
+    os << "communication deadlock: cyclic wait ";
+    for (std::size_t i = 0; i < cycle->size(); ++i) {
+      os << "node " << (*cycle)[i];
+      if (i + 1 < cycle->size()) {
+        os << " -> ";
+      }
+    }
+    res.report.error("deadlock", 0, os.str());
+    for (std::size_t i = 0; i + 1 < cycle->size(); ++i) {
+      const net::NodeId b = (*cycle)[i];  // last entry repeats the first
+      const Event& e = ev[b][pc[b]];
+      std::ostringstream ns;
+      ns << node_op_desc(spec, b, e) << " is blocked on ";
+      if (e.any) {
+        ns << "recv_any(tag " << e.tag << ")";
+      } else {
+        ns << "recv(src " << e.peer << ", tag " << e.tag << ")";
+      }
+      res.report.note("deadlock-participant", 0, ns.str());
+    }
+    return res;
+  }
+
+  // No cycle: each blocked node waits on a message that is never sent.
+  res.deadlock = true;
+  for (const net::NodeId b : blocked) {
+    const Event& e = ev[b][pc[b]];
+    std::ostringstream os;
+    os << node_op_desc(spec, b, e) << " waits for ";
+    if (e.any) {
+      os << "any message with tag " << e.tag;
+    } else {
+      os << "a message from node " << e.peer << " with tag " << e.tag;
+    }
+    os << " that is never sent";
+    res.report.error("stuck-recv", 0, os.str());
+  }
+  return res;
+}
+
+}  // namespace fpst::check

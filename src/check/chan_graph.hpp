@@ -1,0 +1,34 @@
+// Static deadlock checker for Occam communication skeletons
+// (DESIGN.md §6.2).
+//
+// Input is an occam::CommSpec — the per-node sequence of sends, receives
+// and collectives a program performs. The checker lowers every collective
+// to the exact point-to-point schedule occam.cpp executes (binomial trees,
+// dimension exchange, per-node internal tag counter) and then abstractly
+// executes the whole machine: sends are buffered (the runtime's routers
+// always drain the links), receives block until a matching (src, tag)
+// message is available. When execution stalls, the blocked nodes form a
+// wait-for graph — node i waits on node j when i's pending receive names
+// j as source — and any cycle in it is reported as a communication
+// deadlock; acyclic stalls are reported as receives whose message is never
+// sent. This flags at build time what occam::DeadlockError only reports
+// after the simulated event queue drains.
+#pragma once
+
+#include <vector>
+
+#include "check/diagnostics.hpp"
+#include "net/hypercube.hpp"
+#include "occam/commspec.hpp"
+
+namespace fpst::check {
+
+struct CommAnalysis {
+  Report report;
+  bool deadlock = false;           ///< a wait-for cycle was found
+  std::vector<net::NodeId> cycle;  ///< the cycle, first node repeated last
+};
+
+CommAnalysis analyze_comm(const occam::CommSpec& spec);
+
+}  // namespace fpst::check

@@ -1,0 +1,56 @@
+#include "check/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fpst::check {
+
+std::string to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::size_t Report::count(Severity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+bool Report::has(const std::string& code) const {
+  return find(code) != nullptr;
+}
+
+const Diagnostic* Report::find(const std::string& code) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.code == code) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+std::string Report::to_string(const std::string& unit) const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    os << unit;
+    if (d.line != 0) {
+      os << ":" << d.line;
+    }
+    os << ": " << check::to_string(d.severity) << "[" << d.code
+       << "]: " << d.message;
+    if (d.addr != 0) {
+      os << " (at 0x" << std::hex << d.addr << std::dec << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fpst::check

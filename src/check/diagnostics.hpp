@@ -1,0 +1,65 @@
+// Diagnostics shared by the static analyzers (see DESIGN.md §6).
+//
+// A Diagnostic pins a finding to a program byte address and, when the
+// assembler recorded one, a source line, so tcheck can print the familiar
+// `file:line: severity[code]: message` shape and CI can gate on severity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fpst::check {
+
+enum class Severity { kNote, kWarning, kError };
+
+std::string to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;      ///< stable machine-readable slug, e.g. "bad-jump"
+  std::uint32_t addr = 0;  ///< absolute program byte address (0 when n/a)
+  std::size_t line = 0;    ///< 1-based source line (0 when unknown)
+  std::string message;
+};
+
+/// An ordered bag of diagnostics produced by one analysis run.
+class Report {
+ public:
+  void add(Severity sev, std::string code, std::uint32_t addr,
+           std::string message) {
+    diags_.push_back(Diagnostic{sev, std::move(code), addr, 0,
+                                std::move(message)});
+  }
+  void error(std::string code, std::uint32_t addr, std::string message) {
+    add(Severity::kError, std::move(code), addr, std::move(message));
+  }
+  void warning(std::string code, std::uint32_t addr, std::string message) {
+    add(Severity::kWarning, std::move(code), addr, std::move(message));
+  }
+  void note(std::string code, std::uint32_t addr, std::string message) {
+    add(Severity::kNote, std::move(code), addr, std::move(message));
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  std::vector<Diagnostic>& mutable_diagnostics() { return diags_; }
+  std::size_t count(Severity s) const;
+  bool has_errors() const { return count(Severity::kError) > 0; }
+  bool has(const std::string& code) const;
+  /// First diagnostic carrying `code`, or nullptr.
+  const Diagnostic* find(const std::string& code) const;
+
+  /// Render every diagnostic as `unit:line: severity[code]: message`,
+  /// one per line. `line` is omitted when unknown.
+  std::string to_string(const std::string& unit) const;
+
+  /// Merge another report's diagnostics after this one's.
+  void merge(const Report& other) {
+    diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+  }
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace fpst::check

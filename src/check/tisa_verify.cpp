@@ -1,0 +1,663 @@
+#include "check/tisa_verify.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <utility>
+
+#include "cp/isa.hpp"
+
+namespace fpst::check {
+
+namespace {
+
+std::string hex(std::uint32_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+/// One abstract register: a known 32-bit constant or unknown.
+struct AVal {
+  bool known = false;
+  std::uint32_t v = 0;
+};
+
+AVal konst(std::uint32_t v) { return AVal{true, v}; }
+AVal unknown() { return AVal{}; }
+
+bool same(const AVal& x, const AVal& y) {
+  return x.known == y.known && (!x.known || x.v == y.v);
+}
+
+/// Abstract machine state: the A/B/C evaluation stack. `depth` is the
+/// number of live values (-1 once control paths joined with different
+/// depths — both depth checks are then suppressed, matching programs like
+/// the cj idiom where the taken path keeps A and the fall-through pops it).
+struct AbsState {
+  int depth = 0;  // -1 = unknown
+  AVal a, b, c;
+};
+
+bool merge(AbsState& into, const AbsState& from) {
+  bool changed = false;
+  if (into.depth != from.depth && into.depth != -1) {
+    into.depth = -1;
+    changed = true;
+  }
+  for (auto [dst, src] : {std::pair{&into.a, &from.a},
+                          std::pair{&into.b, &from.b},
+                          std::pair{&into.c, &from.c}}) {
+    if (!same(*dst, *src) && dst->known) {
+      *dst = unknown();
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+constexpr int kMaxDepth = 3;
+
+class Verifier {
+ public:
+  Verifier(const cp::Program& p, const VerifyOptions& opts)
+      : prog_{p}, opts_{opts} {}
+
+  VerifyResult run() {
+    std::set<std::uint32_t> entries = opts_.entries;
+    if (entries.empty()) {
+      const auto it = prog_.symbols.find("main");
+      entries.insert(it != prog_.symbols.end() ? it->second : prog_.entry());
+    }
+    // startp targets discovered constant become entry points of their own;
+    // iterate until the entry set stabilises (bounded: entries only grow).
+    VerifyResult result;
+    for (int iter = 0; iter < 8; ++iter) {
+      result = analyze(entries);
+      std::set<std::uint32_t> next = entries;
+      next.insert(discovered_.begin(), discovered_.end());
+      if (next == entries) {
+        break;
+      }
+      entries = std::move(next);
+    }
+    annotate_lines(result.report);
+    return result;
+  }
+
+ private:
+  VerifyResult analyze(const std::set<std::uint32_t>& entries) {
+    VerifyResult res;
+    seen_.clear();
+    discovered_.clear();
+    hard_chans_.clear();
+    rep_ = &res.report;
+
+    if (prog_.bytes.empty()) {
+      res.report.note("empty-program", 0, "program image is empty");
+      return res;
+    }
+    std::set<std::uint32_t> valid_entries;
+    for (const std::uint32_t e : entries) {
+      if (e >= prog_.org &&
+          e < prog_.org + static_cast<std::uint32_t>(prog_.bytes.size())) {
+        valid_entries.insert(e);
+      } else {
+        res.report.error("bad-entry", e,
+                         "entry point " + hex(e) +
+                             " is outside the program image");
+      }
+    }
+    res.cfg = build_cfg(prog_, valid_entries, res.report);
+    interpret(res.cfg);
+    report_unreachable(res.cfg);
+    res.hard_chans = hard_chans_;
+    return res;
+  }
+
+  // ---- deduplicated diagnostics (fixpoint visits blocks repeatedly) ----
+  void diag(Severity sev, const char* code, std::uint32_t addr,
+            std::string msg) {
+    if (seen_.insert({code, addr}).second) {
+      rep_->add(sev, code, addr, std::move(msg));
+    }
+  }
+
+  // ---- stack helpers ----
+  void push(AbsState& st, std::uint32_t at, AVal v) {
+    if (st.depth == kMaxDepth) {
+      diag(Severity::kWarning, "stack-overflow", at,
+           "push onto a full evaluation stack silently drops the C "
+           "register");
+    } else if (st.depth >= 0) {
+      ++st.depth;
+    }
+    st.c = st.b;
+    st.b = st.a;
+    st.a = v;
+  }
+
+  /// Check that `n` operands are live before an op reads them.
+  void need(AbsState& st, std::uint32_t at, int n, const char* what) {
+    if (st.depth >= 0 && st.depth < n) {
+      std::ostringstream os;
+      os << what << " needs " << n << " stack operand" << (n > 1 ? "s" : "")
+         << " but only " << st.depth << (st.depth == 1 ? " is" : " are")
+         << " live — evaluation-stack underflow";
+      diag(Severity::kError, "stack-underflow", at, os.str());
+      st.depth = n;  // assume satisfied to avoid cascading reports
+    }
+  }
+
+  void pop(AbsState& st) {
+    st.a = st.b;
+    st.b = st.c;
+    st.c = unknown();
+    if (st.depth > 0) {
+      --st.depth;
+    }
+  }
+
+  // ---- memory-map checks ----
+  bool mapped_word(std::uint32_t addr) const {
+    return (addr + 3 < cp::kDramBytes) ||
+           (addr >= cp::kOnChipBase &&
+            addr + 3 < cp::kOnChipBase + cp::kOnChipBytes);
+  }
+  bool mapped_byte(std::uint32_t addr) const {
+    return addr < cp::kDramBytes ||
+           (addr >= cp::kOnChipBase &&
+            addr < cp::kOnChipBase + cp::kOnChipBytes);
+  }
+
+  void check_word_addr(std::uint32_t at, const AVal& a, const char* what) {
+    if (!a.known) {
+      return;
+    }
+    if (cp::is_hard_chan(a.v)) {
+      diag(Severity::kError, "bad-address", at,
+           std::string(what) + " address " + hex(a.v) +
+               " is in the hard-channel region — not data memory");
+      return;
+    }
+    if (!mapped_word(a.v)) {
+      diag(Severity::kError, "bad-address", at,
+           std::string(what) + " address " + hex(a.v) +
+               " is outside the DRAM / on-chip memory map");
+      return;
+    }
+    if ((a.v & 3u) != 0) {
+      diag(Severity::kWarning, "unaligned-word", at,
+           std::string(what) + " address " + hex(a.v) +
+               " is not word-aligned");
+    }
+  }
+
+  void check_byte_addr(std::uint32_t at, const AVal& a, const char* what) {
+    if (!a.known) {
+      return;
+    }
+    if (cp::is_hard_chan(a.v) || !mapped_byte(a.v)) {
+      diag(Severity::kError, "bad-address", at,
+           std::string(what) + " address " + hex(a.v) +
+               " is outside the DRAM / on-chip memory map");
+    }
+  }
+
+  void check_channel(std::uint32_t at, const AVal& chan, bool is_input) {
+    if (!chan.known) {
+      return;
+    }
+    const std::uint32_t c = chan.v;
+    if (cp::is_hard_chan(c)) {
+      const int port = static_cast<int>((c >> 3) & 0xF);
+      const int sublink = static_cast<int>((c >> 1) & 0x3);
+      const int dir = static_cast<int>(c & 1u);
+      if ((c & 0x0FFF'FF80u) != 0) {
+        diag(Severity::kError, "bad-hard-chan", at,
+             "hard-channel address " + hex(c) +
+                 " has reserved bits set — not a valid (port, sublink, dir) "
+                 "encoding");
+        return;
+      }
+      if (port >= opts_.ports) {
+        std::ostringstream os;
+        os << "hard-channel address " << hex(c) << " names port " << port
+           << " but the node has only " << opts_.ports << " links";
+        diag(Severity::kError, "bad-hard-chan", at, os.str());
+        return;
+      }
+      if (sublink >= opts_.sublinks) {
+        std::ostringstream os;
+        os << "hard-channel address " << hex(c) << " names sublink "
+           << sublink << " but each link has only " << opts_.sublinks
+           << " sublinks";
+        diag(Severity::kError, "bad-hard-chan", at, os.str());
+        return;
+      }
+      if ((dir == 1) != is_input) {
+        diag(Severity::kWarning, "hard-chan-direction", at,
+             std::string(is_input ? "`in`" : "`out`") +
+                 " on hard channel " + hex(c) +
+                 " whose direction bit says " +
+                 (dir == 1 ? "input" : "output") +
+                 " — by convention dir 0 transmits, dir 1 receives");
+      }
+      hard_chans_.push_back(HardChanUse{at, port, sublink, dir, is_input});
+      return;
+    }
+    // Soft channel: a word in ordinary memory.
+    check_word_addr(at, chan, "soft-channel word");
+  }
+
+  void check_vform(std::uint32_t at, const AVal& desc) {
+    if (!desc.known) {
+      return;
+    }
+    const std::uint32_t d = desc.v;
+    const std::uint32_t bytes = cp::kVformDescWords * 4;
+    if (d >= cp::kDramBytes || d + bytes > cp::kDramBytes) {
+      diag(Severity::kError, "bad-vform-desc", at,
+           "vform descriptor at " + hex(d) + " does not fit in DRAM (" +
+               std::to_string(bytes) + "-byte block must lie below " +
+               hex(cp::kDramBytes) + ")");
+      return;
+    }
+    if ((d & 3u) != 0) {
+      diag(Severity::kError, "bad-vform-desc", at,
+           "vform descriptor address " + hex(d) + " is not word-aligned");
+    }
+  }
+
+  // ---- transfer functions ----
+  void exec_secondary(const Insn& in, AbsState& st) {
+    using cp::SecOp;
+    const std::uint32_t at = in.addr;
+    const auto op = static_cast<SecOp>(in.d.operand);
+
+    // B-and-A arithmetic: need 2, pop 1, combine into A.
+    const auto binop = [&](const char* name, auto f) {
+      need(st, at, 2, name);
+      AVal r = unknown();
+      if (st.a.known && st.b.known) {
+        r = konst(f(st.b.v, st.a.v));
+      }
+      const AVal saved_c = st.c;
+      pop(st);
+      st.a = r;
+      st.b = saved_c;
+    };
+
+    switch (op) {
+      case SecOp::rev:
+        need(st, at, 2, "rev");
+        std::swap(st.a, st.b);
+        break;
+      case SecOp::add:
+        binop("add", [](std::uint32_t b, std::uint32_t a) { return b + a; });
+        break;
+      case SecOp::sub:
+        binop("sub", [](std::uint32_t b, std::uint32_t a) { return b - a; });
+        break;
+      case SecOp::mul:
+        binop("mul", [](std::uint32_t b, std::uint32_t a) {
+          return static_cast<std::uint32_t>(
+              static_cast<std::int64_t>(static_cast<std::int32_t>(b)) *
+              static_cast<std::int64_t>(static_cast<std::int32_t>(a)));
+        });
+        break;
+      case SecOp::divi:
+      case SecOp::rem: {
+        need(st, at, 2, op == SecOp::divi ? "div" : "rem");
+        if (st.a.known && st.a.v == 0) {
+          diag(Severity::kError, "div-by-zero", at,
+               "division by a constant zero traps at run time");
+        }
+        pop(st);
+        st.a = unknown();
+        break;
+      }
+      case SecOp::land:
+        binop("and", [](std::uint32_t b, std::uint32_t a) { return b & a; });
+        break;
+      case SecOp::lor:
+        binop("or", [](std::uint32_t b, std::uint32_t a) { return b | a; });
+        break;
+      case SecOp::lxor:
+        binop("xor", [](std::uint32_t b, std::uint32_t a) { return b ^ a; });
+        break;
+      case SecOp::lnot:
+        need(st, at, 1, "not");
+        st.a = st.a.known ? konst(~st.a.v) : unknown();
+        break;
+      case SecOp::shl:
+        binop("shl", [](std::uint32_t b, std::uint32_t a) {
+          return a >= 32 ? 0u : b << a;
+        });
+        break;
+      case SecOp::shr:
+        binop("shr", [](std::uint32_t b, std::uint32_t a) {
+          return a >= 32 ? 0u : b >> a;
+        });
+        break;
+      case SecOp::gt:
+        binop("gt", [](std::uint32_t b, std::uint32_t a) {
+          return static_cast<std::int32_t>(b) > static_cast<std::int32_t>(a)
+                     ? 1u
+                     : 0u;
+        });
+        break;
+      case SecOp::mint:
+        push(st, at, konst(cp::kNotProcess));
+        break;
+      case SecOp::ldpi:
+        need(st, at, 1, "ldpi");
+        st.a = st.a.known ? konst(in.next() + st.a.v) : unknown();
+        break;
+      case SecOp::wsub:
+        binop("wsub",
+              [](std::uint32_t b, std::uint32_t a) { return a + 4 * b; });
+        break;
+      case SecOp::bsub:
+        binop("bsub",
+              [](std::uint32_t b, std::uint32_t a) { return a + b; });
+        break;
+      case SecOp::lb:
+        need(st, at, 1, "lb");
+        check_byte_addr(at, st.a, "byte load");
+        st.a = unknown();
+        break;
+      case SecOp::sb:
+        need(st, at, 2, "sb");
+        check_byte_addr(at, st.a, "byte store");
+        pop(st);
+        pop(st);
+        break;
+      case SecOp::move:
+        need(st, at, 3, "move");
+        check_byte_addr(at, st.c, "move source");
+        check_byte_addr(at, st.b, "move destination");
+        pop(st);
+        pop(st);
+        pop(st);
+        break;
+      case SecOp::in:
+      case SecOp::out:
+        need(st, at, 3, op == SecOp::in ? "in" : "out");
+        check_channel(at, st.b, op == SecOp::in);
+        check_byte_addr(at, st.c, op == SecOp::in ? "channel destination"
+                                                  : "channel source");
+        pop(st);
+        pop(st);
+        pop(st);
+        // The process deschedules; registers are not preserved across the
+        // reschedule in this machine.
+        st.a = st.b = st.c = unknown();
+        break;
+      case SecOp::startp: {
+        need(st, at, 2, "startp");
+        if (st.b.known) {  // B carries the child's code address
+          const std::uint32_t target = st.b.v;
+          const std::uint32_t lo = prog_.org;
+          const std::uint32_t hi =
+              prog_.org + static_cast<std::uint32_t>(prog_.bytes.size());
+          if (target < lo || target >= hi) {
+            diag(Severity::kError, "bad-startp-target", at,
+                 "startp spawns code at " + hex(target) +
+                     ", outside the program image");
+          } else {
+            discovered_.insert(target);
+          }
+        }
+        pop(st);
+        pop(st);
+        break;
+      }
+      case SecOp::endp:
+        need(st, at, 1, "endp");
+        pop(st);
+        break;
+      case SecOp::stopp:
+        st.a = st.b = st.c = unknown();
+        break;
+      case SecOp::runp:
+        need(st, at, 1, "runp");
+        pop(st);
+        break;
+      case SecOp::ldtimer:
+        push(st, at, unknown());
+        break;
+      case SecOp::tin:
+        need(st, at, 1, "tin");
+        pop(st);
+        st.a = st.b = st.c = unknown();
+        break;
+      case SecOp::ret:
+        break;  // block terminator
+      case SecOp::vform:
+        need(st, at, 1, "vform");
+        check_vform(at, st.a);
+        pop(st);
+        break;
+      case SecOp::vwait:
+        st.a = st.b = st.c = unknown();
+        break;
+      case SecOp::gather:
+      case SecOp::scatter:
+        need(st, at, 3, op == SecOp::gather ? "gather" : "scatter");
+        check_word_addr(at, st.b, "vector base");
+        check_word_addr(at, st.c, "index table");
+        pop(st);
+        pop(st);
+        pop(st);
+        break;
+      case SecOp::halt:
+        break;
+      case SecOp::testerr:
+        push(st, at, unknown());
+        break;
+      default:
+        diag(Severity::kError, "bad-opcode", at,
+             "undefined secondary opcode " +
+                 std::to_string(in.d.operand) + " faults at run time");
+        break;
+    }
+  }
+
+  /// Apply one instruction. cj/call edge-specific effects are handled by
+  /// the caller when propagating along edges.
+  void exec_insn(const Insn& in, AbsState& st) {
+    using cp::Op;
+    const std::uint32_t at = in.addr;
+    const std::uint32_t operand = static_cast<std::uint32_t>(in.d.operand);
+    switch (in.d.op) {
+      case Op::j:
+        break;
+      case Op::ldlp:
+        push(st, at, unknown());  // Wptr is dynamic
+        break;
+      case Op::ldnl:
+        need(st, at, 1, "ldnl");
+        if (st.a.known) {
+          check_word_addr(at, konst(st.a.v + 4 * operand), "ldnl");
+        }
+        st.a = unknown();
+        break;
+      case Op::ldc:
+        push(st, at, konst(operand));
+        break;
+      case Op::ldnlp:
+        need(st, at, 1, "ldnlp");
+        st.a = st.a.known ? konst(st.a.v + 4 * operand) : unknown();
+        break;
+      case Op::ldl:
+        push(st, at, unknown());
+        break;
+      case Op::adc:
+        need(st, at, 1, "adc");
+        st.a = st.a.known ? konst(st.a.v + operand) : unknown();
+        break;
+      case Op::call:
+        break;  // workspace push only; eval stack carries arguments
+      case Op::cj:
+        need(st, at, 1, "cj");
+        break;  // stack effect is per-edge
+      case Op::ajw:
+        break;
+      case Op::eqc:
+        need(st, at, 1, "eqc");
+        st.a = st.a.known ? konst(st.a.v == operand ? 1u : 0u) : unknown();
+        break;
+      case Op::stl:
+        need(st, at, 1, "stl");
+        pop(st);
+        break;
+      case Op::stnl:
+        need(st, at, 2, "stnl");
+        if (st.a.known) {
+          check_word_addr(at, konst(st.a.v + 4 * operand), "stnl");
+        }
+        pop(st);
+        pop(st);
+        break;
+      case Op::opr:
+        exec_secondary(in, st);
+        break;
+      case Op::pfix:
+      case Op::nfix:
+        break;  // folded into the decode; never appear as full insns
+    }
+  }
+
+  void interpret(const Cfg& cfg) {
+    std::map<std::uint32_t, AbsState> in_states;
+    std::deque<std::uint32_t> work;
+    for (const std::uint32_t e : cfg.entries) {
+      if (cfg.blocks.count(e) != 0) {
+        AbsState fresh;  // depth 0, regs unknown
+        in_states.emplace(e, fresh);
+        work.push_back(e);
+      }
+    }
+
+    const auto propagate = [&](std::uint32_t succ, const AbsState& st) {
+      const auto [it, inserted] = in_states.emplace(succ, st);
+      if (inserted || merge(it->second, st)) {
+        work.push_back(succ);
+      }
+    };
+
+    while (!work.empty()) {
+      const std::uint32_t start = work.front();
+      work.pop_front();
+      const auto bit = cfg.blocks.find(start);
+      if (bit == cfg.blocks.end()) {
+        continue;
+      }
+      const BasicBlock& bb = bit->second;
+      AbsState st = in_states.at(start);
+      for (const Insn& in : bb.insns) {
+        exec_insn(in, st);
+      }
+      // Edge-specific effects of the terminator.
+      const Insn& term = bb.terminator();
+      const auto target = term.static_target();
+      switch (term.flow()) {
+        case Flow::kCondJump: {
+          AbsState taken = st;
+          taken.a = konst(0);  // cj branches exactly when A == 0
+          AbsState fall = st;
+          pop(fall);
+          if (target && cfg.blocks.count(*target) != 0) {
+            propagate(*target, taken);
+          }
+          if (cfg.blocks.count(term.next()) != 0) {
+            propagate(term.next(), fall);
+          }
+          break;
+        }
+        case Flow::kCall: {
+          if (target && cfg.blocks.count(*target) != 0) {
+            propagate(*target, st);  // callee sees the caller's stack
+          }
+          // At the return point assume the callee preserved the depth
+          // (result in A by convention) but trust no register values.
+          AbsState ret = st;
+          ret.a = ret.b = ret.c = unknown();
+          if (cfg.blocks.count(term.next()) != 0) {
+            propagate(term.next(), ret);
+          }
+          break;
+        }
+        default:
+          for (const std::uint32_t s : bb.succs) {
+            propagate(s, st);
+          }
+          break;
+      }
+    }
+  }
+
+  void report_unreachable(const Cfg& cfg) {
+    if (cfg.hi <= cfg.lo) {
+      return;
+    }
+    std::vector<bool> covered(prog_.bytes.size(), false);
+    for (const auto& [addr, in] : cfg.insns) {
+      for (std::uint32_t b = addr; b < in.next() && b < cfg.hi; ++b) {
+        covered[b - cfg.lo] = true;
+      }
+    }
+    std::size_t i = 0;
+    while (i < covered.size()) {
+      if (covered[i]) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < covered.size() && !covered[j]) {
+        ++j;
+      }
+      const std::uint32_t g0 = cfg.lo + static_cast<std::uint32_t>(i);
+      const std::uint32_t g1 = cfg.lo + static_cast<std::uint32_t>(j);
+      const bool all_zero = std::all_of(
+          prog_.bytes.begin() + static_cast<std::ptrdiff_t>(i),
+          prog_.bytes.begin() + static_cast<std::ptrdiff_t>(j),
+          [](std::uint8_t b) { return b == 0; });
+      const bool labelled = std::any_of(
+          prog_.symbols.begin(), prog_.symbols.end(),
+          [&](const auto& kv) { return kv.second >= g0 && kv.second < g1; });
+      // Zero-filled gaps are .space/.align padding; labelled gaps are data.
+      if (!all_zero && !labelled) {
+        diag(Severity::kWarning, "unreachable-code", g0,
+             "bytes [" + hex(g0) + ", " + hex(g1) +
+                 ") are never reached from any entry point");
+      }
+      i = j;
+    }
+  }
+
+  void annotate_lines(Report& rep) {
+    for (Diagnostic& d : rep.mutable_diagnostics()) {
+      if (d.line == 0) {
+        d.line = prog_.line_at(d.addr);
+      }
+    }
+  }
+
+  const cp::Program& prog_;
+  VerifyOptions opts_;
+  Report* rep_ = nullptr;
+  std::set<std::pair<std::string, std::uint32_t>> seen_;
+  std::set<std::uint32_t> discovered_;
+  std::vector<HardChanUse> hard_chans_;
+};
+
+}  // namespace
+
+VerifyResult verify(const cp::Program& p, const VerifyOptions& opts) {
+  Verifier v{p, opts};
+  return v.run();
+}
+
+}  // namespace fpst::check

@@ -1,0 +1,67 @@
+// Static verifier for assembled TISA programs (DESIGN.md §6.1).
+//
+// Recovers the control-flow graph (check/cfg.hpp) and abstractly interprets
+// every basic block to a fixpoint. The abstract state is the three-register
+// evaluation stack: a depth in {0..3, unknown} plus a constant/unknown
+// lattice value per register. On top of the structural CFG diagnostics this
+// flags, at build time, the classes of fault the interpreter in cp/cpu.cpp
+// only reports dynamically:
+//
+//   * eval-stack underflow (reading operands that were never pushed) and
+//     overflow (pushing a fourth value silently drops the C register),
+//   * ldnl/stnl/lb/sb/move/gather/scatter addresses provably outside the
+//     DRAM / on-chip / hard-channel memory map of cp/isa.hpp,
+//   * vform descriptor addresses outside DRAM, unaligned, or whose 48-byte
+//     descriptor block does not fit in DRAM,
+//   * in/out on malformed hard-channel addresses: port or sublink out of
+//     range for a 4-link node, reserved bits set, or a direction bit that
+//     contradicts the operation,
+//   * division by a constant zero,
+//   * unreachable code (gaps the CFG walk never reached that are neither
+//     zero-filled padding nor labelled data).
+//
+// `startp` targets found constant are added as extra program entry points
+// and analysed with a fresh stack, exactly as the scheduler would run them.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "check/cfg.hpp"
+#include "check/diagnostics.hpp"
+#include "cp/assembler.hpp"
+
+namespace fpst::check {
+
+struct VerifyOptions {
+  /// Physical links per node (hard-channel port range).
+  int ports = 4;
+  /// Sublinks multiplexed onto each link.
+  int sublinks = 4;
+  /// Extra entry points (absolute addresses) beside the default one.
+  /// When empty, the entry is the `main` symbol if defined, else the org.
+  std::set<std::uint32_t> entries;
+};
+
+/// One constant hard-channel endpoint referenced by an `in`/`out`, for
+/// cross-program wiring summaries.
+struct HardChanUse {
+  std::uint32_t addr = 0;  ///< instruction address of the in/out
+  int port = 0;
+  int sublink = 0;
+  int dir = 0;  ///< 0 = output, 1 = input (address convention)
+  bool is_input = false;  ///< the operation was `in`
+};
+
+struct VerifyResult {
+  Report report;
+  Cfg cfg;
+  std::vector<HardChanUse> hard_chans;
+};
+
+/// Run every analysis over `p`. Diagnostics are line-annotated from
+/// `p.lines` when the assembler recorded source lines.
+VerifyResult verify(const cp::Program& p, const VerifyOptions& opts = {});
+
+}  // namespace fpst::check

@@ -90,6 +90,18 @@ bool parse_int(const std::string& text, std::int64_t& out) {
 
 }  // namespace
 
+std::size_t Program::line_at(std::uint32_t addr) const {
+  if (lines.empty() || addr < lines.front().first ||
+      addr >= org + bytes.size()) {
+    return 0;
+  }
+  // Last entry at or below addr.
+  auto it = std::upper_bound(
+      lines.begin(), lines.end(), addr,
+      [](std::uint32_t a, const auto& e) { return a < e.first; });
+  return std::prev(it)->second;
+}
+
 std::uint32_t Program::symbol(const std::string& name) const {
   auto it = symbols.find(name);
   if (it == symbols.end()) {
@@ -324,6 +336,9 @@ Program assemble(const std::string& source) {
     const std::uint32_t size = statement_size(st, addr);
     if (st.mnemonic.empty()) {
       continue;
+    }
+    if (size > 0) {
+      prog.lines.emplace_back(addr, st.line);
     }
     if (st.is_align || st.is_space) {
       prog.bytes.insert(prog.bytes.end(), size, 0);

@@ -44,9 +44,15 @@ struct Program {
   std::uint32_t org = 0;
   std::vector<std::uint8_t> bytes;
   std::map<std::string, std::uint32_t> symbols;
+  /// (address, source line) per emitted statement, ascending by address —
+  /// lets tools (disassembler, tcheck) map a program offset back to the
+  /// assembly line that produced it.
+  std::vector<std::pair<std::uint32_t, std::size_t>> lines;
 
   std::uint32_t entry() const { return org; }
   std::uint32_t symbol(const std::string& name) const;
+  /// Source line of the statement covering `addr` (0 when unknown).
+  std::size_t line_at(std::uint32_t addr) const;
 };
 
 /// Assemble TISA source text.

@@ -72,7 +72,7 @@ enum class SecOp : std::uint16_t {
   move = 0x13,   ///< block move: C=src, B=dst, A=count bytes; pop three
   in = 0x14,     ///< channel input:  C=dst ptr, B=chan addr, A=count; pop 3
   out = 0x15,    ///< channel output: C=src ptr, B=chan addr, A=count; pop 3
-  startp = 0x16, ///< spawn process: B=new Wptr, A=code offset; pop two
+  startp = 0x16, ///< spawn process: A=child Wdesc, B=code address; pop two
   endp = 0x17,   ///< end of PAR branch: A=sync block addr
   stopp = 0x18,  ///< deschedule self, do not requeue
   runp = 0x19,   ///< enqueue process descriptor A; pop

@@ -1,0 +1,105 @@
+// Declarative communication skeletons for Occam programs.
+//
+// A CommSpec states, per node, the sequence of communications a node body
+// performs — sends, receives, and collectives — without any of the
+// computation. It mirrors the Ctx messaging API one-for-one (send/recv/
+// recv_any/barrier/broadcast/reduce_sum/allreduce_sum), so writing the
+// spec next to the body is mechanical, and the static deadlock checker in
+// check/chan_graph.hpp can prove the communication structure sound before
+// a single simulated cycle runs. The checker lowers collectives with the
+// exact binomial-tree / dimension-exchange schedules occam.cpp executes,
+// including the per-node internal tag counter, so tag-skew bugs (one node
+// running a different number of collectives than another) are caught too.
+//
+// The textual `.comm` form consumed by tools/tcheck is parsed by
+// parse_comm_spec:
+//
+//   # one line per node; ops separated by ';'
+//   dim 2
+//   0: send 1 7 ; recv 1 7 ; barrier
+//   1: recv 0 7 ; send 0 7 ; barrier
+//   2: barrier
+//   3: barrier
+//
+// Ops: send <dst> <tag> | recv <src> <tag> | recvany <tag> | barrier |
+//      bcast <root> | reduce <root> | allreduce. Unlisted nodes run an
+//      empty body.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/hypercube.hpp"
+
+namespace fpst::occam {
+
+enum class CommKind : std::uint8_t {
+  kSend,
+  kRecv,
+  kRecvAny,
+  kBarrier,
+  kBroadcast,
+  kReduce,
+  kAllreduce,
+};
+
+struct CommOp {
+  CommKind kind;
+  net::NodeId peer = 0;    ///< dst (send), src (recv), root (collectives)
+  std::uint16_t tag = 0;   ///< user tag; unused for collectives
+};
+
+/// Human-readable form, e.g. "send(dst=1, tag=7)" or "barrier".
+std::string to_string(const CommOp& op);
+
+class CommSpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class CommSpec {
+ public:
+  /// A spec for a 2^dimension-node cube, every node initially empty.
+  explicit CommSpec(int dimension);
+
+  /// Builder handle for one node's sequence; methods mirror occam::Ctx.
+  class NodeSeq {
+   public:
+    NodeSeq& send(net::NodeId dst, std::uint16_t tag);
+    NodeSeq& recv(net::NodeId src, std::uint16_t tag);
+    NodeSeq& recv_any(std::uint16_t tag);
+    NodeSeq& barrier();
+    NodeSeq& broadcast(net::NodeId root);
+    NodeSeq& reduce_sum(net::NodeId root);
+    NodeSeq& allreduce_sum();
+
+   private:
+    friend class CommSpec;
+    NodeSeq(CommSpec& spec, net::NodeId id) : spec_{&spec}, id_{id} {}
+    CommSpec* spec_;
+    net::NodeId id_;
+  };
+
+  NodeSeq node(net::NodeId id);
+
+  int dimension() const { return dim_; }
+  std::size_t size() const { return ops_.size(); }
+  const std::vector<CommOp>& ops(net::NodeId id) const {
+    return ops_.at(id);
+  }
+
+ private:
+  void append(net::NodeId id, CommOp op);
+  void check_node(net::NodeId id) const;
+
+  int dim_;
+  std::vector<std::vector<CommOp>> ops_;
+};
+
+/// Parse the `.comm` text format (see file header). Throws CommSpecError
+/// with a line-numbered message on malformed input.
+CommSpec parse_comm_spec(const std::string& text);
+
+}  // namespace fpst::occam

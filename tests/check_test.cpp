@@ -1,0 +1,475 @@
+// Tests for the static-analysis subsystem (src/check): CFG recovery,
+// the TISA abstract-stack verifier, the channel-graph deadlock checker,
+// the .comm parser, and the on-disk corpus of deliberately-broken
+// programs that tools/tcheck and ci.sh gate on.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/chan_graph.hpp"
+#include "check/tisa_verify.hpp"
+#include "core/machine.hpp"
+#include "cp/assembler.hpp"
+#include "occam/commspec.hpp"
+#include "occam/occam.hpp"
+
+namespace fpst::check {
+namespace {
+
+VerifyResult verify_src(const std::string& src) {
+  return verify(cp::assemble(src));
+}
+
+// ---------------------------------------------------------------- CFG --
+
+TEST(Cfg, RecoversBlocksAndEdges) {
+  const cp::Program p = cp::assemble(R"(
+   main:
+      ldc 10
+   loop:
+      adc -1
+      cj done
+      j loop
+   done:
+      halt
+  )");
+  Report rep;
+  const Cfg cfg = build_cfg(p, {p.symbol("main")}, rep);
+  EXPECT_EQ(rep.diagnostics().size(), 0u);
+  // Blocks: main, loop, the `j loop` after cj's fall-through... cj ends a
+  // block, so: [main], [loop..cj], [j loop], [done].
+  EXPECT_EQ(cfg.blocks.size(), 4u);
+  const BasicBlock& loop = cfg.blocks.at(p.symbol("loop"));
+  ASSERT_EQ(loop.succs.size(), 2u);  // done + fall-through
+}
+
+TEST(Cfg, FlagsJumpOutsideImage) {
+  const auto res = verify_src("main:\n ldc 1\n j 512\n halt\n");
+  EXPECT_TRUE(res.report.has("bad-jump"));
+}
+
+TEST(Cfg, FlagsFallOffEnd) {
+  const auto res = verify_src("main:\n ldc 1\n ldc 2\n add\n");
+  EXPECT_TRUE(res.report.has("falls-off-end"));
+}
+
+TEST(Cfg, FlagsMidInstructionLanding) {
+  const auto res = verify_src("main:\n ldc 0\n cj 1\n ldc 100\n halt\n");
+  EXPECT_TRUE(res.report.has("mid-instruction"));
+}
+
+// ---------------------------------------------------- line attribution --
+
+TEST(LineMap, DiagnosticsCarrySourceLines) {
+  const cp::Program p = cp::assemble("main:\n ldc 1\n add\n halt\n");
+  EXPECT_EQ(p.line_at(p.symbol("main")), 2u);  // `ldc 1` is line 2
+  const auto res = verify(p);
+  const Diagnostic* d = res.report.find("stack-underflow");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 3u);  // `add` is line 3
+}
+
+// ------------------------------------------------- abstract interpreter --
+
+TEST(TisaVerify, CleanRecursiveFactorial) {
+  // The cj idiom joins paths with different stack depths — must not warn.
+  const auto res = verify_src(R"(
+   main:
+      ldc 10
+      call fact
+      ldc 0x2000
+      stnl 0
+      halt
+   fact:
+      ajw -2
+      stl 0
+      ldl 0
+      cj base
+      ldl 0
+      adc -1
+      call fact
+      ldl 0
+      mul
+      j done
+   base:
+      ldc 1
+   done:
+      ajw 2
+      ret
+  )");
+  EXPECT_FALSE(res.report.has_errors()) << res.report.to_string("test");
+  EXPECT_EQ(res.report.count(Severity::kWarning), 0u)
+      << res.report.to_string("test");
+}
+
+TEST(TisaVerify, FollowsConstantStartpTargets) {
+  const auto res = verify_src(R"(
+   main:
+      mint
+      ldc chan
+      stnl 0
+      ldc producer
+      ldc 0x8201
+      startp
+      ldlp 4
+      ldc chan
+      ldc 4
+      in
+      halt
+   producer:
+      ldc 99
+      stl 0
+      ldlp 0
+      ldc chan
+      ldc 4
+      out
+      stopp
+   .align
+   chan:
+      .word 0
+  )");
+  EXPECT_FALSE(res.report.has_errors()) << res.report.to_string("test");
+  // The producer was analysed: its block exists in the final CFG.
+  EXPECT_EQ(res.cfg.entries.size(), 2u);
+}
+
+TEST(TisaVerify, FlagsStackUnderflow) {
+  const auto res = verify_src("main:\n add\n halt\n");
+  EXPECT_TRUE(res.report.has("stack-underflow"));
+}
+
+TEST(TisaVerify, FlagsStackOverflow) {
+  const auto res = verify_src(
+      "main:\n ldc 1\n ldc 2\n ldc 3\n ldc 4\n stnl 0\n halt\n");
+  EXPECT_TRUE(res.report.has("stack-overflow"));
+}
+
+TEST(TisaVerify, FlagsOutOfMapStore) {
+  const auto res = verify_src(
+      "main:\n ldc 7\n ldc 0x00200000\n stnl 0\n halt\n");
+  EXPECT_TRUE(res.report.has("bad-address"));
+}
+
+TEST(TisaVerify, FlagsLoadJustPastDram) {
+  // 0x100000 is the first byte past the 1 MB DRAM.
+  const auto res = verify_src("main:\n ldc 0x100000\n ldnl 0\n halt\n");
+  EXPECT_TRUE(res.report.has("bad-address"));
+}
+
+TEST(TisaVerify, OnChipWindowIsMapped) {
+  const auto res = verify_src("main:\n ldc 7\n ldc 0x10000000\n stnl 0\n halt\n");
+  EXPECT_FALSE(res.report.has_errors()) << res.report.to_string("test");
+}
+
+TEST(TisaVerify, FlagsDataAccessToHardChanRegion) {
+  const auto res = verify_src("main:\n ldc 0xF0000000\n ldnl 0\n halt\n");
+  EXPECT_TRUE(res.report.has("bad-address"));
+}
+
+TEST(TisaVerify, FlagsUnalignedVformDescriptor) {
+  const auto res = verify_src("main:\n ldc 0x2002\n vform\n vwait\n halt\n");
+  EXPECT_TRUE(res.report.has("bad-vform-desc"));
+}
+
+TEST(TisaVerify, FlagsVformDescriptorPastDramEnd) {
+  // Aligned, but the 48-byte block does not fit below 1 MB.
+  const auto res = verify_src("main:\n ldc 0xFFFFF0\n vform\n vwait\n halt\n");
+  EXPECT_TRUE(res.report.has("bad-vform-desc"));
+}
+
+TEST(TisaVerify, FlagsHardChanPortOutOfRange) {
+  const auto res = verify_src(
+      "main:\n ldlp 4\n ldc 0xF0000049\n ldc 8\n in\n halt\n");
+  EXPECT_TRUE(res.report.has("bad-hard-chan"));
+}
+
+TEST(TisaVerify, FlagsHardChanReservedBits) {
+  const auto res = verify_src(
+      "main:\n ldlp 4\n ldc 0xF0010001\n ldc 8\n in\n halt\n");
+  EXPECT_TRUE(res.report.has("bad-hard-chan"));
+}
+
+TEST(TisaVerify, WarnsOnHardChanDirectionMismatch) {
+  // dir bit says output (0) but the op is `in`.
+  const auto res = verify_src(
+      "main:\n ldlp 4\n ldc 0xF0000000\n ldc 8\n in\n halt\n");
+  EXPECT_TRUE(res.report.has("hard-chan-direction"));
+  EXPECT_FALSE(res.report.has_errors());
+}
+
+TEST(TisaVerify, CollectsHardChannelUses) {
+  const auto res = verify_src(
+      "main:\n ldlp 4\n ldc 0xF0000001\n ldc 8\n in\n"
+      " ldlp 4\n ldc 0xF0000008\n ldc 8\n out\n halt\n");
+  ASSERT_EQ(res.hard_chans.size(), 2u);
+  EXPECT_EQ(res.hard_chans[0].port, 0);
+  EXPECT_TRUE(res.hard_chans[0].is_input);
+  EXPECT_EQ(res.hard_chans[1].port, 1);
+  EXPECT_FALSE(res.hard_chans[1].is_input);
+}
+
+TEST(TisaVerify, FlagsDivisionByConstantZero) {
+  const auto res = verify_src("main:\n ldc 6\n ldc 0\n div\n halt\n");
+  EXPECT_TRUE(res.report.has("div-by-zero"));
+}
+
+TEST(TisaVerify, FlagsUnreachableCode) {
+  const auto res = verify_src("main:\n ldc 1\n halt\n ldc 2\n halt\n");
+  EXPECT_TRUE(res.report.has("unreachable-code"));
+}
+
+TEST(TisaVerify, ZeroPaddingAndLabelledDataAreNotUnreachable) {
+  const auto res = verify_src(R"(
+   main:
+      ldc table
+      ldnl 0
+      halt
+   .align
+   table:
+      .word 0x1234
+   buf:
+      .space 32
+  )");
+  EXPECT_FALSE(res.report.has("unreachable-code"))
+      << res.report.to_string("test");
+  EXPECT_FALSE(res.report.has_errors());
+}
+
+// ------------------------------------------------- channel-graph checker --
+
+TEST(ChanGraph, RingOfBufferedSendsIsClean) {
+  occam::CommSpec spec{2};
+  spec.node(0).send(1, 1).recv(2, 1);
+  spec.node(1).recv(0, 1).send(3, 1);
+  spec.node(3).recv(1, 1).send(2, 1);
+  spec.node(2).recv(3, 1).send(0, 1);
+  const CommAnalysis a = analyze_comm(spec);
+  EXPECT_FALSE(a.deadlock);
+  EXPECT_FALSE(a.report.has_errors());
+}
+
+TEST(ChanGraph, HeadToHeadRecvDeadlocks) {
+  occam::CommSpec spec{1};
+  spec.node(0).recv(1, 5).send(1, 5);
+  spec.node(1).recv(0, 5).send(0, 5);
+  const CommAnalysis a = analyze_comm(spec);
+  EXPECT_TRUE(a.deadlock);
+  EXPECT_TRUE(a.report.has("deadlock"));
+  ASSERT_EQ(a.cycle.size(), 3u);  // first node repeated at the end
+  EXPECT_EQ(a.cycle.front(), a.cycle.back());
+}
+
+TEST(ChanGraph, ThreeNodeWaitCycle) {
+  occam::CommSpec spec{2};
+  spec.node(0).recv(2, 7).send(1, 7);
+  spec.node(1).recv(0, 7).send(2, 7);
+  spec.node(2).recv(1, 7).send(0, 7);
+  const CommAnalysis a = analyze_comm(spec);
+  EXPECT_TRUE(a.deadlock);
+  ASSERT_EQ(a.cycle.size(), 4u);
+}
+
+TEST(ChanGraph, MatchedCollectivesAreClean) {
+  occam::CommSpec spec{2};
+  for (net::NodeId id = 0; id < spec.size(); ++id) {
+    spec.node(id).broadcast(0).barrier().reduce_sum(0).allreduce_sum();
+  }
+  const CommAnalysis a = analyze_comm(spec);
+  EXPECT_FALSE(a.deadlock);
+  EXPECT_FALSE(a.report.has_errors()) << a.report.to_string("spec");
+}
+
+TEST(ChanGraph, MissingBarrierParticipantIsStuck) {
+  occam::CommSpec spec{1};
+  spec.node(0).barrier();
+  spec.node(1).send(0, 3);
+  const CommAnalysis a = analyze_comm(spec);
+  EXPECT_TRUE(a.deadlock);
+  EXPECT_TRUE(a.report.has("stuck-recv"));
+  EXPECT_TRUE(a.cycle.empty());
+}
+
+TEST(ChanGraph, CollectiveCountSkewIsCaught) {
+  // Node 0 runs two barriers, node 1 only one: the internal tag counter
+  // diverges exactly as in the runtime, and the second barrier hangs.
+  occam::CommSpec spec{1};
+  spec.node(0).barrier().barrier();
+  spec.node(1).barrier();
+  const CommAnalysis a = analyze_comm(spec);
+  EXPECT_TRUE(a.deadlock);
+}
+
+TEST(ChanGraph, RecvAnyMatchesAnySender) {
+  occam::CommSpec spec{1};
+  spec.node(0).recv_any(9);
+  spec.node(1).send(0, 9);
+  const CommAnalysis a = analyze_comm(spec);
+  EXPECT_FALSE(a.deadlock);
+}
+
+TEST(ChanGraph, UnconsumedMessageIsWarnedNotFatal) {
+  occam::CommSpec spec{1};
+  spec.node(0).send(1, 9);
+  const CommAnalysis a = analyze_comm(spec);
+  EXPECT_FALSE(a.deadlock);
+  EXPECT_FALSE(a.report.has_errors());
+  EXPECT_TRUE(a.report.has("unconsumed-message"));
+}
+
+// --------------------------------------------------------- .comm parser --
+
+TEST(CommParse, RoundTripsOpsAndCollectives) {
+  const occam::CommSpec spec = occam::parse_comm_spec(R"(
+# a comment
+dim 2
+0: send 1 7 ; recvany 9 ; barrier
+3: reduce 0 ; bcast 2 ; allreduce
+)");
+  EXPECT_EQ(spec.dimension(), 2);
+  ASSERT_EQ(spec.ops(0).size(), 3u);
+  EXPECT_EQ(spec.ops(0)[0].kind, occam::CommKind::kSend);
+  EXPECT_EQ(spec.ops(0)[1].kind, occam::CommKind::kRecvAny);
+  EXPECT_EQ(spec.ops(0)[2].kind, occam::CommKind::kBarrier);
+  ASSERT_EQ(spec.ops(3).size(), 3u);
+  EXPECT_EQ(spec.ops(3)[0].kind, occam::CommKind::kReduce);
+  EXPECT_TRUE(spec.ops(1).empty());
+}
+
+TEST(CommParse, RejectsMalformedInput) {
+  EXPECT_THROW(occam::parse_comm_spec("0: send 1 2\n"),
+               occam::CommSpecError);
+  EXPECT_THROW(occam::parse_comm_spec("dim 1\n9: barrier\n"),
+               occam::CommSpecError);
+  EXPECT_THROW(occam::parse_comm_spec("dim 1\n0: frobnicate\n"),
+               occam::CommSpecError);
+  EXPECT_THROW(occam::parse_comm_spec("dim 1\n0: send 1\n"),
+               occam::CommSpecError);
+}
+
+// ------------------------------------ static verdicts match the runtime --
+
+TEST(ChanGraphVsRuntime, StaticDeadlockReproducesDynamically) {
+  sim::Simulator sim;
+  core::TSeries machine{sim, 1};
+  occam::Runtime rt{machine};
+  std::vector<occam::Runtime::Body> bodies;
+  for (net::NodeId id = 0; id < 2; ++id) {
+    bodies.push_back([id](occam::Ctx& ctx) -> sim::Proc {
+      const net::NodeId peer = id ^ 1u;
+      std::vector<double> in;
+      co_await ctx.recv(peer, 5, &in);        // both receive first...
+      std::vector<double> out(1, 1.0);
+      co_await ctx.send(peer, 5, std::move(out));  // ...so neither sends
+    });
+  }
+  EXPECT_THROW(rt.run(bodies), occam::DeadlockError);
+}
+
+TEST(ChanGraphVsRuntime, StaticCleanRingRunsDynamically) {
+  sim::Simulator sim;
+  core::TSeries machine{sim, 2};
+  occam::Runtime rt{machine};
+  // Same program as RingOfBufferedSendsIsClean.
+  const net::NodeId next[] = {1, 3, 0, 2};  // 0->1->3->2->0
+  const net::NodeId prev[] = {2, 0, 3, 1};
+  std::vector<occam::Runtime::Body> bodies;
+  for (net::NodeId id = 0; id < 4; ++id) {
+    bodies.push_back([id, &next, &prev](occam::Ctx& ctx) -> sim::Proc {
+      std::vector<double> in;
+      if (id == 0) {
+        std::vector<double> seed(1, 42.0);
+        co_await ctx.send(next[id], 1, std::move(seed));
+        co_await ctx.recv(prev[id], 1, &in);
+      } else {
+        co_await ctx.recv(prev[id], 1, &in);
+        co_await ctx.send(next[id], 1, std::move(in));
+      }
+    });
+  }
+  EXPECT_NO_THROW(rt.run(bodies));
+}
+
+// ------------------------------------------------------- on-disk corpus --
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct CorpusCase {
+  const char* file;
+  const char* expected_code;
+};
+
+class CorpusTest : public ::testing::TestWithParam<CorpusCase> {};
+
+TEST_P(CorpusTest, ProducesExpectedDiagnostic) {
+  const CorpusCase& c = GetParam();
+  const std::string path =
+      std::string(FPST_SOURCE_DIR) + "/tests/corpus/" + c.file;
+  const std::string text = read_file(path);
+  Report rep;
+  const std::string name{c.file};
+  if (name.size() > 5 && name.substr(name.size() - 5) == ".comm") {
+    rep = analyze_comm(occam::parse_comm_spec(text)).report;
+  } else {
+    rep = verify(cp::assemble(text)).report;
+  }
+  EXPECT_TRUE(rep.has(c.expected_code))
+      << c.file << " should produce [" << c.expected_code << "]; got:\n"
+      << rep.to_string(c.file);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BrokenPrograms, CorpusTest,
+    ::testing::Values(CorpusCase{"bad_jump.tisa", "bad-jump"},
+                      CorpusCase{"mid_instruction.tisa", "mid-instruction"},
+                      CorpusCase{"stack_underflow.tisa", "stack-underflow"},
+                      CorpusCase{"stack_overflow.tisa", "stack-overflow"},
+                      CorpusCase{"oob_store.tisa", "bad-address"},
+                      CorpusCase{"bad_vform.tisa", "bad-vform-desc"},
+                      CorpusCase{"bad_hardchan.tisa", "bad-hard-chan"},
+                      CorpusCase{"unreachable.tisa", "unreachable-code"},
+                      CorpusCase{"deadlock_pair.comm", "deadlock"},
+                      CorpusCase{"mismatched_barrier.comm", "stuck-recv"}),
+    [](const ::testing::TestParamInfo<CorpusCase>& param) {
+      std::string n = param.param.file;
+      for (char& ch : n) {
+        if (ch == '.' || ch == '-') {
+          ch = '_';
+        }
+      }
+      return n;
+    });
+
+TEST(Examples, AllShippedProgramsVerifyClean) {
+  const CorpusCase clean[] = {
+      {"examples/tisa/hello.tisa", ""},
+      {"examples/tisa/soft_channel.tisa", ""},
+      {"examples/tisa/hardchan_echo.tisa", ""},
+  };
+  for (const CorpusCase& c : clean) {
+    const std::string text =
+        read_file(std::string(FPST_SOURCE_DIR) + "/" + c.file);
+    const auto res = verify(cp::assemble(text));
+    EXPECT_FALSE(res.report.has_errors())
+        << c.file << ":\n" << res.report.to_string(c.file);
+  }
+  const char* comms[] = {"examples/comm/ring.comm",
+                         "examples/comm/collectives.comm"};
+  for (const char* f : comms) {
+    const std::string text =
+        read_file(std::string(FPST_SOURCE_DIR) + "/" + f);
+    const CommAnalysis a = analyze_comm(occam::parse_comm_spec(text));
+    EXPECT_FALSE(a.report.has_errors())
+        << f << ":\n" << a.report.to_string(f);
+  }
+}
+
+}  // namespace
+}  // namespace fpst::check

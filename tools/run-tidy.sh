@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Run clang-tidy (config: .clang-tidy at the repo root) over the simulator
+# sources using the compile database exported by the CMake build.
+#
+#   usage: tools/run-tidy.sh [build-dir]
+#
+# Exits 0 and skips when clang-tidy is not installed, so CI images without
+# LLVM still pass; exits 1 on findings when it is available.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+tidy=$(command -v clang-tidy || true)
+if [ -z "$tidy" ]; then
+  echo "run-tidy: clang-tidy not found on PATH; skipping (not a failure)"
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run-tidy: $build_dir/compile_commands.json missing." >&2
+  echo "run-tidy: configure first: cmake -B $build_dir -S $repo_root" >&2
+  exit 1
+fi
+
+# First-party translation units only: everything the compile database knows
+# about under src/, tools/ and tests/ (skips _deps and generated files).
+files=$(sed -n 's/^ *"file": "\(.*\)",*$/\1/p' \
+          "$build_dir/compile_commands.json" \
+        | grep -E "^$repo_root/(src|tools|tests)/" | sort -u)
+
+if [ -z "$files" ]; then
+  echo "run-tidy: no first-party files in compile database" >&2
+  exit 1
+fi
+
+echo "run-tidy: $(echo "$files" | wc -l) translation units"
+# shellcheck disable=SC2086 — word-splitting of $files is intended.
+exec "$tidy" -p "$build_dir" --quiet $files

@@ -1,0 +1,167 @@
+// tcheck — static verifier for TISA programs and Occam communication
+// skeletons. See README "Static verification" and DESIGN.md §6.
+//
+//   tcheck [options] <file.tisa | file.comm>...
+//
+//   .tisa files are assembled and run through the control-flow /
+//   abstract-stack verifier (check/tisa_verify.hpp); .comm files are
+//   parsed as communication skeletons and run through the wait-for-graph
+//   deadlock checker (check/chan_graph.hpp).
+//
+//   --entry SYM   TISA entry symbol (default: `main` if defined, else .org)
+//   --werror      count warnings as errors for the exit status
+//   --quiet       print nothing but the per-file verdict lines
+//
+// Exit status: 0 when every file is clean, 1 when any file produced an
+// error (or, under --werror, a warning), 2 on usage or I/O problems.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/chan_graph.hpp"
+#include "check/tisa_verify.hpp"
+#include "cp/assembler.hpp"
+#include "occam/commspec.hpp"
+
+namespace {
+
+using namespace fpst;
+
+struct Options {
+  std::string entry;
+  bool werror = false;
+  bool quiet = false;
+  std::vector<std::string> files;
+};
+
+int usage() {
+  std::cerr << "usage: tcheck [--entry SYM] [--werror] [--quiet] "
+               "<file.tisa | file.comm>...\n";
+  return 2;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Returns false on I/O failure.
+bool slurp(const std::string& path, std::string* out) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) {
+    return false;  // directories read as empty streams otherwise
+  }
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+struct FileVerdict {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  bool io_failed = false;
+};
+
+FileVerdict check_one(const Options& opts, const std::string& path) {
+  FileVerdict v;
+  std::string text;
+  if (!slurp(path, &text)) {
+    std::cerr << path << ": cannot read file\n";
+    v.io_failed = true;
+    return v;
+  }
+
+  check::Report rep;
+  if (ends_with(path, ".comm")) {
+    try {
+      const occam::CommSpec spec = occam::parse_comm_spec(text);
+      rep = check::analyze_comm(spec).report;
+    } catch (const occam::CommSpecError& e) {
+      rep.error("parse-error", 0, e.what());
+    }
+  } else {
+    try {
+      const cp::Program prog = cp::assemble(text);
+      check::VerifyOptions vo;
+      if (!opts.entry.empty()) {
+        const auto it = prog.symbols.find(opts.entry);
+        if (it == prog.symbols.end()) {
+          rep.error("bad-entry", 0,
+                    "entry symbol '" + opts.entry + "' is not defined");
+        } else {
+          vo.entries.insert(it->second);
+        }
+      }
+      if (!rep.has_errors()) {
+        rep.merge(check::verify(prog, vo).report);
+      }
+    } catch (const cp::AsmError& e) {
+      rep.error("parse-error", 0, e.what());
+    }
+  }
+
+  if (!opts.quiet) {
+    std::cout << rep.to_string(path);
+  }
+  v.errors = rep.count(check::Severity::kError);
+  v.warnings = rep.count(check::Severity::kWarning);
+  std::cout << path << ": "
+            << (v.errors == 0 && (v.warnings == 0 || !opts.werror)
+                    ? "OK"
+                    : "FAILED")
+            << " (" << v.errors << " error(s), " << v.warnings
+            << " warning(s))\n";
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--entry") {
+      if (i + 1 >= argc) {
+        return usage();
+      }
+      opts.entry = argv[++i];
+    } else if (arg == "--werror") {
+      opts.werror = true;
+    } else if (arg == "--quiet" || arg == "-q") {
+      opts.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "tcheck: unknown option '" << arg << "'\n";
+      return usage();
+    } else {
+      opts.files.push_back(arg);
+    }
+  }
+  if (opts.files.empty()) {
+    return usage();
+  }
+
+  bool any_io_fail = false;
+  bool any_bad = false;
+  for (const std::string& f : opts.files) {
+    const FileVerdict v = check_one(opts, f);
+    any_io_fail = any_io_fail || v.io_failed;
+    any_bad =
+        any_bad || v.errors > 0 || (opts.werror && v.warnings > 0);
+  }
+  if (any_io_fail) {
+    return 2;
+  }
+  return any_bad ? 1 : 0;
+}

@@ -11,9 +11,12 @@
 // gathering with vector arithmetic, and node efficiency collapses once
 // k < 13.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "node/node.hpp"
+#include "perf/chrome_trace.hpp"
+#include "perf/counters.hpp"
 #include "sim/proc.hpp"
 
 using namespace fpst;
@@ -25,10 +28,19 @@ namespace {
 /// Run `stripes` rounds in which the CP gathers the next stripe while the
 /// VPU performs `forms_per_stripe` chained SAXPY forms on the current one
 /// (k = forms_per_stripe * 2 flops per element). Returns achieved MFLOPS.
-double overlap_mflops(int forms_per_stripe, bool overlap) {
+/// When `reg` is given, the node's counters/spans are collected into it and
+/// `*wall` receives the simulated end time (for perf::to_json).
+double overlap_mflops(int forms_per_stripe, bool overlap,
+                      perf::CounterRegistry* reg = nullptr,
+                      sim::SimTime* wall = nullptr) {
   sim::Simulator sim;
   node::Node nd{sim, 0,
                 node::NodeConfig{.dual_bank = true, .overlap = overlap}};
+  if (reg != nullptr) {
+    reg->meta().dimension = 0;
+    reg->meta().nodes = 1;
+    nd.attach_perf(*reg);
+  }
   const node::Array64 x = nd.alloc64(mem::Bank::A, 128);
   const node::Array64 y = nd.alloc64(mem::Bank::B, 128);
   const node::Array64 z = nd.alloc64(mem::Bank::B, 128);
@@ -49,12 +61,16 @@ double overlap_mflops(int forms_per_stripe, bool overlap) {
     }
   }(&nd, x, y, z, forms_per_stripe));
   sim.run();
+  if (wall != nullptr) {
+    *wall = sim.now();
+  }
   return static_cast<double>(nd.flops()) / sim.now().us();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   bench::title("E3: arithmetic : gather : link balance (64-bit)");
 
   const sim::SimTime arith = node::BalanceRatios::arithmetic();
@@ -71,16 +87,35 @@ int main() {
       "the 13-flops-per-gathered-element rule (gather || compute overlap)");
   std::printf("  %10s %10s | %14s %14s %9s\n", "forms", "flops/elem",
               "MFLOPS(ovl)", "MFLOPS(serial)", "eff(ovl)");
+  perf::json::Value rows = perf::json::Value::array();
   for (int forms : {1, 2, 4, 7, 10, 16, 24}) {
     const double k = 2.0 * forms;  // saxpy = 2 flops/element
     const double ovl = overlap_mflops(forms, true);
     const double ser = overlap_mflops(forms, false);
     std::printf("  %10d %10.0f | %14.2f %14.2f %8.0f%%\n", forms, k, ovl,
                 ser, 100.0 * ovl / 16.0);
+    perf::json::Value row = perf::json::Value::object();
+    row["flops_per_elem"] = perf::json::Value::number(k);
+    row["mflops_overlap"] = perf::json::Value::number(ovl);
+    row["mflops_serial"] = perf::json::Value::number(ser);
+    rows.append(std::move(row));
   }
   std::printf(
       "  -> with >= ~13 flops per gathered element the overlapped node\n"
       "     approaches peak; below that the CP gather starves the pipes,\n"
       "     exactly the paper's provision.\n");
+
+  if (!json_path.empty()) {
+    // Re-run the 14-flops/elem point (comfortably balanced) with perf
+    // collection attached and dump counters + spans + the table above.
+    perf::CounterRegistry reg;
+    reg.meta().workload = "balance_overlap_7forms";
+    sim::SimTime wall{};
+    overlap_mflops(7, true, &reg, &wall);
+    perf::json::Value doc = perf::to_json(reg, wall);
+    doc["results"]["overlap_table"] = std::move(rows);
+    perf::write_file(json_path, doc);
+    std::printf("  wrote perf dump: %s\n", json_path.c_str());
+  }
   return 0;
 }

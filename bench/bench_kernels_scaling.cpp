@@ -4,19 +4,24 @@
 // (2*blk flops per transferred word => communication-bound when
 // blk = n/P < ~65).
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "kernels/kernels.hpp"
+#include "perf/chrome_trace.hpp"
+#include "perf/counters.hpp"
 
 using namespace fpst;
 using kernels::KernelResult;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   bench::title("E11: kernels across machine sizes");
 
   bench::section("SAXPY (256K elements) and DOT (256K elements)");
   std::printf("  %6s | %14s %9s | %14s %9s\n", "nodes", "saxpy time",
               "speedup", "dot time", "speedup");
+  perf::json::Value saxpy_rows = perf::json::Value::array();
   const KernelResult s1 = kernels::run_saxpy(0, 1 << 18, 2.0);
   const KernelResult d1 = kernels::run_dot(0, 1 << 18);
   for (int dim : {0, 1, 2, 3, 4, 5}) {
@@ -25,6 +30,12 @@ int main() {
     std::printf("  %6d | %14s %8.2fx | %14s %8.2fx\n", 1 << dim,
                 s.elapsed.to_string().c_str(), s1.elapsed / s.elapsed,
                 d.elapsed.to_string().c_str(), d1.elapsed / d.elapsed);
+    perf::json::Value row = perf::json::Value::object();
+    row["nodes"] = perf::json::Value::integer(1 << dim);
+    row["saxpy_us"] = perf::json::Value::number(s.elapsed.us());
+    row["saxpy_mflops"] = perf::json::Value::number(s.mflops());
+    row["dot_us"] = perf::json::Value::number(d.elapsed.us());
+    saxpy_rows.append(std::move(row));
   }
 
   bench::section("32-bit vs 64-bit SAXPY (64K elements, 8 nodes)");
@@ -115,5 +126,18 @@ int main() {
       "  -> local sort work shrinks as blk*log(blk)/P but the P merge-split\n"
       "     phases each move whole blocks at 0.5 MB/s: another balance-rule\n"
       "     shape, with a shallow optimum at moderate machine sizes.\n");
+
+  if (!json_path.empty()) {
+    // Re-run the 4-node SAXPY with machine-wide perf collection attached
+    // and dump counters + spans + the scaling table above.
+    perf::CounterRegistry reg;
+    const KernelResult traced = kernels::run_saxpy(2, 1 << 16, 2.0, {}, &reg);
+    perf::json::Value doc = perf::to_json(reg, traced.elapsed);
+    doc["results"]["saxpy_scaling"] = std::move(saxpy_rows);
+    doc["results"]["traced_mflops"] =
+        perf::json::Value::number(traced.mflops());
+    perf::write_file(json_path, doc);
+    std::printf("\n  wrote perf dump: %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -8,10 +8,13 @@
 // Also reproduces the physical-row-movement argument with the record-sort
 // kernel (rows through vector registers vs pointer sort + gather).
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "kernels/kernels.hpp"
 #include "node/node.hpp"
+#include "perf/chrome_trace.hpp"
+#include "perf/counters.hpp"
 #include "sim/proc.hpp"
 
 using namespace fpst;
@@ -21,10 +24,17 @@ namespace {
 
 /// Time for `stripes` stripes of saxpy work whose operands are scattered:
 /// with overlap the CP gathers stripe s+1 while the pipes run stripe s.
-sim::SimTime scattered_saxpy(bool overlap, int saxpys_per_stripe) {
+/// When `reg` is given, the node's counters/spans are collected into it.
+sim::SimTime scattered_saxpy(bool overlap, int saxpys_per_stripe,
+                             perf::CounterRegistry* reg = nullptr) {
   sim::Simulator sim;
   node::Node nd{sim, 0,
                 node::NodeConfig{.dual_bank = true, .overlap = overlap}};
+  if (reg != nullptr) {
+    reg->meta().dimension = 0;
+    reg->meta().nodes = 1;
+    nd.attach_perf(*reg);
+  }
   const node::Array64 x = nd.alloc64(mem::Bank::A, 128);
   const node::Array64 y = nd.alloc64(mem::Bank::B, 128);
   const node::Array64 z = nd.alloc64(mem::Bank::B, 128);
@@ -67,7 +77,8 @@ sim::SimTime aligned_saxpy(int saxpys_per_stripe) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   bench::title("E9: gather/compute overlap and physical data movement");
 
   bench::section("scattered operands: overlap vs serial vs aligned");
@@ -101,5 +112,20 @@ int main() {
       "     the same data through the CP gather path costs 1.6 us per\n"
       "     64-bit word — the paper's \"extraordinary speed\" argument for\n"
       "     moving data physically when pivoting or sorting.\n");
+
+  if (!json_path.empty()) {
+    // Dump the no-overlap 2-flops-per-element ablation: the worst point of
+    // the table above and a deliberate 13-flops-per-gathered-element
+    // balance violation, which ttrace must flag.
+    perf::CounterRegistry reg;
+    reg.meta().workload = "scattered_saxpy_no_overlap";
+    const sim::SimTime wall = scattered_saxpy(false, 1, &reg);
+    perf::json::Value doc = perf::to_json(reg, wall);
+    doc["results"]["aligned_us"] = perf::json::Value::number(
+        aligned_saxpy(1).us());
+    doc["results"]["serial_us"] = perf::json::Value::number(wall.us());
+    perf::write_file(json_path, doc);
+    std::printf("  wrote perf dump: %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -6,7 +6,12 @@
 #   2. tcheck static verification: every shipped example must be clean
 #   3. tcheck over the corpus of deliberately-broken programs: every one
 #      must be flagged (with --werror, so warning-class defects count)
-#   4. clang-tidy over all first-party translation units (skipped when the
+#   4. tperf pipeline: the traced 2-cube SAXPY example writes a dump,
+#      ttrace must load it cleanly (no balance violation), its vpu-active
+#      MFLOPS must match bench_fig1_node's 128-element SAXPY rate within
+#      1%, and bench_overlap's no-overlap ablation dump must be flagged
+#      as a balance VIOLATION
+#   5. clang-tidy over all first-party translation units (skipped when the
 #      toolchain image has no clang-tidy)
 #
 #   usage: ./ci.sh [build-dir]      (default: build-ci)
@@ -15,7 +20,7 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 build_dir=${1:-"$repo_root/build-ci"}
 
-echo "== [1/4] build (-Werror, ASan+UBSan) and tier-1 tests =="
+echo "== [1/5] build (-Werror, ASan+UBSan) and tier-1 tests =="
 cmake -B "$build_dir" -S "$repo_root" \
       -DFPST_WERROR=ON -DFPST_SANITIZE=address,undefined
 cmake --build "$build_dir" -j
@@ -23,10 +28,10 @@ cmake --build "$build_dir" -j
 
 tcheck="$build_dir/tools/tcheck"
 
-echo "== [2/4] tcheck: shipped examples must verify clean =="
+echo "== [2/5] tcheck: shipped examples must verify clean =="
 "$tcheck" "$repo_root"/examples/tisa/*.tisa "$repo_root"/examples/comm/*.comm
 
-echo "== [3/4] tcheck: corpus of broken programs must all be flagged =="
+echo "== [3/5] tcheck: corpus of broken programs must all be flagged =="
 bad=0
 for f in "$repo_root"/tests/corpus/*; do
   if "$tcheck" --werror -q "$f"; then
@@ -36,7 +41,38 @@ for f in "$repo_root"/tests/corpus/*; do
 done
 [ "$bad" -eq 0 ] || exit 1
 
-echo "== [4/4] clang-tidy =="
+echo "== [4/5] tperf: trace -> ttrace report -> cross-check =="
+ttrace="$build_dir/tools/ttrace"
+dump="$build_dir/ci_traced_saxpy.json"
+"$build_dir/examples/traced_saxpy" "$dump"
+# A balanced workload: ttrace must accept it even with violations fatal.
+"$ttrace" --fail-on-violation "$dump"
+# Cross-check the two independent MFLOPS measurements: ttrace's vpu-active
+# rate (flops / vpu busy from the counters) vs bench_fig1_node's directly
+# timed 128-element SAXPY row. They must agree within 1%.
+active=$("$ttrace" --metric active_mflops "$dump")
+fig1=$("$build_dir/bench/bench_fig1_node" |
+       awk '$1 == "128" {print $NF; exit}')
+echo "ci: ttrace active_mflops=$active bench_fig1_node(128)=$fig1"
+awk -v a="$active" -v b="$fig1" 'BEGIN {
+  d = a - b; if (d < 0) d = -d;
+  if (b <= 0 || d / b > 0.01) { exit 1 }
+}' || {
+  echo "ci: MFLOPS mismatch: ttrace $active vs bench_fig1_node $fig1" >&2
+  exit 1
+}
+# The no-overlap ablation (2 flops per gathered element) must be flagged.
+"$build_dir/bench/bench_overlap" --json "$build_dir/ci_e9.json" > /dev/null
+if "$ttrace" --fail-on-violation "$build_dir/ci_e9.json" > /dev/null; then
+  echo "ci: ttrace missed the gather-balance violation in the E9 dump" >&2
+  exit 1
+fi
+"$ttrace" "$build_dir/ci_e9.json" | grep -q VIOLATION || {
+  echo "ci: ttrace report does not mark the E9 ablation as VIOLATION" >&2
+  exit 1
+}
+
+echo "== [5/5] clang-tidy =="
 "$repo_root"/tools/run-tidy.sh "$build_dir"
 
 echo "ci: all stages passed"

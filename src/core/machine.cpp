@@ -141,6 +141,27 @@ sim::Channel<link::Packet>& TSeries::inbox(net::NodeId at, int dim) {
                        dim / link::LinkParams::kPhysicalLinks);
 }
 
+void TSeries::enable_perf(perf::CounterRegistry& reg) {
+  perf_ = &reg;
+  reg.meta().dimension = dimension();
+  reg.meta().nodes = static_cast<std::uint32_t>(size());
+  for (const auto& n : nodes_) {
+    n->attach_perf(reg);
+  }
+  // Each cable side reports on the track of the node that transmits from
+  // it, named after the physical port the dimension is multiplexed onto.
+  for (const auto& per_node : cables_) {
+    for (std::size_t d = 0; d < per_node.size(); ++d) {
+      const Cable& c = per_node[d];
+      if (c.wire) {
+        const std::string comp =
+            "link" + std::to_string(d % link::LinkParams::kPhysicalLinks);
+        c.wire->set_sinks(&reg.track(c.lo, comp), &reg.track(c.hi, comp));
+      }
+    }
+  }
+}
+
 std::uint64_t TSeries::total_flops() const {
   std::uint64_t total = 0;
   for (const auto& n : nodes_) {

@@ -18,6 +18,7 @@
 #include "link/link.hpp"
 #include "net/hypercube.hpp"
 #include "node/node.hpp"
+#include "perf/counters.hpp"
 #include "sim/proc.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
@@ -115,6 +116,14 @@ class TSeries {
   std::uint64_t total_flops() const;
   std::uint64_t total_link_bytes() const;
 
+  /// Attach machine-wide perf collection: fills in the registry's meta
+  /// (dimension, node count), wires every node's vpu/cp/mem tracks, and
+  /// gives each cube cable the sink of its transmitting node ("link<p>" for
+  /// physical port p = dim mod 4). The registry must outlive the machine.
+  void enable_perf(perf::CounterRegistry& reg);
+  /// The attached registry, or null when perf was never enabled.
+  perf::CounterRegistry* perf() { return perf_; }
+
   ConfigReport report() const { return ConfigReport::derive(dimension()); }
 
  private:
@@ -131,6 +140,7 @@ class TSeries {
 
   sim::Simulator* sim_;
   net::Hypercube cube_;
+  perf::CounterRegistry* perf_ = nullptr;
   std::vector<std::unique_ptr<node::Node>> nodes_;
   std::vector<std::unique_ptr<Module>> modules_;
   // cables_[node][dim] shared between the two endpoint nodes (stored once,

@@ -21,6 +21,7 @@
 #include "cp/assembler.hpp"
 #include "cp/isa.hpp"
 #include "mem/memory.hpp"
+#include "perf/sink.hpp"
 #include "sim/proc.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
@@ -103,6 +104,9 @@ class Cpu {
 
   void set_hooks(Hooks h) { hooks_ = std::move(h); }
 
+  /// Perf instrumentation (see perf/sink.hpp); null disables collection.
+  void set_sink(perf::PerfSink* sink) { sink_ = sink; }
+
   // --- state inspection (tests / node services) ---
   bool halted() const { return halted_; }
   bool error_flag() const { return error_; }
@@ -158,6 +162,7 @@ class Cpu {
   sim::Simulator* sim_;
   mem::NodeMemory* memory_;
   vpu::VectorUnit* vpu_;
+  perf::PerfSink* sink_ = nullptr;
   Hooks hooks_{};
   std::array<std::uint8_t, kOnChipBytes> onchip_{};
 

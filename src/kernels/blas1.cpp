@@ -32,11 +32,15 @@ Block block_of(std::size_t n, std::size_t p, std::size_t nodes) {
 }
 }  // namespace
 
-KernelResult run_saxpy(int dim, std::size_t n, double a,
-                       node::NodeConfig cfg) {
+KernelResult run_saxpy(int dim, std::size_t n, double a, node::NodeConfig cfg,
+                       perf::CounterRegistry* perf) {
   sim::Simulator sim;
   core::TSeries machine{sim, dim, cfg};
   occam::Runtime rt{machine};
+  if (perf != nullptr) {
+    machine.enable_perf(*perf);
+    perf->meta().workload = "saxpy";
+  }
   const std::size_t nodes = machine.size();
 
   struct NodeState {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "node/node.hpp"
+#include "perf/counters.hpp"
 #include "sim/time.hpp"
 
 namespace fpst::kernels {
@@ -31,9 +32,13 @@ struct KernelResult {
 };
 
 /// y := a*x + y over N elements block-distributed across 2^dim nodes.
-/// output = the full resulting y (gathered for verification).
+/// output = the full resulting y (gathered for verification). When `perf`
+/// is given, machine-wide counter/span collection is attached to it for the
+/// duration of the run (the registry must outlive the call; its meta
+/// workload is labelled "saxpy").
 KernelResult run_saxpy(int dim, std::size_t n, double a,
-                       node::NodeConfig cfg = {});
+                       node::NodeConfig cfg = {},
+                       perf::CounterRegistry* perf = nullptr);
 
 /// Single-precision variant: same distribution, 256-element stripes, half
 /// the memory traffic — the machine's 32-bit operating mode at system

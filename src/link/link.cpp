@@ -32,7 +32,23 @@ sim::Proc Link::transmit(int from_side, Packet p) {
   co_await sim::Delay{LinkParams::wire_time(p.payload.size())};
   d.bytes += p.wire_bytes();
   ++d.packets;
-  d.busy += (co_await sim::ThisSim{}).now() - start;
+  const sim::SimTime elapsed = (co_await sim::ThisSim{}).now() - start;
+  d.busy += elapsed;
+  if (perf::PerfSink* sink = sink_[static_cast<std::size_t>(from_side)]) {
+    const auto wire = static_cast<std::uint64_t>(p.wire_bytes());
+    sink->count("bytes", wire);
+    sink->count("payload_bytes", p.payload.size());
+    sink->count("packets", 1);
+    // Two acknowledge bits return per byte sent (13 bit times per byte).
+    sink->count("acks", 2 * wire);
+    sink->count("dma_starts", 1);
+    sink->busy("busy", elapsed);
+    sink->busy(std::string("busy.sublink") + std::to_string(p.sublink),
+               elapsed);
+    sink->span(start, elapsed,
+               "tx->node" + std::to_string(p.dst) + " " +
+                   std::to_string(p.payload.size()) + "B");
+  }
   const int sub = p.sublink;
   sim::Channel<Packet>& box =
       *inboxes_[static_cast<std::size_t>(to_side)]

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "perf/sink.hpp"
 #include "sim/proc.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
@@ -93,6 +94,14 @@ class Link {
   /// Inbox of `side` for packets arriving addressed to `sublink`.
   sim::Channel<Packet>& inbox(int side, int sublink);
 
+  /// Perf instrumentation: one sink per transmitting side (side 0's sink is
+  /// the track of the node wired to side 0, and likewise for side 1). Null
+  /// pointers disable collection for that side.
+  void set_sinks(perf::PerfSink* side0, perf::PerfSink* side1) {
+    sink_[0] = side0;
+    sink_[1] = side1;
+  }
+
   // --- statistics per direction (0: side0->side1, 1: side1->side0) ---
   std::uint64_t bytes_sent(int direction) const;
   sim::SimTime busy_time(int direction) const;
@@ -108,6 +117,7 @@ class Link {
   };
 
   sim::Simulator* sim_;
+  std::array<perf::PerfSink*, 2> sink_{nullptr, nullptr};
   std::array<std::unique_ptr<Direction>, 2> dir_;
   // inboxes_[side][sublink]
   std::array<std::array<std::unique_ptr<sim::Channel<Packet>>,

@@ -59,6 +59,9 @@ std::uint32_t NodeMemory::read_word(std::uint32_t addr) {
   std::uint32_t v;
   std::memcpy(&v, data_.data() + addr, sizeof v);
   ++word_accesses_;
+  if (sink_ != nullptr) {
+    sink_->count("word_reads", 1);
+  }
   return v;
 }
 
@@ -70,12 +73,18 @@ void NodeMemory::write_word(std::uint32_t addr, std::uint32_t v) {
     parity_[addr + i] = parity_of(data_[addr + i]);
   }
   ++word_accesses_;
+  if (sink_ != nullptr) {
+    sink_->count("word_writes", 1);
+  }
 }
 
 std::uint8_t NodeMemory::read_byte(std::uint32_t addr) {
   assert(addr < MemParams::kBytes);
   check_parity(addr);
   ++word_accesses_;
+  if (sink_ != nullptr) {
+    sink_->count("word_reads", 1);
+  }
   return data_[addr];
 }
 
@@ -84,6 +93,9 @@ void NodeMemory::write_byte(std::uint32_t addr, std::uint8_t v) {
   data_[addr] = v;
   parity_[addr] = parity_of(v);
   ++word_accesses_;
+  if (sink_ != nullptr) {
+    sink_->count("word_writes", 1);
+  }
 }
 
 void NodeMemory::load_row(std::size_t row, VectorRegister& reg) {
@@ -94,6 +106,9 @@ void NodeMemory::load_row(std::size_t row, VectorRegister& reg) {
   }
   std::memcpy(reg.raw().data(), data_.data() + base, MemParams::kRowBytes);
   ++row_accesses_;
+  if (sink_ != nullptr) {
+    sink_->count("row_loads", 1);
+  }
 }
 
 void NodeMemory::store_row(std::size_t row, const VectorRegister& reg) {
@@ -104,6 +119,9 @@ void NodeMemory::store_row(std::size_t row, const VectorRegister& reg) {
     parity_[base + i] = parity_of(data_[base + i]);
   }
   ++row_accesses_;
+  if (sink_ != nullptr) {
+    sink_->count("row_stores", 1);
+  }
 }
 
 void NodeMemory::corrupt_byte(std::uint32_t addr, int bit) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "fp/softfloat.hpp"
+#include "perf/sink.hpp"
 #include "sim/time.hpp"
 
 namespace fpst::mem {
@@ -137,6 +138,9 @@ class NodeMemory {
   std::optional<ParityError> take_parity_error();
   std::uint64_t parity_errors_detected() const { return parity_error_count_; }
 
+  /// Perf instrumentation (see perf/sink.hpp); null disables collection.
+  void set_sink(perf::PerfSink* sink) { sink_ = sink; }
+
   // --- traffic statistics (for the bandwidth benches) ---
   std::uint64_t word_accesses() const { return word_accesses_; }
   std::uint64_t row_accesses() const { return row_accesses_; }
@@ -149,6 +153,7 @@ class NodeMemory {
   void check_parity(std::uint32_t addr);
   static bool parity_of(std::uint8_t byte);
 
+  perf::PerfSink* sink_ = nullptr;
   std::vector<std::uint8_t> data_;
   std::vector<bool> parity_;
   std::optional<ParityError> pending_error_{};

@@ -3,6 +3,7 @@
 #include "vpu/recip.hpp"
 
 #include <stdexcept>
+#include <string_view>
 
 namespace fpst::node {
 
@@ -145,8 +146,21 @@ std::vector<float> Node::read32(const Array32& a) const {
   return out;
 }
 
+void Node::attach_perf(perf::CounterRegistry& reg) {
+  perf_vpu_ = &reg.track(id_, "vpu");
+  perf_cp_ = &reg.track(id_, "cp");
+  memory_.set_sink(&reg.track(id_, "mem"));
+  vpu_.set_sink(perf_vpu_);
+  cpu_.set_sink(perf_cp_);
+}
+
 void Node::trace_span(const char* unit, sim::SimTime start,
                       sim::SimTime dur, std::string detail) {
+  perf::PerfSink* sink =
+      std::string_view(unit) == "vpu" ? perf_vpu_ : perf_cp_;
+  if (sink != nullptr) {
+    sink->span(start, dur, detail);
+  }
   if (tracer_ != nullptr) {
     tracer_->span(start, dur, "node" + std::to_string(id_) + "." + unit,
                   std::move(detail));
@@ -161,12 +175,18 @@ sim::Proc Node::run_op(vpu::VectorOp op, vpu::OpResult* out) {
     co_await cp_sem_.acquire();
   }
   vpu::OpResult r = vpu_.execute(op);
-  trace_span("vpu", sim_->now(), r.duration,
-             std::string(vpu::to_string(op.form)) + " n=" +
-                 std::to_string(op.n));
+  if (tracer_ != nullptr || perf_vpu_ != nullptr) {
+    trace_span("vpu", sim_->now(), r.duration,
+               std::string(vpu::to_string(op.form)) + " n=" +
+                   std::to_string(op.n));
+  }
   co_await Delay{r.duration};
   if (!cfg_.overlap) {
     cp_busy_ += r.duration;
+    if (perf_cp_ != nullptr) {
+      // The stalled controller is occupied for the whole vector op.
+      perf_cp_->busy("busy", r.duration);
+    }
     cp_sem_.release();
   }
   vpu_sem_.release();
@@ -334,8 +354,15 @@ sim::Proc Node::gather32(std::size_t elems) {
   co_await cp_sem_.acquire();
   const SimTime t = static_cast<std::int64_t>(elems) *
                     MemParams::gather_move32();
+  if (tracer_ != nullptr || perf_cp_ != nullptr) {
+    trace_span("cp", sim_->now(), t, "gather32 " + std::to_string(elems));
+  }
   co_await Delay{t};
   cp_busy_ += t;
+  if (perf_cp_ != nullptr) {
+    perf_cp_->count("gather_elems", elems);
+    perf_cp_->busy("busy", t);
+  }
   cp_sem_.release();
 }
 
@@ -343,22 +370,48 @@ sim::Proc Node::gather(std::size_t elems) {
   co_await cp_sem_.acquire();
   const SimTime t = static_cast<std::int64_t>(elems) *
                     MemParams::gather_move64();
-  trace_span("cp", sim_->now(), t, "gather64 " + std::to_string(elems));
+  if (tracer_ != nullptr || perf_cp_ != nullptr) {
+    trace_span("cp", sim_->now(), t, "gather64 " + std::to_string(elems));
+  }
   co_await Delay{t};
   cp_busy_ += t;
+  if (perf_cp_ != nullptr) {
+    perf_cp_->count("gather_elems", elems);
+    perf_cp_->busy("busy", t);
+  }
   cp_sem_.release();
 }
 
-sim::Proc Node::scatter(std::size_t elems) { return gather(elems); }
+sim::Proc Node::scatter(std::size_t elems) {
+  co_await cp_sem_.acquire();
+  const SimTime t = static_cast<std::int64_t>(elems) *
+                    MemParams::gather_move64();
+  if (tracer_ != nullptr || perf_cp_ != nullptr) {
+    trace_span("cp", sim_->now(), t, "scatter64 " + std::to_string(elems));
+  }
+  co_await Delay{t};
+  cp_busy_ += t;
+  if (perf_cp_ != nullptr) {
+    perf_cp_->count("scatter_elems", elems);
+    perf_cp_->busy("busy", t);
+  }
+  cp_sem_.release();
+}
 
 sim::Proc Node::cp_work(std::uint64_t instructions) {
   co_await cp_sem_.acquire();
   const SimTime t =
       static_cast<std::int64_t>(instructions) * cp::CpuParams::instr_time();
-  trace_span("cp", sim_->now(), t,
-             "work " + std::to_string(instructions) + " instr");
+  if (tracer_ != nullptr || perf_cp_ != nullptr) {
+    trace_span("cp", sim_->now(), t,
+               "work " + std::to_string(instructions) + " instr");
+  }
   co_await Delay{t};
   cp_busy_ += t;
+  if (perf_cp_ != nullptr) {
+    perf_cp_->count("instr", instructions);
+    perf_cp_->busy("busy", t);
+  }
   cp_sem_.release();
 }
 
@@ -379,7 +432,9 @@ sim::Proc Node::row_move(std::size_t rows) {
   co_await vpu_sem_.acquire();
   const SimTime t =
       static_cast<std::int64_t>(2 * rows) * MemParams::row_access();
-  trace_span("vpu", sim_->now(), t, "rowmove " + std::to_string(rows));
+  if (tracer_ != nullptr || perf_vpu_ != nullptr) {
+    trace_span("vpu", sim_->now(), t, "rowmove " + std::to_string(rows));
+  }
   co_await Delay{t};
   vpu_sem_.release();
 }

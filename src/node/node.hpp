@@ -18,6 +18,7 @@
 #include "cp/cpu.hpp"
 #include "link/link.hpp"
 #include "mem/memory.hpp"
+#include "perf/counters.hpp"
 #include "sim/proc.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
@@ -159,6 +160,12 @@ class Node {
   /// recorded as spans under categories "node<id>.vpu" / "node<id>.cp".
   void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attach perf collection: registers this node's "vpu", "cp" and "mem"
+  /// tracks with the registry and wires the substrate sinks. Spans from the
+  /// timed API land on the vpu/cp tracks of the registry's timeline. The
+  /// registry must outlive the node.
+  void attach_perf(perf::CounterRegistry& reg);
+
   // ---- statistics ----
   sim::SimTime vpu_busy() const { return vpu_.total_busy(); }
   std::uint64_t flops() const { return vpu_.total_flops(); }
@@ -180,6 +187,8 @@ class Node {
                   std::string detail);
 
   sim::Tracer* tracer_ = nullptr;
+  perf::PerfSink* perf_vpu_ = nullptr;
+  perf::PerfSink* perf_cp_ = nullptr;
   std::size_t next_row_a_ = 0;
   std::size_t next_row_b_ = mem::MemParams::kBankARows;
   sim::SimTime cp_busy_{};

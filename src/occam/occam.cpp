@@ -173,6 +173,9 @@ Runtime::Runtime(core::TSeries& machine) : machine_{&machine} {
 }
 
 void Runtime::deliver(net::NodeId at, Msg m) {
+  if (perf::CounterRegistry* reg = machine_->perf()) {
+    reg->track(at, "occam").count("msgs_recv", 1);
+  }
   Mailbox& box = *mailboxes_[at];
   box.queue.push_back(std::move(m));
   box.arrived.notify_all();
@@ -182,6 +185,9 @@ sim::Proc Runtime::send_packet(net::NodeId from, net::NodeId dst,
                                std::uint16_t tag, std::vector<double> data) {
   // Packetisation is control-processor work.
   co_await machine_->node(from).cp_work(RtParams::kSendInstr);
+  if (perf::CounterRegistry* reg = machine_->perf()) {
+    reg->track(from, "occam").count("msgs_sent", 1);
+  }
   if (dst == from) {
     deliver(from, Msg{from, tag, std::move(data)});
     co_return;
@@ -205,6 +211,9 @@ sim::Proc Runtime::router_listener(net::NodeId at, int dim) {
     // dimension; the hop count rides in the packet.
     ++forwarded_;
     ++p.hops;
+    if (perf::CounterRegistry* reg = machine_->perf()) {
+      reg->track(at, "occam").count("pkts_forwarded", 1);
+    }
     co_await machine_->node(at).cp_work(RtParams::kForwardInstr);
     co_await machine_->send_dim(at, first_route_dim(at, p.dst), std::move(p));
   }

@@ -1,0 +1,271 @@
+#include "perf/chrome_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace fpst::perf {
+
+namespace {
+
+// trace_event timestamps are microseconds; SimTime is picoseconds. A double
+// keeps sub-microsecond resolution (Perfetto accepts fractional ts/dur).
+double to_us(sim::SimTime t) { return t.us(); }
+
+std::string track_key(std::uint32_t node, const std::string& component) {
+  return "node" + std::to_string(node) + "." + component;
+}
+
+json::Value metadata_event(const char* name, std::int64_t pid, std::int64_t tid,
+                           const std::string& value) {
+  json::Value e = json::Value::object();
+  e["ph"] = json::Value::string("M");
+  e["name"] = json::Value::string(name);
+  e["pid"] = json::Value::integer(pid);
+  e["tid"] = json::Value::integer(tid);
+  json::Value args = json::Value::object();
+  args["name"] = json::Value::string(value);
+  e["args"] = std::move(args);
+  return e;
+}
+
+}  // namespace
+
+json::Value to_json(const CounterRegistry& reg, sim::SimTime wall) {
+  json::Value doc = json::Value::object();
+
+  // --- metadata -----------------------------------------------------------
+  const CounterRegistry::Meta& meta = reg.meta();
+  json::Value md = json::Value::object();
+  md["tool"] = json::Value::string("tperf");
+  md["dimension"] = json::Value::integer(meta.dimension);
+  md["nodes"] = json::Value::integer(static_cast<std::int64_t>(meta.nodes));
+  md["workload"] = json::Value::string(meta.workload);
+  md["wall_ps"] = json::Value::integer(wall.ps());
+  md["spans_dropped"] = json::Value::integer(
+      static_cast<std::int64_t>(reg.timeline().dropped()));
+  md["span_capacity"] = json::Value::integer(
+      static_cast<std::int64_t>(reg.timeline().capacity()));
+  doc["metadata"] = std::move(md);
+
+  // --- counters + track-id maps -------------------------------------------
+  // tid is the component's rank within its node (deterministic: tracks() is
+  // sorted by (node, component)), so each node's threads sort stably in the
+  // viewer. `by_id` maps the timeline's internal track ids onto (pid, tid).
+  struct TrackRef {
+    std::int64_t pid;
+    std::int64_t tid;
+  };
+  std::map<std::uint32_t, TrackRef> by_id;
+  std::map<std::uint32_t, std::int64_t> next_tid;
+
+  json::Value counters = json::Value::object();
+  json::Value events = json::Value::array();
+  for (const auto& [key, sink] : reg.tracks()) {
+    const std::int64_t pid = static_cast<std::int64_t>(key.first);
+    const std::int64_t tid = next_tid[key.first]++;
+    by_id.emplace(sink->track_id(), TrackRef{pid, tid});
+
+    if (tid == 0) {
+      events.append(metadata_event("process_name", pid, 0,
+                                   "node" + std::to_string(key.first)));
+    }
+    events.append(metadata_event("thread_name", pid, tid, key.second));
+
+    json::Value track = json::Value::object();
+    json::Value counts = json::Value::object();
+    for (const auto& [name, v] : sink->counts()) {
+      counts[name] = json::Value::integer(static_cast<std::int64_t>(v));
+    }
+    json::Value busy = json::Value::object();
+    for (const auto& [name, t] : sink->times()) {
+      busy[name] = json::Value::integer(t.ps());
+    }
+    track["counts"] = std::move(counts);
+    track["busy_ps"] = std::move(busy);
+    counters[track_key(key.first, key.second)] = std::move(track);
+  }
+  doc["counters"] = std::move(counters);
+
+  // --- spans --------------------------------------------------------------
+  const Timeline& tl = reg.timeline();
+  for (std::size_t i = 0; i < tl.size(); ++i) {
+    const Span& s = tl[i];
+    const auto it = by_id.find(s.track);
+    if (it == by_id.end()) {
+      continue;  // track was never registered (cannot happen via TrackSink)
+    }
+    json::Value e = json::Value::object();
+    e["name"] = json::Value::string(s.name);
+    e["pid"] = json::Value::integer(it->second.pid);
+    e["tid"] = json::Value::integer(it->second.tid);
+    e["ts"] = json::Value::number(to_us(s.start));
+    if (s.is_instant) {
+      e["ph"] = json::Value::string("i");
+      e["s"] = json::Value::string("t");  // thread-scoped instant
+    } else {
+      e["ph"] = json::Value::string("X");
+      e["dur"] = json::Value::number(to_us(s.duration));
+    }
+    // Exact picosecond times ride along for lossless reload.
+    json::Value args = json::Value::object();
+    args["start_ps"] = json::Value::integer(s.start.ps());
+    args["dur_ps"] = json::Value::integer(s.duration.ps());
+    e["args"] = std::move(args);
+    events.append(std::move(e));
+  }
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = json::Value::string("ns");
+  return doc;
+}
+
+void write_file(const std::string& path, const json::Value& doc) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("perf: cannot open " + path + " for writing");
+  }
+  out << doc.dump(2) << '\n';
+  if (!out) {
+    throw std::runtime_error("perf: write to " + path + " failed");
+  }
+}
+
+const DumpTrack* Dump::find(std::uint32_t node,
+                            std::string_view component) const {
+  for (const DumpTrack& t : tracks) {
+    if (t.node == node && t.component == component) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t Dump::value(std::uint32_t node, std::string_view component,
+                          std::string_view name) const {
+  const DumpTrack* t = find(node, component);
+  if (t == nullptr) {
+    return 0;
+  }
+  const auto it = t->counts.find(name);
+  return it == t->counts.end() ? 0 : it->second;
+}
+
+sim::SimTime Dump::time_value(std::uint32_t node, std::string_view component,
+                              std::string_view name) const {
+  const DumpTrack* t = find(node, component);
+  if (t == nullptr) {
+    return sim::SimTime{};
+  }
+  const auto it = t->times.find(name);
+  return it == t->times.end() ? sim::SimTime{} : it->second;
+}
+
+namespace {
+
+[[noreturn]] void bad_dump(const std::string& what) {
+  throw std::runtime_error("perf: not a tperf dump: " + what);
+}
+
+const json::Value& require(const json::Value& obj, std::string_view key) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) {
+    bad_dump("missing key '" + std::string(key) + "'");
+  }
+  return *v;
+}
+
+}  // namespace
+
+Dump from_json(const json::Value& doc) {
+  Dump d;
+
+  const json::Value& md = require(doc, "metadata");
+  if (const json::Value* tool = md.find("tool");
+      tool == nullptr || tool->as_string() != "tperf") {
+    bad_dump("metadata.tool != \"tperf\"");
+  }
+  d.meta.dimension = static_cast<int>(require(md, "dimension").as_int());
+  d.meta.nodes = static_cast<std::uint32_t>(require(md, "nodes").as_int());
+  d.meta.workload = require(md, "workload").as_string();
+  d.wall = sim::SimTime::picoseconds(require(md, "wall_ps").as_int());
+  d.spans_dropped =
+      static_cast<std::uint64_t>(require(md, "spans_dropped").as_int());
+
+  // --- counters -----------------------------------------------------------
+  for (const auto& [key, track] : require(doc, "counters").as_object()) {
+    // Keys look like "node<k>.<component>".
+    const std::size_t dot = key.find('.');
+    if (key.rfind("node", 0) != 0 || dot == std::string::npos) {
+      bad_dump("bad counter track key '" + key + "'");
+    }
+    DumpTrack t;
+    t.node = static_cast<std::uint32_t>(
+        std::stoul(key.substr(4, dot - 4)));
+    t.component = key.substr(dot + 1);
+    for (const auto& [name, v] : require(track, "counts").as_object()) {
+      t.counts.emplace(name, static_cast<std::uint64_t>(v.as_int()));
+    }
+    for (const auto& [name, v] : require(track, "busy_ps").as_object()) {
+      t.times.emplace(name, sim::SimTime::picoseconds(v.as_int()));
+    }
+    d.tracks.push_back(std::move(t));
+  }
+  std::sort(d.tracks.begin(), d.tracks.end(),
+            [](const DumpTrack& a, const DumpTrack& b) {
+              return std::tie(a.node, a.component) <
+                     std::tie(b.node, b.component);
+            });
+
+  // --- spans: rebuild identity from the thread_name metadata events --------
+  std::map<std::pair<std::int64_t, std::int64_t>, std::string> thread_names;
+  const json::Value& events = require(doc, "traceEvents");
+  for (const json::Value& e : events.as_array()) {
+    if (const json::Value* ph = e.find("ph");
+        ph != nullptr && ph->as_string() == "M" &&
+        require(e, "name").as_string() == "thread_name") {
+      thread_names[{require(e, "pid").as_int(), require(e, "tid").as_int()}] =
+          require(require(e, "args"), "name").as_string();
+    }
+  }
+  for (const json::Value& e : events.as_array()) {
+    const std::string& ph = require(e, "ph").as_string();
+    if (ph != "X" && ph != "i") {
+      continue;
+    }
+    DumpSpan s;
+    const std::int64_t pid = require(e, "pid").as_int();
+    const std::int64_t tid = require(e, "tid").as_int();
+    s.node = static_cast<std::uint32_t>(pid);
+    const auto it = thread_names.find({pid, tid});
+    if (it == thread_names.end()) {
+      bad_dump("span references unnamed thread");
+    }
+    s.component = it->second;
+    s.name = require(e, "name").as_string();
+    s.is_instant = ph == "i";
+    const json::Value& args = require(e, "args");
+    s.start = sim::SimTime::picoseconds(require(args, "start_ps").as_int());
+    s.duration = sim::SimTime::picoseconds(require(args, "dur_ps").as_int());
+    d.spans.push_back(std::move(s));
+  }
+
+  if (const json::Value* results = doc.find("results")) {
+    d.results = *results;
+  }
+  return d;
+}
+
+Dump load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("perf: cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return from_json(json::Value::parse(ss.str()));
+}
+
+}  // namespace fpst::perf

@@ -1,0 +1,78 @@
+// Dump format for a perf collection run, and its loader.
+//
+// The dump is one JSON document that serves two consumers at once:
+//   * Chrome trace viewers: a `traceEvents` array in the trace_event
+//     format — one "process" (pid) per node, one "thread" (tid) per
+//     component, complete spans as ph:"X" — so the file opens unmodified
+//     in chrome://tracing or https://ui.perfetto.dev;
+//   * machine consumers (tools/ttrace, the BENCH trajectory, tests): a
+//     `counters` object with every track's counters and duration
+//     accumulators, a `metadata` object with the machine shape, and an
+//     optional caller-supplied `results` object (benches put their
+//     headline tables there).
+//
+// Timestamps in traceEvents are microseconds (the trace_event unit); the
+// counters/metadata sections carry exact integer picoseconds (`*_ps`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf/counters.hpp"
+#include "perf/json.hpp"
+#include "sim/time.hpp"
+
+namespace fpst::perf {
+
+/// Serialise a registry (counters + timeline + meta) as a dump document.
+/// `wall` is the simulated end time of the run. Attach bench tables etc. by
+/// assigning doc["results"] before writing.
+json::Value to_json(const CounterRegistry& reg, sim::SimTime wall);
+
+/// Write any JSON document to `path` (pretty-printed). Throws
+/// std::runtime_error on I/O failure.
+void write_file(const std::string& path, const json::Value& doc);
+
+/// One track's counters as loaded back from a dump.
+struct DumpTrack {
+  std::uint32_t node = 0;
+  std::string component;
+  TrackSink::Counts counts;
+  TrackSink::Times times;
+};
+
+/// One span as loaded back from a dump.
+struct DumpSpan {
+  std::uint32_t node = 0;
+  std::string component;
+  sim::SimTime start{};
+  sim::SimTime duration{};
+  std::string name;
+  bool is_instant = false;
+};
+
+/// A loaded dump: everything tools/ttrace and the report builder need.
+struct Dump {
+  CounterRegistry::Meta meta;
+  sim::SimTime wall{};
+  std::uint64_t spans_dropped = 0;
+  std::vector<DumpTrack> tracks;  ///< sorted by (node, component)
+  std::vector<DumpSpan> spans;    ///< in recorded order
+  json::Value results;            ///< null when the dump carried none
+
+  const DumpTrack* find(std::uint32_t node, std::string_view component) const;
+  std::uint64_t value(std::uint32_t node, std::string_view component,
+                      std::string_view name) const;
+  sim::SimTime time_value(std::uint32_t node, std::string_view component,
+                          std::string_view name) const;
+};
+
+/// Rebuild a Dump from a parsed document. Throws std::runtime_error on a
+/// document that is not a perf dump.
+Dump from_json(const json::Value& doc);
+
+/// Read + parse + rebuild in one step.
+Dump load_file(const std::string& path);
+
+}  // namespace fpst::perf

@@ -1,0 +1,131 @@
+// The counter registry: named monotonically increasing counters and
+// duration accumulators for every (node, component) track of the machine,
+// plus the shared span timeline.
+//
+// Components never see this class — they hold a PerfSink* (perf/sink.hpp)
+// handed out by track(); the registry owns the tracks and keeps them in a
+// sorted map so every query and every serialised dump is deterministic.
+// Attach a registry to a whole machine with core::TSeries::enable_perf, or
+// to a standalone node with node::Node::attach_perf.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "perf/sink.hpp"
+#include "perf/timeline.hpp"
+#include "sim/time.hpp"
+
+namespace fpst::perf {
+
+class CounterRegistry;
+
+/// The per-(node, component) sink implementation: two sorted name→value
+/// maps plus a handle into the registry's shared timeline.
+class TrackSink final : public PerfSink {
+ public:
+  using Counts = std::map<std::string, std::uint64_t, std::less<>>;
+  using Times = std::map<std::string, sim::SimTime, std::less<>>;
+
+  std::uint32_t node() const { return node_; }
+  const std::string& component() const { return component_; }
+  std::uint32_t track_id() const { return id_; }
+
+  void count(std::string_view name, std::uint64_t delta) override;
+  void busy(std::string_view name, sim::SimTime duration) override;
+  void span(sim::SimTime start, sim::SimTime duration,
+            std::string name) override;
+  void instant(sim::SimTime at, std::string name) override;
+
+  const Counts& counts() const { return counts_; }
+  const Times& times() const { return times_; }
+  /// Value of one counter (0 when never touched).
+  std::uint64_t value(std::string_view name) const;
+  /// Value of one duration accumulator (zero when never touched).
+  sim::SimTime time_value(std::string_view name) const;
+
+ private:
+  friend class CounterRegistry;
+  TrackSink(std::uint32_t node, std::string component, std::uint32_t id,
+            Timeline* timeline)
+      : node_{node},
+        component_{std::move(component)},
+        id_{id},
+        timeline_{timeline} {}
+
+  std::uint32_t node_;
+  std::string component_;
+  std::uint32_t id_;
+  Timeline* timeline_;
+  Counts counts_;
+  Times times_;
+};
+
+class CounterRegistry {
+ public:
+  struct Options {
+    /// Ring bound for the span timeline.
+    std::size_t timeline_capacity = Timeline::kDefaultCapacity;
+    /// When false, spans are discarded at the source (counters still
+    /// collect) — the cheap mode for counter-only studies.
+    bool collect_spans = true;
+  };
+
+  /// Machine shape and labelling carried into every dump.
+  struct Meta {
+    int dimension = 0;
+    std::uint32_t nodes = 1;
+    std::string workload;  ///< free-form label, e.g. "saxpy n=65536"
+  };
+
+  CounterRegistry() : CounterRegistry(Options{}) {}
+  explicit CounterRegistry(Options opts) : timeline_{opts.timeline_capacity} {
+    timeline_.set_enabled(opts.collect_spans);
+  }
+
+  CounterRegistry(const CounterRegistry&) = delete;
+  CounterRegistry& operator=(const CounterRegistry&) = delete;
+
+  /// The sink for (node, component); created on first use. Pointers stay
+  /// valid for the registry's lifetime.
+  TrackSink& track(std::uint32_t node, std::string_view component);
+  /// Lookup without creation (nullptr when the track never existed).
+  const TrackSink* find(std::uint32_t node, std::string_view component) const;
+
+  /// Counter value on one track, 0 when absent.
+  std::uint64_t value(std::uint32_t node, std::string_view component,
+                      std::string_view name) const;
+  /// Duration value on one track, zero when absent.
+  sim::SimTime time_value(std::uint32_t node, std::string_view component,
+                          std::string_view name) const;
+  /// Sum of `name` over every node's `component` track.
+  std::uint64_t total(std::string_view component, std::string_view name) const;
+  sim::SimTime total_time(std::string_view component,
+                          std::string_view name) const;
+
+  /// All tracks in deterministic (node, component) order.
+  const std::map<std::pair<std::uint32_t, std::string>,
+                 std::unique_ptr<TrackSink>>&
+  tracks() const {
+    return tracks_;
+  }
+
+  Timeline& timeline() { return timeline_; }
+  const Timeline& timeline() const { return timeline_; }
+
+  Meta& meta() { return meta_; }
+  const Meta& meta() const { return meta_; }
+
+ private:
+  std::map<std::pair<std::uint32_t, std::string>, std::unique_ptr<TrackSink>>
+      tracks_;
+  Timeline timeline_;
+  Meta meta_;
+  std::uint32_t next_id_ = 0;
+};
+
+}  // namespace fpst::perf

@@ -1,0 +1,491 @@
+#include "perf/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace fpst::perf::json {
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.kind_ = Kind::boolean;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::integer(std::int64_t i) {
+  Value v;
+  v.kind_ = Kind::integer;
+  v.int_ = i;
+  return v;
+}
+
+Value Value::number(double d) {
+  Value v;
+  v.kind_ = Kind::number;
+  v.num_ = d;
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.kind_ = Kind::string;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.kind_ = Kind::array;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.kind_ = Kind::object;
+  return v;
+}
+
+namespace {
+[[noreturn]] void type_error(const char* want) {
+  throw std::runtime_error(std::string("json: value is not ") + want);
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::boolean) {
+    type_error("a boolean");
+  }
+  return bool_;
+}
+
+std::int64_t Value::as_int() const {
+  if (kind_ == Kind::integer) {
+    return int_;
+  }
+  if (kind_ == Kind::number) {
+    return static_cast<std::int64_t>(num_);
+  }
+  type_error("a number");
+}
+
+double Value::as_double() const {
+  if (kind_ == Kind::integer) {
+    return static_cast<double>(int_);
+  }
+  if (kind_ == Kind::number) {
+    return num_;
+  }
+  type_error("a number");
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::string) {
+    type_error("a string");
+  }
+  return str_;
+}
+
+const Value::Array& Value::as_array() const {
+  if (kind_ != Kind::array) {
+    type_error("an array");
+  }
+  return arr_;
+}
+
+const Value::Object& Value::as_object() const {
+  if (kind_ != Kind::object) {
+    type_error("an object");
+  }
+  return obj_;
+}
+
+Value::Array& Value::as_array() {
+  if (kind_ != Kind::array) {
+    type_error("an array");
+  }
+  return arr_;
+}
+
+Value::Object& Value::as_object() {
+  if (kind_ != Kind::object) {
+    type_error("an object");
+  }
+  return obj_;
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (kind_ == Kind::null) {
+    kind_ = Kind::object;
+  }
+  if (kind_ != Kind::object) {
+    type_error("an object");
+  }
+  return obj_[key];
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::object) {
+    return nullptr;
+  }
+  const auto it = obj_.find(std::string(key));
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+void Value::append(Value v) {
+  if (kind_ == Kind::null) {
+    kind_ = Kind::array;
+  }
+  if (kind_ != Kind::array) {
+    type_error("an array");
+  }
+  arr_.push_back(std::move(v));
+}
+
+// ---------------------------------------------------------------- writing
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) {
+    return;
+  }
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) *
+                 static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+void Value::write(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::null:
+      out += "null";
+      break;
+    case Kind::boolean:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::integer: {
+      char buf[32];
+      const auto r = std::to_chars(buf, buf + sizeof buf, int_);
+      out.append(buf, r.ptr);
+      break;
+    }
+    case Kind::number: {
+      if (!std::isfinite(num_)) {
+        out += "null";  // JSON has no Inf/NaN; keep the document valid
+        break;
+      }
+      char buf[40];
+      const auto r = std::to_chars(buf, buf + sizeof buf, num_);
+      out.append(buf, r.ptr);
+      break;
+    }
+    case Kind::string:
+      write_escaped(out, str_);
+      break;
+    case Kind::array: {
+      out += '[';
+      bool first = true;
+      for (const Value& v : arr_) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        v.write(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) {
+        newline_indent(out, indent, depth);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        write_escaped(out, k);
+        out += indent < 0 ? ":" : ": ";
+        v.write(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) {
+        newline_indent(out, indent, depth);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------- parsing
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return false;
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value::string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value::boolean(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value::boolean(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value{};
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.as_object().emplace(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.append(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+          }
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // BMP-only UTF-8 encoding (the perf dumps are ASCII anyway).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    bool is_integer = true;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_integer = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") {
+      fail("bad number");
+    }
+    if (is_integer) {
+      std::int64_t i = 0;
+      const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+      if (r.ec == std::errc{} && r.ptr == tok.data() + tok.size()) {
+        return Value::integer(i);
+      }
+      // Out of int64 range: fall through to double.
+    }
+    double d = 0.0;
+    const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (r.ec != std::errc{} || r.ptr != tok.data() + tok.size()) {
+      fail("bad number");
+    }
+    return Value::number(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::parse(std::string_view text) {
+  return Parser{text}.parse_document();
+}
+
+}  // namespace fpst::perf::json

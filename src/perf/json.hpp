@@ -1,0 +1,87 @@
+// Minimal JSON document model for the perf subsystem: enough to write
+// Chrome trace_event dumps and bench result files, and to load them back
+// in tools/ttrace and the tests — no third-party dependency.
+//
+// Objects keep their keys in sorted order (std::map), so serialisation is
+// deterministic: two identical runs produce byte-identical dumps, which the
+// perf tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpst::perf::json {
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    null,
+    boolean,
+    integer,
+    number,
+    string,
+    array,
+    object,
+  };
+
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  Value() = default;  // null
+  static Value boolean(bool b);
+  static Value integer(std::int64_t i);
+  static Value number(double d);
+  static Value string(std::string s);
+  static Value array();
+  static Value object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::null; }
+  bool is_object() const { return kind_ == Kind::object; }
+  bool is_array() const { return kind_ == Kind::array; }
+  bool is_string() const { return kind_ == Kind::string; }
+  bool is_number() const {
+    return kind_ == Kind::integer || kind_ == Kind::number;
+  }
+
+  bool as_bool() const;
+  /// Integer value (a double is truncated). Throws unless is_number().
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  /// Object member access; creates the member (null) on a mutable object.
+  Value& operator[](const std::string& key);
+  /// Member lookup; returns nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+  /// push_back onto an array value.
+  void append(Value v);
+
+  /// Serialise. `indent` < 0 emits compact single-line JSON; >= 0 pretty-
+  /// prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document. Throws std::runtime_error with an
+  /// offset-annotated message on malformed input.
+  static Value parse(std::string_view text);
+
+ private:
+  Kind kind_ = Kind::null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+
+  void write(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace fpst::perf::json

@@ -1,0 +1,243 @@
+#include "perf/report.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace fpst::perf {
+
+namespace {
+
+using Interval = std::pair<std::int64_t, std::int64_t>;  // [start, end) ps
+
+/// Merge overlapping/adjacent intervals in place; returns total length.
+std::int64_t merge(std::vector<Interval>& iv) {
+  std::sort(iv.begin(), iv.end());
+  std::vector<Interval> out;
+  for (const Interval& i : iv) {
+    if (i.second <= i.first) {
+      continue;
+    }
+    if (!out.empty() && i.first <= out.back().second) {
+      out.back().second = std::max(out.back().second, i.second);
+    } else {
+      out.push_back(i);
+    }
+  }
+  iv = std::move(out);
+  std::int64_t total = 0;
+  for (const Interval& i : iv) {
+    total += i.second - i.first;
+  }
+  return total;
+}
+
+/// Total length of the intersection of two merged interval lists.
+std::int64_t intersect_length(const std::vector<Interval>& a,
+                              const std::vector<Interval>& b) {
+  std::int64_t total = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::int64_t lo = std::max(a[i].first, b[j].first);
+    const std::int64_t hi = std::min(a[i].second, b[j].second);
+    if (lo < hi) {
+      total += hi - lo;
+    }
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+bool is_link_component(const std::string& c) {
+  return c.rfind("link", 0) == 0;
+}
+
+double safe_div(double num, double den) {
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+}  // namespace
+
+MachineReport analyze(const Dump& dump) {
+  MachineReport r;
+  r.meta = dump.meta;
+  r.wall = dump.wall;
+  r.spans_dropped = dump.spans_dropped;
+
+  const double wall_us = dump.wall.us();
+
+  // Span intervals per node, split into the VPU set and the "other
+  // component" set (CP, links, occam) for overlap analysis.
+  std::map<std::uint32_t, std::vector<Interval>> vpu_iv;
+  std::map<std::uint32_t, std::vector<Interval>> other_iv;
+  for (const DumpSpan& s : dump.spans) {
+    if (s.is_instant) {
+      continue;
+    }
+    auto& bucket = s.component == "vpu" ? vpu_iv[s.node] : other_iv[s.node];
+    bucket.emplace_back(s.start.ps(), (s.start + s.duration).ps());
+  }
+
+  // One NodeReport per node that has any track; plus the link table.
+  std::map<std::uint32_t, NodeReport> nodes;
+  sim::SimTime total_vpu_busy{};
+  std::uint64_t total_gather = 0;
+  std::uint64_t total_payload = 0;
+  for (const DumpTrack& t : dump.tracks) {
+    NodeReport& n = nodes[t.node];
+    n.node = t.node;
+    if (t.component == "vpu") {
+      n.flops = dump.value(t.node, "vpu", "flops");
+      n.vector_ops = dump.value(t.node, "vpu", "ops");
+      n.bank_conflicts = dump.value(t.node, "vpu", "bank_conflicts");
+      n.vpu_busy = dump.time_value(t.node, "vpu", "busy");
+      total_vpu_busy += n.vpu_busy;
+    } else if (t.component == "cp") {
+      n.cp_instr = dump.value(t.node, "cp", "instr");
+      n.gather_elems = dump.value(t.node, "cp", "gather_elems");
+      n.scatter_elems = dump.value(t.node, "cp", "scatter_elems");
+      n.cp_busy = dump.time_value(t.node, "cp", "busy");
+      total_gather += n.gather_elems;
+    } else if (is_link_component(t.component)) {
+      LinkReport l;
+      l.node = t.node;
+      l.component = t.component;
+      const auto bytes = t.counts.find("bytes");
+      l.wire_bytes = bytes == t.counts.end() ? 0 : bytes->second;
+      const auto payload = t.counts.find("payload_bytes");
+      l.payload_bytes = payload == t.counts.end() ? 0 : payload->second;
+      const auto dma = t.counts.find("dma_starts");
+      l.dma_starts = dma == t.counts.end() ? 0 : dma->second;
+      const auto busy = t.times.find("busy");
+      l.busy = busy == t.times.end() ? sim::SimTime{} : busy->second;
+      l.saturation = safe_div(static_cast<double>(l.wire_bytes),
+                              kLinkBytesPerSec * dump.wall.sec());
+      n.link_bytes += l.wire_bytes;
+      n.link_busy += l.busy;
+      total_payload += l.payload_bytes;
+      r.links.push_back(std::move(l));
+    }
+  }
+
+  for (auto& [id, n] : nodes) {
+    n.vpu_util = safe_div(n.vpu_busy.us(), wall_us);
+    n.cp_util = safe_div(n.cp_busy.us(), wall_us);
+    n.mflops = safe_div(static_cast<double>(n.flops), wall_us);
+    n.active_mflops = safe_div(static_cast<double>(n.flops), n.vpu_busy.us());
+    auto vi = vpu_iv.find(id);
+    auto oi = other_iv.find(id);
+    if (vi != vpu_iv.end() && oi != other_iv.end()) {
+      merge(vi->second);
+      merge(oi->second);
+      n.overlap_frac = safe_div(
+          static_cast<double>(intersect_length(vi->second, oi->second)),
+          static_cast<double>(dump.wall.ps()));
+    }
+    n.has_spans = vi != vpu_iv.end() || oi != other_iv.end();
+    r.total_flops += n.flops;
+    r.nodes.push_back(n);
+  }
+
+  r.aggregate_mflops = safe_div(static_cast<double>(r.total_flops), wall_us);
+  r.aggregate_peak_mflops =
+      kPeakMflopsPerNode * static_cast<double>(r.meta.nodes);
+  r.active_mflops =
+      safe_div(static_cast<double>(r.total_flops), total_vpu_busy.us());
+  r.peak_fraction = safe_div(r.aggregate_mflops, r.aggregate_peak_mflops);
+
+  r.gather_balance.rule = "flops per gathered element";
+  r.gather_balance.required = kMinFlopsPerGatheredElement;
+  r.gather_balance.applicable = total_gather > 0;
+  r.gather_balance.measured = safe_div(static_cast<double>(r.total_flops),
+                                       static_cast<double>(total_gather));
+  r.gather_balance.ok = !r.gather_balance.applicable ||
+                        r.gather_balance.measured >= r.gather_balance.required;
+
+  const double link_words =
+      static_cast<double>(total_payload) / kLinkWordBytes;
+  r.link_balance.rule = "flops per link word";
+  r.link_balance.required = kMinFlopsPerLinkWord;
+  r.link_balance.applicable = total_payload > 0;
+  r.link_balance.measured =
+      safe_div(static_cast<double>(r.total_flops), link_words);
+  r.link_balance.ok = !r.link_balance.applicable ||
+                      r.link_balance.measured >= r.link_balance.required;
+  return r;
+}
+
+std::string render(const MachineReport& r) {
+  std::string out;
+  appendf(out, "tperf report — %s\n",
+          r.meta.workload.empty() ? "(unlabelled run)"
+                                  : r.meta.workload.c_str());
+  appendf(out, "machine: %d-cube, %u node%s, wall %s\n", r.meta.dimension,
+          r.meta.nodes, r.meta.nodes == 1 ? "" : "s",
+          r.wall.to_string().c_str());
+  if (r.spans_dropped > 0) {
+    appendf(out,
+            "note: %llu spans were dropped (ring full); overlap figures "
+            "cover the surviving window only\n",
+            static_cast<unsigned long long>(r.spans_dropped));
+  }
+  appendf(out,
+          "aggregate: %.3f MFLOPS of %.0f peak (%.1f%%), "
+          "vpu-active %.3f MFLOPS\n",
+          r.aggregate_mflops, r.aggregate_peak_mflops,
+          100.0 * r.peak_fraction, r.active_mflops);
+
+  appendf(out, "\n%-6s %10s %8s %8s %9s %9s %9s %10s\n", "node", "flops",
+          "vpu%", "cp%", "overlap%", "MFLOPS", "active", "link B");
+  for (const NodeReport& n : r.nodes) {
+    appendf(out, "%-6u %10llu %7.1f%% %7.1f%% %8.1f%% %9.3f %9.3f %10llu\n",
+            n.node, static_cast<unsigned long long>(n.flops),
+            100.0 * n.vpu_util, 100.0 * n.cp_util,
+            n.has_spans ? 100.0 * n.overlap_frac : 0.0, n.mflops,
+            n.active_mflops, static_cast<unsigned long long>(n.link_bytes));
+  }
+
+  if (!r.links.empty()) {
+    appendf(out, "\n%-6s %-8s %10s %12s %6s %8s\n", "node", "link", "wire B",
+            "payload B", "DMAs", "sat%");
+    for (const LinkReport& l : r.links) {
+      appendf(out, "%-6u %-8s %10llu %12llu %6llu %7.1f%%\n", l.node,
+              l.component.c_str(),
+              static_cast<unsigned long long>(l.wire_bytes),
+              static_cast<unsigned long long>(l.payload_bytes),
+              static_cast<unsigned long long>(l.dma_starts),
+              100.0 * l.saturation);
+    }
+  }
+
+  appendf(out, "\nbalance (paper rule 1 : 13 : 130):\n");
+  for (const BalanceCheck* c : {&r.gather_balance, &r.link_balance}) {
+    if (!c->applicable) {
+      appendf(out, "  %-28s n/a (no traffic)\n", c->rule.c_str());
+    } else {
+      appendf(out, "  %-28s %8.2f >= %.0f  %s\n", c->rule.c_str(),
+              c->measured, c->required, c->ok ? "OK" : "VIOLATION");
+    }
+  }
+  return out;
+}
+
+}  // namespace fpst::perf

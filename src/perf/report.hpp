@@ -1,0 +1,101 @@
+// Utilization analysis over a perf dump: per-node busy/idle/overlap
+// fractions, measured MFLOPS against the hardware ceiling, link saturation,
+// and the paper's balance rules.
+//
+// The thresholds below are the T Series paper constants, restated here
+// because perf sits *below* the vpu/link libraries in the layering and
+// cannot include their headers:
+//   * 16 MFLOPS peak per node (two 8 MFLOPS pipes, 125 ns cycle);
+//   * 0.5 MB/s per link sublink, 8-byte link word (16 us per word);
+//   * the 1 : 13 : 130 balance rule — a program must perform at least
+//     13 flops per gathered element and 130 flops per link word
+//     transferred, or memory/communication time dominates arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf/chrome_trace.hpp"
+#include "sim/time.hpp"
+
+namespace fpst::perf {
+
+/// Per-node peak, paper §2: two pipelined FPUs at 125 ns.
+inline constexpr double kPeakMflopsPerNode = 16.0;
+/// Per-link bandwidth, paper §3.
+inline constexpr double kLinkBytesPerSec = 0.5e6;
+/// One link word is 64 bits (16 us at 0.5 MB/s).
+inline constexpr double kLinkWordBytes = 8.0;
+/// Balance floors, paper §5: flops per gathered element / per link word.
+inline constexpr double kMinFlopsPerGatheredElement = 13.0;
+inline constexpr double kMinFlopsPerLinkWord = 130.0;
+
+struct NodeReport {
+  std::uint32_t node = 0;
+  std::uint64_t flops = 0;
+  std::uint64_t vector_ops = 0;
+  std::uint64_t bank_conflicts = 0;
+  std::uint64_t gather_elems = 0;
+  std::uint64_t scatter_elems = 0;
+  std::uint64_t cp_instr = 0;
+  std::uint64_t link_bytes = 0;          ///< wire bytes over all of the
+                                         ///< node's link adapters
+  sim::SimTime vpu_busy{};
+  sim::SimTime cp_busy{};
+  sim::SimTime link_busy{};              ///< summed over link adapters
+  double vpu_util = 0.0;                 ///< vpu_busy / wall
+  double cp_util = 0.0;
+  double mflops = 0.0;                   ///< flops / wall
+  double active_mflops = 0.0;            ///< flops / vpu_busy
+  /// Fraction of the wall during which the VPU was busy *and* some other
+  /// component (CP or a link) was busy too — computed by merging span
+  /// intervals; 0 when the dump carries no spans for this node.
+  double overlap_frac = 0.0;
+  bool has_spans = false;
+};
+
+struct LinkReport {
+  std::uint32_t node = 0;
+  std::string component;                 ///< "link0".."link3"
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t dma_starts = 0;
+  sim::SimTime busy{};
+  double saturation = 0.0;               ///< wire_bytes / (wall * 0.5 MB/s)
+};
+
+struct BalanceCheck {
+  std::string rule;                      ///< human-readable rule name
+  double measured = 0.0;
+  double required = 0.0;
+  bool applicable = false;               ///< denominator was non-zero
+  bool ok = true;                        ///< !applicable counts as ok
+};
+
+struct MachineReport {
+  CounterRegistry::Meta meta;
+  sim::SimTime wall{};
+  std::uint64_t spans_dropped = 0;
+  std::vector<NodeReport> nodes;
+  std::vector<LinkReport> links;
+  std::uint64_t total_flops = 0;
+  double aggregate_mflops = 0.0;         ///< total flops / wall
+  double aggregate_peak_mflops = 0.0;    ///< 16 x node count
+  double active_mflops = 0.0;            ///< total flops / total vpu busy
+  double peak_fraction = 0.0;            ///< aggregate / aggregate peak
+  BalanceCheck gather_balance;           ///< flops per gathered element
+  BalanceCheck link_balance;             ///< flops per link word
+  bool balance_ok() const {
+    return gather_balance.ok && link_balance.ok;
+  }
+};
+
+/// Build the full report from a loaded dump.
+MachineReport analyze(const Dump& dump);
+
+/// Render the report as the text ttrace prints: machine summary, per-node
+/// table, per-link table, balance verdicts ("OK" / "VIOLATION" lines).
+std::string render(const MachineReport& report);
+
+}  // namespace fpst::perf

@@ -1,0 +1,53 @@
+// The instrumentation seam between the hardware models and the perf
+// subsystem (DESIGN.md §4.2).
+//
+// Every component that reports counters or timeline spans — the vector
+// unit, node memory, link engines, control processor, node, occam runtime —
+// holds at most a `PerfSink*`, null by default. A null sink is the
+// "collection disabled" state: each instrumentation point is then a single
+// pointer test, so uninstrumented runs pay (almost) nothing and the
+// substrate libraries depend only on this header, never on the registry,
+// the timeline ring or the exporters.
+//
+// A sink is scoped: the CounterRegistry hands out one per (node, component)
+// track, so call sites pass bare counter names ("flops", "bytes") and the
+// machinery supplies the identity.
+//
+// Counter-name conventions (consumed by perf/report.cpp and tools/ttrace):
+//   vpu     counts: ops, flops, adder_results, mul_results, bank_conflicts
+//           times:  busy, busy.<FORM>          (per vector form)
+//   mem     counts: row_loads, row_stores, word_reads, word_writes
+//   cp      counts: instr, deschedules, gather_elems, scatter_elems
+//           times:  busy
+//   link<p> counts: bytes, payload_bytes, packets, acks, dma_starts
+//           times:  busy, busy.sublink<k>
+//   occam   counts: msgs_sent, msgs_recv, pkts_forwarded
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace fpst::perf {
+
+class PerfSink {
+ public:
+  PerfSink() = default;
+  PerfSink(const PerfSink&) = delete;
+  PerfSink& operator=(const PerfSink&) = delete;
+  virtual ~PerfSink() = default;
+
+  /// Add to a named monotonically increasing counter.
+  virtual void count(std::string_view name, std::uint64_t delta) = 0;
+  /// Add to a named duration accumulator.
+  virtual void busy(std::string_view name, sim::SimTime duration) = 0;
+  /// Record a timeline span [start, start + duration) on this track.
+  virtual void span(sim::SimTime start, sim::SimTime duration,
+                    std::string name) = 0;
+  /// Record an instantaneous timeline marker on this track.
+  virtual void instant(sim::SimTime at, std::string name) = 0;
+};
+
+}  // namespace fpst::perf

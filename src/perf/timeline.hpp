@@ -1,0 +1,62 @@
+// The structured span timeline: the machine-wide record of *when* each
+// component was busy, bounded by a ring buffer so long runs cannot exhaust
+// host memory.
+//
+// Spans are typed (track id + times + name) rather than formatted strings;
+// the track table maps ids back to (node, component) identity. The Chrome
+// trace_event exporter (perf/chrome_trace.hpp) turns each node into a
+// "process" and each component into a "thread" so any dump opens directly
+// in chrome://tracing or Perfetto.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/ring.hpp"
+#include "sim/time.hpp"
+
+namespace fpst::perf {
+
+/// One timeline record. `duration` is zero for instant markers.
+struct Span {
+  std::uint32_t track = 0;
+  sim::SimTime start{};
+  sim::SimTime duration{};
+  std::string name;
+  bool is_instant = false;
+};
+
+class Timeline {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  Timeline() : ring_{kDefaultCapacity} {}
+  explicit Timeline(std::size_t capacity) : ring_{capacity} {}
+
+  /// Span collection on/off (counters are unaffected; flip this to keep a
+  /// run's counter totals while bounding its dump size to zero spans).
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(Span s) {
+    if (enabled_) {
+      ring_.push(std::move(s));
+    }
+  }
+
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return ring_.capacity(); }
+  /// Spans overwritten because the ring was full (reported in dumps so a
+  /// truncated timeline is never mistaken for a complete one).
+  std::uint64_t dropped() const { return ring_.dropped(); }
+  const Span& operator[](std::size_t i) const { return ring_[i]; }
+  std::vector<Span> snapshot() const { return ring_.snapshot(); }
+  void clear() { ring_.clear(); }
+
+ private:
+  sim::RingBuffer<Span> ring_;
+  bool enabled_ = true;
+};
+
+}  // namespace fpst::perf

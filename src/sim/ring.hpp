@@ -1,0 +1,70 @@
+// Bounded ring buffer for trace/telemetry records.
+//
+// Long simulations (checkpoint-interval studies span minutes of simulated
+// time) must not accumulate unbounded trace state, so every collector in
+// the tree — sim::Tracer and the perf timeline — stores its records in one
+// of these: a fixed-capacity circular store that overwrites the oldest
+// record once full and counts how many were dropped, so consumers can tell
+// a complete trace from a truncated one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fpst::sim {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// A capacity of 0 is clamped to 1 (a ring must hold something).
+  explicit RingBuffer(std::size_t capacity)
+      : cap_{capacity == 0 ? 1 : capacity} {}
+
+  /// Append, overwriting the oldest element once the ring is full.
+  void push(T value) {
+    if (buf_.size() < cap_) {
+      buf_.push_back(std::move(value));
+      return;
+    }
+    buf_[head_] = std::move(value);
+    head_ = (head_ + 1) % cap_;
+    ++dropped_;
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  std::size_t capacity() const { return cap_; }
+  bool empty() const { return buf_.empty(); }
+  /// Elements overwritten so far (0 while the trace is still complete).
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Element `i` in insertion order: 0 is the oldest retained record.
+  const T& operator[](std::size_t i) const {
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  /// Retained elements, oldest first.
+  std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(buf_.size());
+    for (std::size_t i = 0; i < buf_.size(); ++i) {
+      out.push_back((*this)[i]);
+    }
+    return out;
+  }
+
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t cap_;
+  std::size_t head_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<T> buf_;
+};
+
+}  // namespace fpst::sim

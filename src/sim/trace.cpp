@@ -5,34 +5,25 @@
 
 namespace fpst::sim {
 
-std::map<std::string, SimTime> Tracer::busy_by_category() const {
-  std::map<std::string, SimTime> busy;
-  for (const TraceRecord& r : records_) {
-    busy[r.category] += r.duration;
-  }
-  return busy;
-}
-
 std::string Tracer::render(std::size_t max_lines) const {
-  std::vector<const TraceRecord*> sorted;
-  sorted.reserve(records_.size());
-  for (const TraceRecord& r : records_) {
-    sorted.push_back(&r);
-  }
+  std::vector<TraceRecord> sorted = ring_.snapshot();
   std::stable_sort(sorted.begin(), sorted.end(),
-                   [](const TraceRecord* a, const TraceRecord* b) {
-                     return a->at < b->at;
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.at < b.at;
                    });
   std::ostringstream out;
+  if (ring_.dropped() > 0) {
+    out << "(ring full: " << ring_.dropped() << " oldest records dropped)\n";
+  }
   std::size_t lines = 0;
-  for (const TraceRecord* r : sorted) {
+  for (const TraceRecord& r : sorted) {
     if (lines++ >= max_lines) {
       out << "... (" << (sorted.size() - max_lines) << " more)\n";
       break;
     }
-    out << r->at.to_string() << "  [" << r->category << "] " << r->detail;
-    if (!r->duration.is_zero()) {
-      out << " (" << r->duration.to_string() << ")";
+    out << r.at.to_string() << "  [" << r.category << "] " << r.detail;
+    if (!r.duration.is_zero()) {
+      out << " (" << r.duration.to_string() << ")";
     }
     out << "\n";
   }

@@ -6,6 +6,15 @@
 // which, because the simulator is deterministic, is itself reproducible —
 // and can be rendered as a per-category timeline for debugging and for the
 // utilisation views in examples.
+//
+// Storage is a bounded RingBuffer (sim/ring.hpp): once `capacity` records
+// are held the oldest are overwritten, so arbitrarily long runs cannot
+// exhaust host memory. Per-category busy totals are accumulated at record
+// time and therefore stay exact even after the ring has started dropping;
+// dropped() tells a consumer whether the record list itself is complete.
+// For structured machine-wide collection (typed spans, counters, Chrome
+// trace export) see src/perf — this class remains the simple string-record
+// front end and is kept API-compatible with its unbounded predecessor.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/ring.hpp"
 #include "sim/time.hpp"
 
 namespace fpst::sim {
@@ -26,31 +36,50 @@ struct TraceRecord {
 
 class Tracer {
  public:
+  /// Default record bound; a long-running study overwrites the oldest
+  /// records beyond this (busy totals remain exact).
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  Tracer() : ring_{kDefaultCapacity} {}
+  explicit Tracer(std::size_t capacity) : ring_{capacity} {}
+
   /// Record an instantaneous event.
   void event(SimTime at, std::string category, std::string detail) {
-    records_.push_back(
-        TraceRecord{at, SimTime{}, std::move(category), std::move(detail)});
+    busy_[category] += SimTime{};
+    ring_.push(TraceRecord{at, SimTime{}, std::move(category),
+                           std::move(detail)});
   }
   /// Record an activity spanning [at, at + duration).
   void span(SimTime at, SimTime duration, std::string category,
             std::string detail) {
-    records_.push_back(
-        TraceRecord{at, duration, std::move(category), std::move(detail)});
+    busy_[category] += duration;
+    ring_.push(TraceRecord{at, duration, std::move(category),
+                           std::move(detail)});
   }
 
-  const std::vector<TraceRecord>& records() const { return records_; }
-  std::size_t size() const { return records_.size(); }
-  void clear() { records_.clear(); }
+  /// Retained records, oldest first. (A snapshot: the backing store is a
+  /// ring, so this materialises the in-order view the old API exposed.)
+  std::vector<TraceRecord> records() const { return ring_.snapshot(); }
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return ring_.capacity(); }
+  /// Records overwritten because the ring was full.
+  std::uint64_t dropped() const { return ring_.dropped(); }
+  void clear() {
+    ring_.clear();
+    busy_.clear();
+  }
 
   /// Total busy time per category (overlaps within a category are summed,
-  /// not merged — fine for serially-used resources).
-  std::map<std::string, SimTime> busy_by_category() const;
+  /// not merged — fine for serially-used resources). Exact across the whole
+  /// run even when the ring has dropped old records.
+  std::map<std::string, SimTime> busy_by_category() const { return busy_; }
 
   /// Human-readable chronological dump (capped at `max_lines`).
   std::string render(std::size_t max_lines = 100) const;
 
  private:
-  std::vector<TraceRecord> records_;
+  RingBuffer<TraceRecord> ring_;
+  std::map<std::string, SimTime> busy_;
 };
 
 }  // namespace fpst::sim

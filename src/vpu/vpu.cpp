@@ -168,6 +168,29 @@ OpResult VectorUnit::execute(const VectorOp& op) {
   ++total_ops_;
   total_flops_ += r.flops;
   total_busy_ += r.duration;
+  if (sink_ != nullptr) {
+    sink_->count("ops", 1);
+    sink_->count("flops", r.flops);
+    // Pipe result counts: chained forms produce one result per pipe per
+    // element; pure multiplier forms keep the adder idle and vice versa.
+    const bool both = uses_both_pipes(op.form);
+    const bool mul_only =
+        op.form == VectorForm::vmul || op.form == VectorForm::vsmul;
+    const auto n = static_cast<std::uint64_t>(op.n);
+    if (both || !mul_only) {
+      sink_->count("adder_results", n);
+    }
+    if (both || mul_only) {
+      sink_->count("mul_results", n);
+    }
+    if (is_two_operand(op.form) &&
+        mem::NodeMemory::bank_of_row(op.row_x) ==
+            mem::NodeMemory::bank_of_row(op.row_y)) {
+      sink_->count("bank_conflicts", 1);
+    }
+    sink_->busy("busy", r.duration);
+    sink_->busy(std::string("busy.") + to_string(op.form), r.duration);
+  }
   return r;
 }
 

@@ -25,6 +25,7 @@
 
 #include "fp/softfloat.hpp"
 #include "mem/memory.hpp"
+#include "perf/sink.hpp"
 #include "sim/time.hpp"
 
 namespace fpst::vpu {
@@ -118,6 +119,9 @@ class VectorUnit {
   /// rows). Timing is returned, not charged — the node model owns the clock.
   OpResult execute(const VectorOp& op);
 
+  /// Perf instrumentation (see perf/sink.hpp); null disables collection.
+  void set_sink(perf::PerfSink* sink) { sink_ = sink; }
+
   /// Cumulative statistics for the benches.
   std::uint64_t total_ops() const { return total_ops_; }
   std::uint64_t total_flops() const { return total_flops_; }
@@ -133,6 +137,7 @@ class VectorUnit {
 
   mem::NodeMemory* memory_;
   Config cfg_;
+  perf::PerfSink* sink_ = nullptr;
   std::uint64_t total_ops_ = 0;
   std::uint64_t total_flops_ = 0;
   sim::SimTime total_busy_{};

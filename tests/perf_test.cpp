@@ -1,0 +1,277 @@
+// Tests for the tperf observability subsystem (src/perf): counter
+// determinism, span invariants, the Chrome trace_event dump schema, the
+// JSON round-trip, ring bounding, and the report builder's balance rules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "node/node.hpp"
+#include "occam/occam.hpp"
+#include "perf/chrome_trace.hpp"
+#include "perf/counters.hpp"
+#include "perf/report.hpp"
+#include "sim/proc.hpp"
+
+namespace fpst {
+namespace {
+
+using namespace fpst::sim::literals;
+using perf::CounterRegistry;
+
+/// Standard single-node workload: overlapped gather || 4x VSAXPY, then a
+/// scatter — touches the vpu, cp and mem tracks.
+sim::SimTime run_node_workload(CounterRegistry* reg) {
+  sim::Simulator sim;
+  node::Node nd{sim, 0};
+  if (reg != nullptr) {
+    reg->meta().nodes = 1;
+    reg->meta().workload = "perf_test";
+    nd.attach_perf(*reg);
+  }
+  const node::Array64 x = nd.alloc64(mem::Bank::A, 128);
+  const node::Array64 y = nd.alloc64(mem::Bank::B, 128);
+  const node::Array64 z = nd.alloc64(mem::Bank::B, 128);
+  nd.write64(x, std::vector<double>(128, 1.0));
+  nd.write64(y, std::vector<double>(128, 2.0));
+  sim.spawn([](node::Node* n, node::Array64 ax, node::Array64 ay,
+               node::Array64 az) -> sim::Proc {
+    std::vector<sim::Proc> par;
+    par.push_back(n->gather(64));
+    par.push_back([](node::Node* nn, node::Array64 x2, node::Array64 y2,
+                     node::Array64 z2) -> sim::Proc {
+      for (int i = 0; i < 4; ++i) {
+        co_await nn->vscalar(vpu::VectorForm::vsaxpy, 2.0, x2, y2, z2);
+      }
+    }(n, ax, ay, az));
+    co_await sim::WhenAll{std::move(par)};
+    co_await n->scatter(32);
+  }(&nd, x, y, z));
+  sim.run();
+  return sim.now();
+}
+
+TEST(Counters, NodeWorkloadFillsTracks) {
+  CounterRegistry reg;
+  run_node_workload(&reg);
+  EXPECT_EQ(reg.value(0, "vpu", "ops"), 4u);
+  EXPECT_EQ(reg.value(0, "vpu", "flops"), 4u * 2u * 128u);
+  EXPECT_EQ(reg.value(0, "vpu", "adder_results"), 4u * 128u);
+  EXPECT_EQ(reg.value(0, "vpu", "mul_results"), 4u * 128u);
+  EXPECT_EQ(reg.value(0, "cp", "gather_elems"), 64u);
+  EXPECT_EQ(reg.value(0, "cp", "scatter_elems"), 32u);
+  EXPECT_GT(reg.value(0, "mem", "row_loads"), 0u);
+  EXPECT_GT(reg.value(0, "mem", "row_stores"), 0u);
+  // Busy accumulators: all vpu time here is VSAXPY time.
+  EXPECT_EQ(reg.time_value(0, "vpu", "busy"),
+            reg.time_value(0, "vpu", "busy.VSAXPY"));
+  EXPECT_FALSE(reg.time_value(0, "cp", "busy").is_zero());
+  // Untouched names and tracks read as zero, without creating anything.
+  EXPECT_EQ(reg.value(0, "vpu", "bank_conflicts"), 0u);
+  EXPECT_EQ(reg.value(7, "vpu", "ops"), 0u);
+  EXPECT_EQ(reg.find(7, "vpu"), nullptr);
+}
+
+TEST(Counters, IdenticalRunsProduceIdenticalDumps) {
+  CounterRegistry a;
+  CounterRegistry b;
+  const sim::SimTime wall_a = run_node_workload(&a);
+  const sim::SimTime wall_b = run_node_workload(&b);
+  EXPECT_EQ(wall_a, wall_b);
+  // Byte-identical serialisation: sorted maps + deterministic simulator.
+  EXPECT_EQ(perf::to_json(a, wall_a).dump(2), perf::to_json(b, wall_b).dump(2));
+}
+
+TEST(Timeline, SpanInvariants) {
+  CounterRegistry reg;
+  const sim::SimTime wall = run_node_workload(&reg);
+  const std::vector<perf::Span> spans = reg.timeline().snapshot();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(reg.timeline().dropped(), 0u);
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> vpu_iv;
+  for (const perf::Span& s : spans) {
+    // Every span fits in the run and instants carry no duration.
+    EXPECT_GE(s.start, sim::SimTime{});
+    EXPECT_LE(s.start + s.duration, wall);
+    if (s.is_instant) {
+      EXPECT_TRUE(s.duration.is_zero());
+    } else {
+      EXPECT_FALSE(s.duration.is_zero());
+    }
+    if (s.track == reg.track(0, "vpu").track_id()) {
+      vpu_iv.emplace_back(s.start, s.start + s.duration);
+    }
+  }
+  // The vector unit is a serial resource: its spans must not overlap.
+  ASSERT_EQ(vpu_iv.size(), 4u);
+  std::sort(vpu_iv.begin(), vpu_iv.end());
+  for (std::size_t i = 1; i < vpu_iv.size(); ++i) {
+    EXPECT_LE(vpu_iv[i - 1].second, vpu_iv[i].first);
+  }
+}
+
+TEST(Timeline, RingBoundsSpansAndReportsDrops) {
+  CounterRegistry reg{CounterRegistry::Options{.timeline_capacity = 2}};
+  const sim::SimTime wall = run_node_workload(&reg);
+  EXPECT_LE(reg.timeline().size(), 2u);
+  EXPECT_GT(reg.timeline().dropped(), 0u);
+  // Counters are unaffected by span loss, and the dump declares the drops.
+  EXPECT_EQ(reg.value(0, "vpu", "ops"), 4u);
+  const perf::Dump d = perf::from_json(perf::to_json(reg, wall));
+  EXPECT_EQ(d.spans_dropped, reg.timeline().dropped());
+}
+
+TEST(Timeline, DisabledCollectionKeepsCounters) {
+  CounterRegistry reg{CounterRegistry::Options{.collect_spans = false}};
+  run_node_workload(&reg);
+  EXPECT_EQ(reg.timeline().size(), 0u);
+  EXPECT_EQ(reg.timeline().dropped(), 0u);
+  EXPECT_EQ(reg.value(0, "vpu", "ops"), 4u);
+}
+
+TEST(ChromeTrace, SchemaIsTraceEventFormat) {
+  CounterRegistry reg;
+  const sim::SimTime wall = run_node_workload(&reg);
+  const perf::json::Value doc = perf::to_json(reg, wall);
+
+  const perf::json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  std::size_t metadata = 0;
+  std::size_t complete = 0;
+  for (const perf::json::Value& e : events->as_array()) {
+    const std::string& ph = e.find("ph")->as_string();
+    ASSERT_NE(e.find("pid"), nullptr);
+    if (ph == "M") {
+      const std::string& name = e.find("name")->as_string();
+      EXPECT_TRUE(name == "process_name" || name == "thread_name");
+      ++metadata;
+    } else if (ph == "X") {
+      // Complete events carry both viewer times (us) and exact ps.
+      ASSERT_NE(e.find("ts"), nullptr);
+      ASSERT_NE(e.find("dur"), nullptr);
+      ASSERT_NE(e.find("args"), nullptr);
+      EXPECT_NE(e.find("args")->find("dur_ps"), nullptr);
+      ++complete;
+    }
+  }
+  EXPECT_GT(metadata, 0u);
+  EXPECT_EQ(complete, reg.timeline().size());
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ns");
+  EXPECT_EQ(doc.find("metadata")->find("tool")->as_string(), "tperf");
+}
+
+TEST(ChromeTrace, RoundTripPreservesEverything) {
+  CounterRegistry reg;
+  const sim::SimTime wall = run_node_workload(&reg);
+  perf::json::Value doc = perf::to_json(reg, wall);
+  doc["results"]["answer"] = perf::json::Value::integer(42);
+
+  // Through text and back: parse(dump) must reconstruct the same dump.
+  const perf::Dump d =
+      perf::from_json(perf::json::Value::parse(doc.dump(2)));
+  EXPECT_EQ(d.meta.workload, "perf_test");
+  EXPECT_EQ(d.meta.nodes, 1u);
+  EXPECT_EQ(d.wall, wall);
+  EXPECT_EQ(d.tracks.size(), reg.tracks().size());
+  for (const perf::DumpTrack& t : d.tracks) {
+    const perf::TrackSink* s = reg.find(t.node, t.component);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(t.counts, s->counts());
+    EXPECT_EQ(t.times, s->times());
+  }
+  ASSERT_EQ(d.spans.size(), reg.timeline().size());
+  for (std::size_t i = 0; i < d.spans.size(); ++i) {
+    EXPECT_EQ(d.spans[i].start, reg.timeline()[i].start);
+    EXPECT_EQ(d.spans[i].duration, reg.timeline()[i].duration);
+    EXPECT_EQ(d.spans[i].name, reg.timeline()[i].name);
+  }
+  EXPECT_EQ(d.value(0, "vpu", "flops"), reg.value(0, "vpu", "flops"));
+  EXPECT_EQ(d.time_value(0, "vpu", "busy"), reg.time_value(0, "vpu", "busy"));
+  ASSERT_NE(d.results.find("answer"), nullptr);
+  EXPECT_EQ(d.results.find("answer")->as_int(), 42);
+}
+
+TEST(ChromeTrace, RejectsForeignDocuments) {
+  EXPECT_THROW(perf::from_json(perf::json::Value::parse("{}")),
+               std::runtime_error);
+  EXPECT_THROW(
+      perf::from_json(perf::json::Value::parse(R"({"traceEvents": []})")),
+      std::runtime_error);
+}
+
+TEST(Report, MachineWorkloadAndBalanceRules) {
+  sim::Simulator sim;
+  core::TSeries machine{sim, 1};
+  CounterRegistry reg;
+  machine.enable_perf(reg);
+  reg.meta().workload = "two_node_saxpy";
+  occam::Runtime rt{machine};
+
+  std::vector<node::Array64> xs(2);
+  std::vector<node::Array64> ys(2);
+  for (net::NodeId id = 0; id < 2; ++id) {
+    node::Node& nd = machine.node(id);
+    xs[id] = nd.alloc64(mem::Bank::A, 128);
+    ys[id] = nd.alloc64(mem::Bank::B, 128);
+    nd.write64(xs[id], std::vector<double>(128, 1.0));
+    nd.write64(ys[id], std::vector<double>(128, 2.0));
+  }
+  const sim::SimTime elapsed = rt.run([&](occam::Ctx& ctx) -> sim::Proc {
+    node::Node& nd = ctx.node();
+    for (int i = 0; i < 8; ++i) {
+      co_await nd.vscalar(vpu::VectorForm::vsaxpy, 2.0, xs[ctx.id()],
+                          ys[ctx.id()], ys[ctx.id()]);
+    }
+    double v = 1.0;
+    co_await ctx.allreduce_sum(&v);
+  });
+
+  const perf::MachineReport r =
+      perf::analyze(perf::from_json(perf::to_json(reg, elapsed)));
+  ASSERT_EQ(r.nodes.size(), 2u);
+  EXPECT_EQ(r.total_flops, 2u * 8u * 2u * 128u);
+  EXPECT_GT(r.aggregate_mflops, 0.0);
+  // All vector work is full 128-element VSAXPY, so the active rate is the
+  // single-form rate: 256 flops per 18.425 us.
+  EXPECT_NEAR(r.active_mflops, 256.0 / 18.425, 1e-6);
+  // occam messages crossed the one cube link in both directions.
+  EXPECT_FALSE(r.links.empty());
+  EXPECT_GT(r.nodes[0].link_bytes, 0u);
+  // No gathers ran: the gather rule is inapplicable, the link rule holds
+  // (4096 flops against a handful of words).
+  EXPECT_FALSE(r.gather_balance.applicable);
+  EXPECT_TRUE(r.link_balance.applicable);
+  EXPECT_TRUE(r.link_balance.ok);
+  EXPECT_TRUE(r.balance_ok());
+  // The rendering mentions the machine shape and the balance section.
+  const std::string text = perf::render(r);
+  EXPECT_NE(text.find("two_node_saxpy"), std::string::npos);
+  EXPECT_NE(text.find("balance"), std::string::npos);
+}
+
+TEST(Report, FlagsGatherBalanceViolation) {
+  // 2 flops per gathered element — far below the paper's 13.
+  sim::Simulator sim;
+  node::Node nd{sim, 0};
+  CounterRegistry reg;
+  nd.attach_perf(reg);
+  const node::Array64 x = nd.alloc64(mem::Bank::A, 128);
+  const node::Array64 y = nd.alloc64(mem::Bank::B, 128);
+  sim.spawn([](node::Node* n, node::Array64 ax, node::Array64 ay) -> sim::Proc {
+    co_await n->gather(128);
+    co_await n->vscalar(vpu::VectorForm::vsaxpy, 2.0, ax, ay, ay);
+  }(&nd, x, y));
+  sim.run();
+  const perf::MachineReport r =
+      perf::analyze(perf::from_json(perf::to_json(reg, sim.now())));
+  ASSERT_TRUE(r.gather_balance.applicable);
+  EXPECT_FALSE(r.gather_balance.ok);
+  EXPECT_FALSE(r.balance_ok());
+  EXPECT_NEAR(r.gather_balance.measured, 2.0, 1e-9);
+  EXPECT_NE(perf::render(r).find("VIOLATION"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpst

@@ -74,6 +74,32 @@ TEST(Tracer, NodeOperationsAreTraced) {
   EXPECT_NE(text.find("gather64 16"), std::string::npos);
 }
 
+TEST(Tracer, RingBoundsRecordsButBusyStaysExact) {
+  Tracer tr{4};
+  EXPECT_EQ(tr.capacity(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    tr.span(i * 1_us, 2_us, "vpu", "op" + std::to_string(i));
+  }
+  // Only the newest 4 records remain, oldest first, and the loss is
+  // reported — but the busy accumulator saw all 10 spans.
+  EXPECT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.dropped(), 6u);
+  const auto recs = tr.records();
+  ASSERT_EQ(recs.size(), 4u);
+  EXPECT_EQ(recs.front().detail, "op6");
+  EXPECT_EQ(recs.back().detail, "op9");
+  EXPECT_EQ(tr.busy_by_category().at("vpu"), 20_us);
+  tr.clear();
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_EQ(tr.dropped(), 0u);
+}
+
+TEST(Tracer, DefaultCapacityIsBounded) {
+  Tracer tr;
+  EXPECT_EQ(tr.capacity(), Tracer::kDefaultCapacity);
+  EXPECT_EQ(tr.dropped(), 0u);
+}
+
 TEST(Tracer, UntracedNodesRecordNothing) {
   sim::Simulator sim;
   node::Node nd{sim, 0};

@@ -1,0 +1,101 @@
+// ttrace — inspect a tperf dump (see src/perf/chrome_trace.hpp for the
+// format; any instrumented bench or example writes one via --json or a
+// path argument).
+//
+// Prints the machine-wide utilization report: per-node VPU/CP busy and
+// overlap fractions, measured MFLOPS against the 16 MFLOPS/node ceiling,
+// per-link saturation against 0.5 MB/s, and the paper's 1:13:130 balance
+// verdicts. The same file opens unmodified in chrome://tracing or Perfetto
+// for the span timeline view.
+//
+// Exit codes: 0 report printed (balance violations included), 1 balance
+// violation with --fail-on-violation, 2 usage or unreadable dump.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "perf/chrome_trace.hpp"
+#include "perf/report.hpp"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: ttrace [options] <dump.json>\n"
+               "\n"
+               "  --metric <name>       print a single value and exit:\n"
+               "                        active_mflops | aggregate_mflops |\n"
+               "                        total_flops | wall_us\n"
+               "  --fail-on-violation   exit 1 when a balance rule is "
+               "violated\n"
+               "  -h, --help            this text\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metric;
+  std::string path;
+  bool fail_on_violation = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      usage(stdout);
+      return 0;
+    }
+    if (arg == "--fail-on-violation") {
+      fail_on_violation = true;
+    } else if (arg == "--metric") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ttrace: --metric needs a name\n");
+        return 2;
+      }
+      metric = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ttrace: unknown option %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "ttrace: more than one dump file given\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    usage(stderr);
+    return 2;
+  }
+
+  fpst::perf::MachineReport report;
+  try {
+    report = fpst::perf::analyze(fpst::perf::load_file(path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ttrace: %s\n", e.what());
+    return 2;
+  }
+
+  if (!metric.empty()) {
+    if (metric == "active_mflops") {
+      std::printf("%.6f\n", report.active_mflops);
+    } else if (metric == "aggregate_mflops") {
+      std::printf("%.6f\n", report.aggregate_mflops);
+    } else if (metric == "total_flops") {
+      std::printf("%llu\n",
+                  static_cast<unsigned long long>(report.total_flops));
+    } else if (metric == "wall_us") {
+      std::printf("%.6f\n", report.wall.us());
+    } else {
+      std::fprintf(stderr, "ttrace: unknown metric %s\n", metric.c_str());
+      return 2;
+    }
+    return 0;
+  }
+
+  std::fputs(fpst::perf::render(report).c_str(), stdout);
+  if (fail_on_violation && !report.balance_ok()) {
+    return 1;
+  }
+  return 0;
+}

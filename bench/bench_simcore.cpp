@@ -1,11 +1,24 @@
 // E12 — engineering benchmarks of the simulator itself (google-benchmark):
 // DES event throughput, soft-float operation rates, interpreter speed.
 // These gate how large a machine the reproduction can simulate on a laptop.
+//
+// `--json <path>` skips google-benchmark and instead writes a tperf-shaped
+// dump (the same `results` table idiom as the E3/E9/E11 benches) with the
+// measured event throughput of the two queue arms, so ci.sh can track the
+// engine's perf trajectory (BENCH_simcore.json) and gate on regressions.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
 #include "cp/assembler.hpp"
 #include "cp/cpu.hpp"
 #include "fp/softfloat.hpp"
+#include "perf/chrome_trace.hpp"
+#include "perf/json.hpp"
 #include "sim/proc.hpp"
 #include "sim/simulator.hpp"
 
@@ -97,6 +110,112 @@ void BM_InterpreterLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_InterpreterLoop)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// --json mode: direct wall-clock measurement of DES event throughput, in the
+// shared perf-dump shape. Kept separate from google-benchmark so the CI gate
+// reads one stable headline number per arm.
+
+double measure_closure_events_per_sec(int n, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    sim::Simulator sim;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < n; ++i) {
+      sim.schedule(sim::SimTime::nanoseconds(i % 1000), [] {});
+    }
+    sim.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    best = std::max(best, static_cast<double>(n) / secs);
+  }
+  return best;
+}
+
+double measure_resume_events_per_sec(int n, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    sim::Simulator sim;
+    // 64 concurrent delay chains keep the queue populated, matching the
+    // many-processes shape of real machine runs.
+    constexpr int kChains = 64;
+    for (int c = 0; c < kChains; ++c) {
+      sim.spawn(chain(&sim, n / kChains));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t executed = sim.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    best = std::max(best, static_cast<double>(executed) / secs);
+  }
+  return best;
+}
+
+// One rep is only a few milliseconds, so a single best-of-N is at the mercy
+// of CPU frequency ramp-up and (on shared hosts) steal time landing in that
+// window. Keep taking reps for a fixed wall-clock budget and report the best:
+// any steal-free window during the budget yields the machine's true rate,
+// which is what the run-over-run CI gate needs to be stable against.
+double best_over_budget(double (*measure)(int, int), int n,
+                        std::chrono::milliseconds budget) {
+  double best = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  do {
+    best = std::max(best, measure(n, 1));
+  } while (std::chrono::steady_clock::now() - t0 < budget);
+  return best;
+}
+
+int write_json_dump(const std::string& path) {
+  constexpr int kEvents = 1 << 16;
+  constexpr std::chrono::milliseconds kBudget{1500};
+  const double closure =
+      best_over_budget(measure_closure_events_per_sec, kEvents, kBudget);
+  const double resume =
+      best_over_budget(measure_resume_events_per_sec, kEvents, kBudget);
+
+  namespace json = perf::json;
+  json::Value doc = json::Value::object();
+  doc["meta"] = json::Value::object();
+  doc["meta"]["workload"] = json::Value::string("bench_simcore");
+  // Sanitized builds run the same code an order of magnitude slower; tag
+  // the dump so the CI gate only compares like with like.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  doc["meta"]["build"] = json::Value::string("sanitized");
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  doc["meta"]["build"] = json::Value::string("sanitized");
+#else
+  doc["meta"]["build"] = json::Value::string("release");
+#endif
+#else
+  doc["meta"]["build"] = json::Value::string("release");
+#endif
+  doc["results"] = json::Value::object();
+  doc["results"]["events_per_sec"] = json::Value::number(closure);
+  doc["results"]["resume_events_per_sec"] = json::Value::number(resume);
+  doc["results"]["queue_events"] = json::Value::integer(kEvents);
+  perf::write_file(path, doc);
+
+  // Machine-readable echo for the CI gate (same idiom as bench_fig1_node's
+  // awk-scraped table).
+  std::printf("events_per_sec %.0f\n", closure);
+  std::printf("resume_events_per_sec %.0f\n", resume);
+  std::printf("wrote perf dump: %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = fpst::bench::json_path_from_args(argc, argv);
+  if (!json_path.empty()) {
+    return write_json_dump(json_path);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,7 +11,12 @@
 #      MFLOPS must match bench_fig1_node's 128-element SAXPY rate within
 #      1%, and bench_overlap's no-overlap ablation dump must be flagged
 #      as a balance VIOLATION
-#   5. clang-tidy over all first-party translation units (skipped when the
+#   5. engine perf trajectory: bench_simcore --json records DES event
+#      throughput; the run fails if events/sec regressed more than 10%
+#      run-over-run against the previous dump from the same build flavour
+#      (sanitized CI runs are never compared against the release baseline
+#      committed as BENCH_simcore.json)
+#   6. clang-tidy over all first-party translation units (skipped when the
 #      toolchain image has no clang-tidy)
 #
 #   usage: ./ci.sh [build-dir]      (default: build-ci)
@@ -20,7 +25,7 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 build_dir=${1:-"$repo_root/build-ci"}
 
-echo "== [1/5] build (-Werror, ASan+UBSan) and tier-1 tests =="
+echo "== [1/6] build (-Werror, ASan+UBSan) and tier-1 tests =="
 cmake -B "$build_dir" -S "$repo_root" \
       -DFPST_WERROR=ON -DFPST_SANITIZE=address,undefined
 cmake --build "$build_dir" -j
@@ -28,10 +33,10 @@ cmake --build "$build_dir" -j
 
 tcheck="$build_dir/tools/tcheck"
 
-echo "== [2/5] tcheck: shipped examples must verify clean =="
+echo "== [2/6] tcheck: shipped examples must verify clean =="
 "$tcheck" "$repo_root"/examples/tisa/*.tisa "$repo_root"/examples/comm/*.comm
 
-echo "== [3/5] tcheck: corpus of broken programs must all be flagged =="
+echo "== [3/6] tcheck: corpus of broken programs must all be flagged =="
 bad=0
 for f in "$repo_root"/tests/corpus/*; do
   if "$tcheck" --werror -q "$f"; then
@@ -41,7 +46,7 @@ for f in "$repo_root"/tests/corpus/*; do
 done
 [ "$bad" -eq 0 ] || exit 1
 
-echo "== [4/5] tperf: trace -> ttrace report -> cross-check =="
+echo "== [4/6] tperf: trace -> ttrace report -> cross-check =="
 ttrace="$build_dir/tools/ttrace"
 dump="$build_dir/ci_traced_saxpy.json"
 "$build_dir/examples/traced_saxpy" "$dump"
@@ -72,7 +77,42 @@ fi
   exit 1
 }
 
-echo "== [5/5] clang-tidy =="
+echo "== [5/6] bench_simcore: DES event-throughput trajectory =="
+# Fresh measurement. The dump is flavour-tagged (release vs sanitized), so
+# the gate only ever compares consecutive runs of the same flavour: a
+# sanitized CI run must not be judged against the committed release
+# baseline (BENCH_simcore.json at the repo root, regenerated per PR).
+simcore_fresh="$build_dir/BENCH_simcore.json"
+simcore_prev="$build_dir/BENCH_simcore.prev.json"
+fresh_eps=$("$build_dir/bench/bench_simcore" --json "$simcore_fresh" |
+            awk '$1 == "events_per_sec" {print $2}')
+echo "ci: bench_simcore events_per_sec=$fresh_eps"
+# Gate against the *lowest* flavour-matching record: single-core hosts show
+# upward noise spikes (a lucky steal-free run), and judging the next run
+# against a spike would fail spuriously. A real regression still undercuts
+# every record.
+gate_eps=""
+for record in "$simcore_prev" "$repo_root/BENCH_simcore.json"; do
+  [ -f "$record" ] || continue
+  fresh_flavour=$(sed -n 's/.*"build": *"\([a-z]*\)".*/\1/p' "$simcore_fresh")
+  rec_flavour=$(sed -n 's/.*"build": *"\([a-z]*\)".*/\1/p' "$record")
+  [ "$fresh_flavour" = "$rec_flavour" ] || continue
+  rec_eps=$(sed -n 's/.*"events_per_sec": *\([0-9.e+]*\).*/\1/p' "$record")
+  echo "ci: recorded $record events_per_sec=$rec_eps"
+  if [ -z "$gate_eps" ] ||
+     awk -v a="$rec_eps" -v b="$gate_eps" 'BEGIN { exit !(a < b) }'; then
+    gate_eps="$rec_eps"
+  fi
+done
+if [ -n "$gate_eps" ]; then
+  awk -v f="$fresh_eps" -v b="$gate_eps" 'BEGIN { exit !(f >= 0.9 * b) }' || {
+    echo "ci: bench_simcore regressed >10%: $fresh_eps vs recorded $gate_eps" >&2
+    exit 1
+  }
+fi
+cp "$simcore_fresh" "$simcore_prev"
+
+echo "== [6/6] clang-tidy =="
 "$repo_root"/tools/run-tidy.sh "$build_dir"
 
 echo "ci: all stages passed"

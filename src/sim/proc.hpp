@@ -50,8 +50,14 @@ class Proc {
       void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
         promise_type& p = h.promise();
         p.finished = true;
-        if (p.is_root && p.exception) {
-          p.sim->report_root_failure(p.exception);
+        if (p.is_root) {
+          // Let the simulator reap this frame opportunistically: a caller
+          // driving step() directly must not retain every completed root
+          // frame until run() returns.
+          p.sim->note_root_finished();
+          if (p.exception) {
+            p.sim->report_root_failure(p.exception);
+          }
         }
         if (p.continuation) {
           p.sim->schedule_resume(SimTime{}, p.continuation);

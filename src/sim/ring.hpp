@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -40,8 +41,17 @@ class RingBuffer {
   std::uint64_t dropped() const { return dropped_; }
 
   /// Element `i` in insertion order: 0 is the oldest retained record.
+  /// Throws std::out_of_range for i >= size(); in particular indexing an
+  /// empty ring must not reach the modulo below (division by zero is UB).
   const T& operator[](std::size_t i) const {
-    return buf_[(head_ + i) % buf_.size()];
+    if (i >= buf_.size()) {
+      throw std::out_of_range("RingBuffer::operator[]: index out of range");
+    }
+    std::size_t idx = head_ + i;
+    if (idx >= buf_.size()) {
+      idx -= buf_.size();
+    }
+    return buf_[idx];
   }
 
   /// Retained elements, oldest first.

@@ -1,7 +1,8 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "sim/proc.hpp"
@@ -10,13 +11,23 @@ namespace fpst::sim {
 
 Simulator::~Simulator() = default;
 
+std::size_t Simulator::live_roots() const { return roots_.size(); }
+
 void Simulator::schedule_at(SimTime t, std::function<void()> fn) {
-  assert(t >= now_ && "cannot schedule into the past");
-  queue_.push(QueuedEvent{t, next_seq_++, std::move(fn)});
+  if (t < now_) {
+    throw std::logic_error("Simulator::schedule_at: event time " +
+                           t.to_string() + " is before now() " +
+                           now_.to_string());
+  }
+  queue_.push_call(t, std::move(fn));
 }
 
 void Simulator::schedule_resume(SimTime delay, std::coroutine_handle<> h) {
-  schedule_at(now_ + delay, [h] { h.resume(); });
+  if (delay < SimTime{}) {
+    throw std::logic_error(
+        "Simulator::schedule_resume: negative delay " + delay.to_string());
+  }
+  queue_.push_resume(now_ + delay, h);
 }
 
 void Simulator::spawn(Proc p) {
@@ -31,23 +42,19 @@ bool Simulator::step() {
   if (queue_.empty()) {
     return false;
   }
-  // std::priority_queue exposes only const top(); the event must be copied
-  // out before pop. Moving via const_cast is safe here because the element
-  // is removed immediately after.
-  QueuedEvent ev = std::move(const_cast<QueuedEvent&>(queue_.top()));
-  queue_.pop();
+  const EventQueue::Entry ev = queue_.pop_min();
   now_ = ev.t;
-  ev.fn();
+  if (ev.resume) {
+    ev.resume.resume();
+  } else {
+    queue_.take_slot(ev.slot)();
+  }
   ++events_processed_;
+  if (finished_roots_ > 0) {
+    reap_finished_roots();
+  }
   if (root_failure_) {
-    std::exception_ptr e = std::exchange(root_failure_, nullptr);
-    try {
-      std::rethrow_exception(e);
-    } catch (const std::exception& inner) {
-      throw ProcError(std::string("root process failed: ") + inner.what());
-    } catch (...) {
-      throw ProcError("root process failed with a non-std exception");
-    }
+    rethrow_root_failure();
   }
   return true;
 }
@@ -57,24 +64,34 @@ std::size_t Simulator::run() {
   while (step()) {
     ++n;
   }
-  reap_finished_roots();
   return n;
 }
 
 std::size_t Simulator::run_until(SimTime deadline) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().t <= deadline && step()) {
+  while (!queue_.empty() && queue_.next_time() <= deadline && step()) {
     ++n;
   }
   if (now_ < deadline) {
     now_ = deadline;
   }
-  reap_finished_roots();
   return n;
 }
 
 void Simulator::reap_finished_roots() {
   std::erase_if(roots_, [](const Proc& p) { return p.done(); });
+  finished_roots_ = 0;
+}
+
+void Simulator::rethrow_root_failure() {
+  std::exception_ptr e = std::exchange(root_failure_, nullptr);
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& inner) {
+    throw ProcError(std::string("root process failed: ") + inner.what());
+  } catch (...) {
+    throw ProcError("root process failed with a non-std exception");
+  }
 }
 
 }  // namespace fpst::sim

@@ -12,10 +12,10 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <queue>
 #include <stdexcept>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace fpst::sim {
@@ -46,10 +46,14 @@ class Simulator {
     schedule_at(now_ + delay, std::move(fn));
   }
 
-  /// Post `fn` at absolute time `t` (must not be in the past).
+  /// Post `fn` at absolute time `t`. Throws std::logic_error when `t` is in
+  /// the past — unconditionally, not just in debug builds, because a
+  /// past-time event would silently corrupt deterministic ordering.
   void schedule_at(SimTime t, std::function<void()> fn);
 
-  /// Post resumption of a suspended coroutine after `delay`.
+  /// Post resumption of a suspended coroutine after `delay` (must not be
+  /// negative; throws std::logic_error). This is the non-allocating fast
+  /// path: the handle rides inside the queue entry, no closure is built.
   void schedule_resume(SimTime delay, std::coroutine_handle<> h);
 
   /// Launch a root process. The simulator takes ownership of the coroutine
@@ -57,6 +61,13 @@ class Simulator {
   /// simulator is destroyed). Exceptions escaping a root process abort the
   /// run with ProcError.
   void spawn(Proc p);
+
+  /// Execute the single earliest event (advancing now() to its timestamp).
+  /// Returns false when the queue is empty. Public so harnesses and benches
+  /// can drive the simulator one event at a time; finished root frames are
+  /// reaped opportunistically, so a step()-driven run does not accumulate
+  /// completed coroutine frames.
+  bool step();
 
   /// Process events until the queue drains. Returns the number of events
   /// executed. Throws ProcError if a root process failed.
@@ -72,28 +83,25 @@ class Simulator {
   /// Total events executed since construction (for the engine bench).
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Root processes whose coroutine frames are still owned by the
+  /// simulator (finished roots are reaped as the run proceeds).
+  std::size_t live_roots() const;
+
   /// Used by Proc's final awaiter to report a root-process failure.
   void report_root_failure(std::exception_ptr e) { root_failure_ = e; }
 
- private:
-  struct QueuedEvent {
-    SimTime t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
-      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
-    }
-  };
+  /// Used by Proc's final awaiter: marks that a root frame finished and is
+  /// ready to be reaped by the next step().
+  void note_root_finished() { ++finished_roots_; }
 
-  bool step();
+ private:
   void reap_finished_roots();
+  [[noreturn]] void rethrow_root_failure();
 
   SimTime now_{};
-  std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
+  std::size_t finished_roots_ = 0;
+  EventQueue queue_;
   std::vector<Proc> roots_;
   std::exception_ptr root_failure_{};
 };

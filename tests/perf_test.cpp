@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/machine.hpp"
@@ -271,6 +273,63 @@ TEST(Report, FlagsGatherBalanceViolation) {
   EXPECT_FALSE(r.balance_ok());
   EXPECT_NEAR(r.gather_balance.measured, 2.0, 1e-9);
   EXPECT_NE(perf::render(r).find("VIOLATION"), std::string::npos);
+}
+
+/// One full traced run of the traced_saxpy workload shape (gather-overlapped
+/// VSAXPY stripes plus a cube allreduce), serialized to a tperf dump.
+struct TracedRun {
+  std::uint64_t events = 0;
+  std::string dump;
+};
+
+TracedRun run_traced_saxpy_workload() {
+  sim::Simulator sim;
+  core::TSeries machine{sim, /*dimension=*/1};
+  CounterRegistry reg;
+  machine.enable_perf(reg);
+  reg.meta().workload = "determinism_fixture";
+  occam::Runtime rt{machine};
+
+  std::vector<node::Array64> xs(machine.size());
+  std::vector<node::Array64> ys(machine.size());
+  for (net::NodeId id = 0; id < machine.size(); ++id) {
+    node::Node& nd = machine.node(id);
+    xs[id] = nd.alloc64(mem::Bank::A, 128);
+    ys[id] = nd.alloc64(mem::Bank::B, 128);
+    nd.write64(xs[id], std::vector<double>(128, 1.0 + id));
+    nd.write64(ys[id], std::vector<double>(128, 2.0));
+  }
+  const sim::SimTime elapsed = rt.run([&](occam::Ctx& ctx) -> sim::Proc {
+    node::Node& nd = ctx.node();
+    for (int stripe = 0; stripe < 3; ++stripe) {
+      std::vector<sim::Proc> par;
+      par.push_back(nd.gather(128));
+      par.push_back([](node::Node* n, node::Array64 x,
+                       node::Array64 y) -> sim::Proc {
+        for (int i = 0; i < 4; ++i) {
+          co_await n->vscalar(vpu::VectorForm::vsaxpy, 2.0, x, y, y);
+        }
+      }(&nd, xs[ctx.id()], ys[ctx.id()]));
+      co_await sim::WhenAll{std::move(par)};
+    }
+    double local = 1.0 + ctx.id();
+    co_await ctx.allreduce_sum(&local);
+  });
+  return TracedRun{sim.events_processed(),
+                   perf::to_json(reg, elapsed).dump(2)};
+}
+
+// Determinism pin for the event-core rewrite: the whole (time, scheduling
+// order) dispatch contract is observable here. Two identical traced runs
+// must execute the same number of events and serialize byte-identical
+// tperf dumps — any reordering of same-instant events (and thus any drift
+// in the E1-E13 reproductions) shows up as a diff.
+TEST(Determinism, TracedSaxpyRunsAreByteIdentical) {
+  const TracedRun a = run_traced_saxpy_workload();
+  const TracedRun b = run_traced_saxpy_workload();
+  EXPECT_GT(a.events, 0u);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.dump, b.dump);
 }
 
 }  // namespace

@@ -2,7 +2,11 @@
 // event ordering, coroutine processes, synchronisation primitives.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/proc.hpp"
@@ -81,6 +85,63 @@ TEST(Simulator, RunUntilStopsAtDeadline) {
   EXPECT_EQ(sim.now(), 5_us);
   sim.run();
   EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.schedule(5_us, [] {});
+  sim.run();
+  ASSERT_EQ(sim.now(), 5_us);
+  // The guard must hold in release builds too (it used to be only an
+  // assert, so NDEBUG builds silently corrupted deterministic ordering).
+  EXPECT_THROW(sim.schedule_at(1_us, [] {}), std::logic_error);
+}
+
+TEST(Simulator, MixedArmsAtOneInstantFireInScheduleOrder) {
+  // Closure events (slab arm) and coroutine resumptions (fast arm) share
+  // one dispatch order: same-instant events fire in scheduling order
+  // regardless of which arm carries them.
+  Simulator sim;
+  std::vector<int> log;
+  auto marker = [](std::vector<int>* out, int id) -> Proc {
+    out->push_back(id);
+    co_return;
+  };
+  sim.schedule(SimTime{}, [&] { log.push_back(0); });
+  sim.spawn(marker(&log, 1));
+  sim.schedule(SimTime{}, [&] { log.push_back(2); });
+  sim.spawn(marker(&log, 3));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3}));
+}
+
+Proc quick_root(int* done) {
+  co_await Delay{1_us};
+  ++*done;
+}
+
+Proc long_root() {
+  co_await Delay{100_us};
+}
+
+TEST(Simulator, FinishedRootsAreReapedMidRun) {
+  // A caller driving the simulator one step() at a time must not retain
+  // every completed root coroutine frame until run() returns.
+  Simulator sim;
+  int done = 0;
+  for (int i = 0; i < 8; ++i) {
+    sim.spawn(quick_root(&done));
+  }
+  sim.spawn(long_root());
+  EXPECT_EQ(sim.live_roots(), 9u);
+  while (done < 8 && sim.step()) {
+  }
+  EXPECT_EQ(done, 8);
+  EXPECT_FALSE(sim.idle());
+  EXPECT_EQ(sim.live_roots(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.live_roots(), 0u);
+  EXPECT_EQ(sim.now(), 100_us);
 }
 
 TEST(Simulator, NestedSchedulingAdvancesTime) {
@@ -273,6 +334,48 @@ TEST(Sync, SendBlocksUntilReceiverArrives) {
   sim.run();
   EXPECT_EQ(value, 7);
   EXPECT_EQ(done, 9_us);
+}
+
+TEST(Simulator, RandomisedSchedulesDispatchByTimeThenScheduleOrder) {
+  // Stress for the bucketed event queue: heavy same-time collisions, many
+  // distinct times (bucket-pool reuse, hash growth and erasure), and
+  // re-entrant scheduling from inside events. The contract: dispatch is a
+  // stable sort of scheduling order by time.
+  Simulator sim;
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  std::vector<std::pair<std::int64_t, int>> fired;  // (time ps, schedule seq)
+  int seq = 0;
+  std::function<void(SimTime)> post = [&](SimTime t) {
+    const int my_seq = seq++;
+    sim.schedule_at(t, [&, t, my_seq] {
+      fired.emplace_back(t.ps(), my_seq);
+      // A quarter of the events re-entrantly schedule a follow-up.
+      if (next() % 4 == 0) {
+        post(sim.now() + SimTime::picoseconds(
+                             static_cast<std::int64_t>(next() % 7)));
+      }
+    });
+  };
+  for (int i = 0; i < 2000; ++i) {
+    // Two clustering regimes: dense collisions (mod 97) and mostly-unique
+    // times (mod 1'000'003).
+    const std::uint64_t r = next();
+    const std::int64_t ps = static_cast<std::int64_t>(
+        i % 2 == 0 ? r % 97 : r % 1'000'003);
+    post(SimTime::picoseconds(ps));
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(seq));
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    // Strictly increasing in (time, seq): equal times must preserve
+    // scheduling order, and seq values never repeat.
+    EXPECT_LT(fired[i - 1], fired[i])
+        << "event " << i << " dispatched out of order";
+  }
 }
 
 // Determinism property: the same program must produce the identical event

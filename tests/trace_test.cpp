@@ -2,7 +2,10 @@
 // accounting, rendering, and integration with the node's timed operations.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "node/node.hpp"
+#include "sim/ring.hpp"
 #include "sim/trace.hpp"
 
 namespace fpst {
@@ -11,6 +14,30 @@ namespace {
 using namespace fpst::sim::literals;
 using sim::SimTime;
 using sim::Tracer;
+
+TEST(RingBuffer, IndexingEmptyRingThrows) {
+  // Regression: operator[] used to compute `% buf_.size()`, which is a
+  // division by zero (UB) on an empty ring. The guard must throw instead.
+  sim::RingBuffer<int> rb{4};
+  EXPECT_TRUE(rb.empty());
+  EXPECT_THROW(static_cast<void>(rb[0]), std::out_of_range);
+}
+
+TEST(RingBuffer, PartiallyFilledIndexingIsInsertionOrdered) {
+  sim::RingBuffer<int> rb{4};
+  rb.push(10);
+  rb.push(11);
+  EXPECT_EQ(rb[0], 10);
+  EXPECT_EQ(rb[1], 11);
+  EXPECT_THROW(static_cast<void>(rb[2]), std::out_of_range);
+  rb.push(12);
+  rb.push(13);
+  rb.push(14);  // wraps: 10 is overwritten
+  EXPECT_EQ(rb.dropped(), 1u);
+  EXPECT_EQ(rb[0], 11);
+  EXPECT_EQ(rb[3], 14);
+  EXPECT_THROW(static_cast<void>(rb[4]), std::out_of_range);
+}
 
 TEST(Tracer, RecordsEventsAndSpans) {
   Tracer tr;

@@ -10,6 +10,7 @@
 #include "kernels/kernels.hpp"
 #include "perf/chrome_trace.hpp"
 #include "perf/counters.hpp"
+#include "perf/tscope.hpp"
 
 using namespace fpst;
 using kernels::KernelResult;
@@ -136,6 +137,15 @@ int main(int argc, char** argv) {
     doc["results"]["saxpy_scaling"] = std::move(saxpy_rows);
     doc["results"]["traced_mflops"] =
         perf::json::Value::number(traced.mflops());
+    // Message-latency percentiles come from a traced 4-node DOT: saxpy is
+    // embarrassingly parallel (no link traffic), but dot ends in a
+    // hypercube allreduce, so its dump carries real message-lifecycle
+    // events for the tscope stitcher.
+    perf::CounterRegistry dot_reg;
+    const KernelResult traced_dot = kernels::run_dot(2, 1 << 16, {}, &dot_reg);
+    doc["results"]["messages_workload"] = perf::json::Value::string("dot");
+    doc["results"]["messages"] = perf::messages_to_json(
+        perf::analyze_messages(perf::snapshot(dot_reg, traced_dot.elapsed)));
     perf::write_file(json_path, doc);
     std::printf("\n  wrote perf dump: %s\n", json_path.c_str());
   }

@@ -15,6 +15,7 @@
 #include "node/node.hpp"
 #include "perf/chrome_trace.hpp"
 #include "perf/counters.hpp"
+#include "perf/tscope.hpp"
 #include "sim/proc.hpp"
 
 using namespace fpst;
@@ -124,6 +125,10 @@ int main(int argc, char** argv) {
     doc["results"]["aligned_us"] = perf::json::Value::number(
         aligned_saxpy(1).us());
     doc["results"]["serial_us"] = perf::json::Value::number(wall.us());
+    // Message report (empty on this single-node run — same schema as the
+    // machine benches, so downstream consumers need no special case).
+    doc["results"]["messages"] = perf::messages_to_json(
+        perf::analyze_messages(perf::snapshot(reg, wall)));
     perf::write_file(json_path, doc);
     std::printf("  wrote perf dump: %s\n", json_path.c_str());
   }

@@ -11,12 +11,17 @@
 #      MFLOPS must match bench_fig1_node's 128-element SAXPY rate within
 #      1%, and bench_overlap's no-overlap ablation dump must be flagged
 #      as a balance VIOLATION
-#   5. engine perf trajectory: bench_simcore --json records DES event
+#   5. tscope pipeline: two identical 16-node all-to-all runs must produce
+#      byte-identical dumps and byte-identical tscope analyses, and the
+#      routing invariants must hold — max hops <= log2 n and observed
+#      per-edge crossings exactly equal to the static e-cube congestion
+#      prediction (hard error on any deviation)
+#   6. engine perf trajectory: bench_simcore --json records DES event
 #      throughput; the run fails if events/sec regressed more than 10%
 #      run-over-run against the previous dump from the same build flavour
 #      (sanitized CI runs are never compared against the release baseline
 #      committed as BENCH_simcore.json)
-#   6. clang-tidy over all first-party translation units (skipped when the
+#   7. clang-tidy over all first-party translation units (skipped when the
 #      toolchain image has no clang-tidy)
 #
 #   usage: ./ci.sh [build-dir]      (default: build-ci)
@@ -25,7 +30,7 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 build_dir=${1:-"$repo_root/build-ci"}
 
-echo "== [1/6] build (-Werror, ASan+UBSan) and tier-1 tests =="
+echo "== [1/7] build (-Werror, ASan+UBSan) and tier-1 tests =="
 cmake -B "$build_dir" -S "$repo_root" \
       -DFPST_WERROR=ON -DFPST_SANITIZE=address,undefined
 cmake --build "$build_dir" -j
@@ -33,10 +38,10 @@ cmake --build "$build_dir" -j
 
 tcheck="$build_dir/tools/tcheck"
 
-echo "== [2/6] tcheck: shipped examples must verify clean =="
+echo "== [2/7] tcheck: shipped examples must verify clean =="
 "$tcheck" "$repo_root"/examples/tisa/*.tisa "$repo_root"/examples/comm/*.comm
 
-echo "== [3/6] tcheck: corpus of broken programs must all be flagged =="
+echo "== [3/7] tcheck: corpus of broken programs must all be flagged =="
 bad=0
 for f in "$repo_root"/tests/corpus/*; do
   if "$tcheck" --werror -q "$f"; then
@@ -46,7 +51,7 @@ for f in "$repo_root"/tests/corpus/*; do
 done
 [ "$bad" -eq 0 ] || exit 1
 
-echo "== [4/6] tperf: trace -> ttrace report -> cross-check =="
+echo "== [4/7] tperf: trace -> ttrace report -> cross-check =="
 ttrace="$build_dir/tools/ttrace"
 dump="$build_dir/ci_traced_saxpy.json"
 "$build_dir/examples/traced_saxpy" "$dump"
@@ -77,7 +82,33 @@ fi
   exit 1
 }
 
-echo "== [5/6] bench_simcore: DES event-throughput trajectory =="
+echo "== [5/7] tscope: 16-node all-to-all message tracing =="
+tscope="$build_dir/tools/tscope"
+a2a_a="$build_dir/ci_alltoall_a.json"
+a2a_b="$build_dir/ci_alltoall_b.json"
+"$build_dir/examples/alltoall_traced" "$a2a_a" 4 > /dev/null
+"$build_dir/examples/alltoall_traced" "$a2a_b" 4 > /dev/null
+# Determinism: identical runs must serialise byte-identically, and the
+# stitched analyses must match byte for byte too.
+cmp -s "$a2a_a" "$a2a_b" || {
+  echo "ci: traced all-to-all dumps differ between identical runs" >&2
+  exit 1
+}
+"$tscope" --json "$a2a_a" > "$build_dir/ci_alltoall_a.msg.json"
+"$tscope" --json "$a2a_b" > "$build_dir/ci_alltoall_b.msg.json"
+cmp -s "$build_dir/ci_alltoall_a.msg.json" "$build_dir/ci_alltoall_b.msg.json" || {
+  echo "ci: tscope analyses differ between identical runs" >&2
+  exit 1
+}
+# Routing invariants, hard error on any deviation: every flight within the
+# log2 n hop bound on minimal routes, and the observed per-edge crossings
+# exactly equal to net/hypercube's static e-cube congestion prediction.
+"$tscope" --check-ecube "$a2a_a"
+echo "ci: tscope p50_us=$("$tscope" --metric p50_us "$a2a_a")" \
+     "p99_us=$("$tscope" --metric p99_us "$a2a_a")" \
+     "critical_path_frac=$("$tscope" --metric critical_path_frac "$a2a_a")"
+
+echo "== [6/7] bench_simcore: DES event-throughput trajectory =="
 # Fresh measurement. The dump is flavour-tagged (release vs sanitized), so
 # the gate only ever compares consecutive runs of the same flavour: a
 # sanitized CI run must not be judged against the committed release
@@ -112,7 +143,7 @@ if [ -n "$gate_eps" ]; then
 fi
 cp "$simcore_fresh" "$simcore_prev"
 
-echo "== [6/6] clang-tidy =="
+echo "== [7/7] clang-tidy =="
 "$repo_root"/tools/run-tidy.sh "$build_dir"
 
 echo "ci: all stages passed"

@@ -1,0 +1,98 @@
+// alltoall_traced: the tscope observability demo and CI fixture. Runs a
+// full all-to-all (every node sends one message to every other node) on a
+// 4-cube with machine-wide perf collection attached, then writes a dump
+// whose message-lifecycle events tscope stitches into flight records:
+//
+//   $ ./alltoall_traced [out.json] [dimension]   (default alltoall.json, 4)
+//   $ tscope alltoall.json              — latency percentiles, critical path
+//   $ tscope --edges alltoall.json      — congestion vs e-cube prediction
+//   $ tscope --check-ecube alltoall.json
+//   $ ttrace --summary alltoall.json    — per-node message table
+//
+// The simulation is deterministic, so two runs of this program produce
+// byte-identical dumps — ci.sh diffs them to pin that property.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "occam/occam.hpp"
+#include "perf/chrome_trace.hpp"
+#include "perf/counters.hpp"
+#include "sim/proc.hpp"
+
+using namespace fpst;
+
+namespace {
+
+constexpr std::uint16_t kTag = 7;
+constexpr std::size_t kElems = 16;  // doubles per message
+
+sim::Proc drain(occam::Ctx* ctx, std::size_t peers, double* sum) {
+  for (std::size_t i = 0; i < peers; ++i) {
+    occam::Msg m;
+    co_await ctx->recv_any(kTag, &m);
+    for (const double v : m.data) {
+      *sum += v;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "alltoall.json";
+  const int dim = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  sim::Simulator sim;
+  core::TSeries machine{sim, dim};
+  perf::CounterRegistry reg;
+  machine.enable_perf(reg);
+  reg.meta().workload = "alltoall d=" + std::to_string(dim);
+  occam::Runtime rt{machine};
+
+  const std::size_t n = machine.size();
+  std::vector<double> sums(n, 0.0);
+  const sim::SimTime elapsed = rt.run([&](occam::Ctx& ctx) -> sim::Proc {
+    std::vector<sim::Proc> par;
+    // Shifted send order (id+1, id+2, ...) so no destination is hit by
+    // every source at once; receives drain concurrently.
+    for (std::size_t rel = 1; rel < n; ++rel) {
+      const net::NodeId peer =
+          static_cast<net::NodeId>((ctx.id() + rel) % n);
+      std::vector<double> payload(kElems, 1.0 + ctx.id());
+      par.push_back(ctx.send(peer, kTag, std::move(payload)));
+    }
+    par.push_back(drain(&ctx, n - 1, &sums[ctx.id()]));
+    co_await sim::WhenAll{std::move(par)};
+  });
+
+  // Node i receives kElems * (1 + j) from every j != i.
+  double expect_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expect_total += static_cast<double>(kElems) * (1.0 + static_cast<double>(i));
+  }
+  expect_total *= static_cast<double>(n - 1);
+  double total = 0;
+  for (const double s : sums) {
+    total += s;
+  }
+
+  perf::json::Value doc = perf::to_json(reg, elapsed);
+  perf::json::Value results = perf::json::Value::object();
+  results["received_sum"] = perf::json::Value::number(total);
+  results["elapsed_us"] = perf::json::Value::number(elapsed.us());
+  doc["results"] = std::move(results);
+  perf::write_file(out, doc);
+
+  std::printf("all-to-all on %zu nodes (%d-cube): %zu messages, %s simulated\n",
+              n, dim, n * (n - 1), elapsed.to_string().c_str());
+  std::printf("wrote %s — tscope/ttrace/chrome://tracing will read it\n",
+              out.c_str());
+  if (total != expect_total) {
+    std::printf("checksum MISMATCH: got %.1f expect %.1f\n", total,
+                expect_total);
+    return 1;
+  }
+  return 0;
+}

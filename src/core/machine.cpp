@@ -130,6 +130,12 @@ sim::Proc TSeries::send_dim(net::NodeId from, int dim, link::Packet p) {
   Cable& c = cable(from, dim);
   const int side = side_of(c, from);
   sim::Semaphore& mux = *port_mux_[from][static_cast<std::size_t>(port)];
+  if (perf_ != nullptr && p.trace != 0) {
+    // tscope enqueue marker: the gap to the matching tx span's start is the
+    // hop's queueing delay (port mutex + wire direction contention).
+    perf_->track(from, "link" + std::to_string(port))
+        .instant(sim_->now(), "m" + std::to_string(p.trace) + " enq");
+  }
   co_await mux.acquire();
   co_await c.wire->transmit(side, std::move(p));
   mux.release();

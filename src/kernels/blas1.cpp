@@ -167,10 +167,15 @@ KernelResult run_saxpy32(int dim, std::size_t n, float a,
   return r;
 }
 
-KernelResult run_dot(int dim, std::size_t n, node::NodeConfig cfg) {
+KernelResult run_dot(int dim, std::size_t n, node::NodeConfig cfg,
+                     perf::CounterRegistry* perf) {
   sim::Simulator sim;
   core::TSeries machine{sim, dim, cfg};
   occam::Runtime rt{machine};
+  if (perf != nullptr) {
+    machine.enable_perf(*perf);
+    perf->meta().workload = "dot";
+  }
   const std::size_t nodes = machine.size();
 
   struct NodeState {

@@ -47,8 +47,13 @@ KernelResult run_saxpy32(int dim, std::size_t n, float a,
                          node::NodeConfig cfg = {});
 
 /// checksum = dot(x, y) over N elements block-distributed across 2^dim
-/// nodes (local VDOT reductions + hypercube allreduce).
-KernelResult run_dot(int dim, std::size_t n, node::NodeConfig cfg = {});
+/// nodes (local VDOT reductions + hypercube allreduce). When `perf` is
+/// given, machine-wide counter/span collection is attached for the run —
+/// because the allreduce sends real cube messages, the resulting dump
+/// carries tscope message-lifecycle events (unlike saxpy, which is
+/// embarrassingly parallel and never touches a link).
+KernelResult run_dot(int dim, std::size_t n, node::NodeConfig cfg = {},
+                     perf::CounterRegistry* perf = nullptr);
 
 /// C := A*B for n x n matrices, row-block distribution with the B panel
 /// rotating around the Gray-code ring (double-buffered: communication

@@ -45,9 +45,20 @@ sim::Proc Link::transmit(int from_side, Packet p) {
     sink->busy("busy", elapsed);
     sink->busy(std::string("busy.sublink") + std::to_string(p.sublink),
                elapsed);
-    sink->span(start, elapsed,
-               "tx->node" + std::to_string(p.dst) + " " +
-                   std::to_string(p.payload.size()) + "B");
+    // Traced packets prefix the span name with the trace id so the tscope
+    // stitcher (perf/tscope.hpp) can join this hop into the flight record.
+    std::string name;
+    if (p.trace != 0) {
+      name += "m";
+      name += std::to_string(p.trace);
+      name += " ";
+    }
+    name += "tx->node";
+    name += std::to_string(p.dst);
+    name += " ";
+    name += std::to_string(p.payload.size());
+    name += "B";
+    sink->span(start, elapsed, std::move(name));
   }
   const int sub = p.sublink;
   sim::Channel<Packet>& box =

@@ -69,6 +69,9 @@ struct Packet {
   std::uint16_t tag = 0;  ///< user message tag
   std::uint8_t sublink = 0;  ///< receive-side demux (0..3)
   std::uint8_t hops = 0;     ///< forwarding count, maintained by the router
+  /// tscope trace id (0 = untraced). Side-band simulator metadata — not part
+  /// of the wire format, so it never contributes to wire_bytes() or timing.
+  std::uint32_t trace = 0;
   std::vector<std::uint8_t> payload;
 
   std::size_t wire_bytes() const {

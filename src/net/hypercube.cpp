@@ -222,6 +222,26 @@ EmbeddingStats analyze(const Hypercube& cube, const Embedding& emb) {
   return st;
 }
 
+std::vector<EdgeTraffic> ecube_edge_traffic(
+    const Hypercube& cube,
+    const std::vector<std::pair<NodeId, NodeId>>& flows) {
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> load;
+  for (const auto& [src, dst] : flows) {
+    const std::vector<NodeId> path = cube.ecube_path(src, dst);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const NodeId x = std::min(path[i], path[i + 1]);
+      const NodeId y = std::max(path[i], path[i + 1]);
+      ++load[{x, y}];
+    }
+  }
+  std::vector<EdgeTraffic> out;
+  out.reserve(load.size());
+  for (const auto& [edge, crossings] : load) {
+    out.push_back(EdgeTraffic{edge.first, edge.second, crossings});
+  }
+  return out;
+}
+
 std::vector<CommStep> broadcast_schedule(const Hypercube& cube, NodeId root) {
   // Step k: every node that already has the datum sends across dimension k.
   // Relative to the root, node r has it after step k iff (r XOR root) only

@@ -87,6 +87,21 @@ struct EmbeddingStats {
 
 EmbeddingStats analyze(const Hypercube& cube, const Embedding& emb);
 
+/// Crossings of one undirected cube edge (a < b) under a set of routes.
+struct EdgeTraffic {
+  NodeId a = 0;
+  NodeId b = 0;
+  std::uint64_t crossings = 0;
+};
+
+/// Static congestion prediction: route every (src, dst) flow e-cube and
+/// tally how many times each undirected cube edge is crossed. Sorted by
+/// (a, b); zero-load edges omitted; src == dst flows contribute nothing.
+/// tools/tscope compares this against the crossings tscope observes.
+std::vector<EdgeTraffic> ecube_edge_traffic(
+    const Hypercube& cube,
+    const std::vector<std::pair<NodeId, NodeId>>& flows);
+
 /// One hop of a collective schedule: at `step`, `from` sends to `to` along
 /// cube dimension `dim`.
 struct CommStep {

@@ -152,6 +152,12 @@ void Node::attach_perf(perf::CounterRegistry& reg) {
   memory_.set_sink(&reg.track(id_, "mem"));
   vpu_.set_sink(perf_vpu_);
   cpu_.set_sink(perf_cp_);
+  for (int p = 0; p < link::LinkParams::kPhysicalLinks; ++p) {
+    if (links_.attached(p)) {
+      perf_link_[static_cast<std::size_t>(p)] =
+          &reg.track(id_, "link" + std::to_string(p));
+    }
+  }
 }
 
 void Node::trace_span(const char* unit, sim::SimTime start,
@@ -441,6 +447,13 @@ sim::Proc Node::row_move(std::size_t rows) {
 
 sim::Proc Node::link_send(int port, link::Packet p) {
   p.src = id_;
+  if (p.trace != 0 && port >= 0 && port < link::LinkParams::kPhysicalLinks) {
+    // tscope enqueue marker for ISA-level link I/O (the machine path
+    // records its own in TSeries::send_dim).
+    if (perf::PerfSink* sink = perf_link_[static_cast<std::size_t>(port)]) {
+      sink->instant(sim_->now(), "m" + std::to_string(p.trace) + " enq");
+    }
+  }
   co_await links_.send(port, std::move(p));
 }
 

@@ -9,6 +9,7 @@
 // cycle-level studies.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -189,6 +190,9 @@ class Node {
   sim::Tracer* tracer_ = nullptr;
   perf::PerfSink* perf_vpu_ = nullptr;
   perf::PerfSink* perf_cp_ = nullptr;
+  /// Per-port link tracks; wired only for ports with an attached cable so
+  /// standalone-node dumps don't grow empty link tracks.
+  std::array<perf::PerfSink*, link::LinkParams::kPhysicalLinks> perf_link_{};
   std::size_t next_row_a_ = 0;
   std::size_t next_row_b_ = mem::MemParams::kBankARows;
   sim::SimTime cp_busy_{};

@@ -24,6 +24,7 @@ std::vector<std::uint8_t> encode_payload(net::NodeId src,
 Msg decode_payload(const link::Packet& p) {
   Msg m;
   m.tag = p.tag;
+  m.trace = p.trace;
   if (p.payload.size() < 4 || (p.payload.size() - 4) % 8 != 0) {
     throw std::runtime_error("occam: malformed packet payload");
   }
@@ -174,7 +175,13 @@ Runtime::Runtime(core::TSeries& machine) : machine_{&machine} {
 
 void Runtime::deliver(net::NodeId at, Msg m) {
   if (perf::CounterRegistry* reg = machine_->perf()) {
-    reg->track(at, "occam").count("msgs_recv", 1);
+    perf::TrackSink& sink = reg->track(at, "occam");
+    sink.count("msgs_recv", 1);
+    if (m.trace != 0) {
+      sink.instant(machine_->simulator().now(),
+                   "m" + std::to_string(m.trace) + " dlv <-n" +
+                       std::to_string(m.src));
+    }
   }
   Mailbox& box = *mailboxes_[at];
   box.queue.push_back(std::move(m));
@@ -185,16 +192,26 @@ sim::Proc Runtime::send_packet(net::NodeId from, net::NodeId dst,
                                std::uint16_t tag, std::vector<double> data) {
   // Packetisation is control-processor work.
   co_await machine_->node(from).cp_work(RtParams::kSendInstr);
+  std::uint32_t trace = 0;
   if (perf::CounterRegistry* reg = machine_->perf()) {
-    reg->track(from, "occam").count("msgs_sent", 1);
+    perf::TrackSink& sink = reg->track(from, "occam");
+    sink.count("msgs_sent", 1);
+    // tscope injection marker: id, destination, tag and encoded payload
+    // size, in the grammar perf/tscope.hpp documents.
+    trace = next_trace_++;
+    sink.instant(machine_->simulator().now(),
+                 "m" + std::to_string(trace) + " inj ->n" +
+                     std::to_string(dst) + " t" + std::to_string(tag) + " " +
+                     std::to_string(4 + 8 * data.size()) + "B");
   }
   if (dst == from) {
-    deliver(from, Msg{from, tag, std::move(data)});
+    deliver(from, Msg{from, tag, trace, std::move(data)});
     co_return;
   }
   link::Packet p;
   p.dst = dst;
   p.tag = tag;
+  p.trace = trace;
   p.payload = encode_payload(from, data);
   co_await machine_->send_dim(from, first_route_dim(from, dst), std::move(p));
 }
@@ -212,7 +229,12 @@ sim::Proc Runtime::router_listener(net::NodeId at, int dim) {
     ++forwarded_;
     ++p.hops;
     if (perf::CounterRegistry* reg = machine_->perf()) {
-      reg->track(at, "occam").count("pkts_forwarded", 1);
+      perf::TrackSink& sink = reg->track(at, "occam");
+      sink.count("pkts_forwarded", 1);
+      if (p.trace != 0) {
+        sink.instant(machine_->simulator().now(),
+                     "m" + std::to_string(p.trace) + " fwd");
+      }
     }
     co_await machine_->node(at).cp_work(RtParams::kForwardInstr);
     co_await machine_->send_dim(at, first_route_dim(at, p.dst), std::move(p));

@@ -46,6 +46,8 @@ class DeadlockError : public std::runtime_error {
 struct Msg {
   net::NodeId src = 0;
   std::uint16_t tag = 0;
+  /// tscope trace id (0 when the run is not perf-enabled).
+  std::uint32_t trace = 0;
   std::vector<double> data;
 };
 
@@ -147,6 +149,9 @@ class Runtime {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   bool routers_started_ = false;
   std::uint64_t forwarded_ = 0;
+  /// Next tscope trace id; assigned at injection when perf is attached.
+  /// Starts at 1 so 0 can mean "untraced" in link::Packet.
+  std::uint32_t next_trace_ = 1;
 };
 
 }  // namespace fpst::occam

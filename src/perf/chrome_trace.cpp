@@ -34,63 +34,24 @@ json::Value metadata_event(const char* name, std::int64_t pid, std::int64_t tid,
 
 }  // namespace
 
-json::Value to_json(const CounterRegistry& reg, sim::SimTime wall) {
-  json::Value doc = json::Value::object();
-
-  // --- metadata -----------------------------------------------------------
-  const CounterRegistry::Meta& meta = reg.meta();
-  json::Value md = json::Value::object();
-  md["tool"] = json::Value::string("tperf");
-  md["dimension"] = json::Value::integer(meta.dimension);
-  md["nodes"] = json::Value::integer(static_cast<std::int64_t>(meta.nodes));
-  md["workload"] = json::Value::string(meta.workload);
-  md["wall_ps"] = json::Value::integer(wall.ps());
-  md["spans_dropped"] = json::Value::integer(
-      static_cast<std::int64_t>(reg.timeline().dropped()));
-  md["span_capacity"] = json::Value::integer(
-      static_cast<std::int64_t>(reg.timeline().capacity()));
-  doc["metadata"] = std::move(md);
-
-  // --- counters + track-id maps -------------------------------------------
-  // tid is the component's rank within its node (deterministic: tracks() is
-  // sorted by (node, component)), so each node's threads sort stably in the
-  // viewer. `by_id` maps the timeline's internal track ids onto (pid, tid).
-  struct TrackRef {
-    std::int64_t pid;
-    std::int64_t tid;
-  };
-  std::map<std::uint32_t, TrackRef> by_id;
-  std::map<std::uint32_t, std::int64_t> next_tid;
-
-  json::Value counters = json::Value::object();
-  json::Value events = json::Value::array();
+Dump snapshot(const CounterRegistry& reg, sim::SimTime wall) {
+  Dump d;
+  d.meta = reg.meta();
+  d.wall = wall;
+  d.spans_dropped = reg.timeline().dropped();
+  d.span_capacity = reg.timeline().capacity();
+  // Track-id -> (node, component) so timeline spans regain their identity.
+  std::map<std::uint32_t, std::pair<std::uint32_t, const std::string*>> by_id;
   for (const auto& [key, sink] : reg.tracks()) {
-    const std::int64_t pid = static_cast<std::int64_t>(key.first);
-    const std::int64_t tid = next_tid[key.first]++;
-    by_id.emplace(sink->track_id(), TrackRef{pid, tid});
-
-    if (tid == 0) {
-      events.append(metadata_event("process_name", pid, 0,
-                                   "node" + std::to_string(key.first)));
-    }
-    events.append(metadata_event("thread_name", pid, tid, key.second));
-
-    json::Value track = json::Value::object();
-    json::Value counts = json::Value::object();
-    for (const auto& [name, v] : sink->counts()) {
-      counts[name] = json::Value::integer(static_cast<std::int64_t>(v));
-    }
-    json::Value busy = json::Value::object();
-    for (const auto& [name, t] : sink->times()) {
-      busy[name] = json::Value::integer(t.ps());
-    }
-    track["counts"] = std::move(counts);
-    track["busy_ps"] = std::move(busy);
-    counters[track_key(key.first, key.second)] = std::move(track);
+    by_id.emplace(sink->track_id(),
+                  std::make_pair(key.first, &key.second));
+    DumpTrack t;
+    t.node = key.first;
+    t.component = key.second;
+    t.counts = sink->counts();
+    t.times = sink->times();
+    d.tracks.push_back(std::move(t));
   }
-  doc["counters"] = std::move(counters);
-
-  // --- spans --------------------------------------------------------------
   const Timeline& tl = reg.timeline();
   for (std::size_t i = 0; i < tl.size(); ++i) {
     const Span& s = tl[i];
@@ -98,10 +59,86 @@ json::Value to_json(const CounterRegistry& reg, sim::SimTime wall) {
     if (it == by_id.end()) {
       continue;  // track was never registered (cannot happen via TrackSink)
     }
+    DumpSpan out;
+    out.node = it->second.first;
+    out.component = *it->second.second;
+    out.start = s.start;
+    out.duration = s.duration;
+    out.name = s.name;
+    out.is_instant = s.is_instant;
+    d.spans.push_back(std::move(out));
+  }
+  return d;
+}
+
+json::Value to_json(const CounterRegistry& reg, sim::SimTime wall) {
+  return to_json(snapshot(reg, wall));
+}
+
+json::Value to_json(const Dump& d) {
+  json::Value doc = json::Value::object();
+
+  // --- metadata -----------------------------------------------------------
+  json::Value md = json::Value::object();
+  md["tool"] = json::Value::string("tperf");
+  md["dimension"] = json::Value::integer(d.meta.dimension);
+  md["nodes"] = json::Value::integer(static_cast<std::int64_t>(d.meta.nodes));
+  md["workload"] = json::Value::string(d.meta.workload);
+  md["wall_ps"] = json::Value::integer(d.wall.ps());
+  md["spans_dropped"] =
+      json::Value::integer(static_cast<std::int64_t>(d.spans_dropped));
+  md["span_capacity"] =
+      json::Value::integer(static_cast<std::int64_t>(d.span_capacity));
+  doc["metadata"] = std::move(md);
+
+  // --- counters + (node, component) -> (pid, tid) map ----------------------
+  // tid is the component's rank within its node (deterministic: tracks are
+  // sorted by (node, component)), so each node's threads sort stably in the
+  // viewer.
+  std::map<std::pair<std::uint32_t, std::string>,
+           std::pair<std::int64_t, std::int64_t>>
+      track_ref;
+  std::map<std::uint32_t, std::int64_t> next_tid;
+
+  json::Value counters = json::Value::object();
+  json::Value events = json::Value::array();
+  for (const DumpTrack& t : d.tracks) {
+    const std::int64_t pid = static_cast<std::int64_t>(t.node);
+    const std::int64_t tid = next_tid[t.node]++;
+    track_ref.emplace(std::make_pair(t.node, t.component),
+                      std::make_pair(pid, tid));
+
+    if (tid == 0) {
+      events.append(metadata_event("process_name", pid, 0,
+                                   "node" + std::to_string(t.node)));
+    }
+    events.append(metadata_event("thread_name", pid, tid, t.component));
+
+    json::Value track = json::Value::object();
+    json::Value counts = json::Value::object();
+    for (const auto& [name, v] : t.counts) {
+      counts[name] = json::Value::integer(static_cast<std::int64_t>(v));
+    }
+    json::Value busy = json::Value::object();
+    for (const auto& [name, tm] : t.times) {
+      busy[name] = json::Value::integer(tm.ps());
+    }
+    track["counts"] = std::move(counts);
+    track["busy_ps"] = std::move(busy);
+    counters[track_key(t.node, t.component)] = std::move(track);
+  }
+  doc["counters"] = std::move(counters);
+
+  // --- spans --------------------------------------------------------------
+  for (const DumpSpan& s : d.spans) {
+    const auto it = track_ref.find(std::make_pair(s.node, s.component));
+    if (it == track_ref.end()) {
+      continue;  // span without a counter track (cannot happen via TrackSink)
+    }
     json::Value e = json::Value::object();
     e["name"] = json::Value::string(s.name);
-    e["pid"] = json::Value::integer(it->second.pid);
-    e["tid"] = json::Value::integer(it->second.tid);
+    e["pid"] = json::Value::integer(it->second.first);
+    e["tid"] = json::Value::integer(it->second.second);
     e["ts"] = json::Value::number(to_us(s.start));
     if (s.is_instant) {
       e["ph"] = json::Value::string("i");
@@ -119,6 +156,9 @@ json::Value to_json(const CounterRegistry& reg, sim::SimTime wall) {
   }
   doc["traceEvents"] = std::move(events);
   doc["displayTimeUnit"] = json::Value::string("ns");
+  if (!d.results.is_null()) {
+    doc["results"] = d.results;
+  }
   return doc;
 }
 
@@ -193,6 +233,8 @@ Dump from_json(const json::Value& doc) {
   d.wall = sim::SimTime::picoseconds(require(md, "wall_ps").as_int());
   d.spans_dropped =
       static_cast<std::uint64_t>(require(md, "spans_dropped").as_int());
+  d.span_capacity =
+      static_cast<std::uint64_t>(require(md, "span_capacity").as_int());
 
   // --- counters -----------------------------------------------------------
   for (const auto& [key, track] : require(doc, "counters").as_object()) {

@@ -57,6 +57,7 @@ struct Dump {
   CounterRegistry::Meta meta;
   sim::SimTime wall{};
   std::uint64_t spans_dropped = 0;
+  std::uint64_t span_capacity = 0;
   std::vector<DumpTrack> tracks;  ///< sorted by (node, component)
   std::vector<DumpSpan> spans;    ///< in recorded order
   json::Value results;            ///< null when the dump carried none
@@ -67,6 +68,14 @@ struct Dump {
   sim::SimTime time_value(std::uint32_t node, std::string_view component,
                           std::string_view name) const;
 };
+
+/// Capture a registry's current state as a Dump without serialising — the
+/// in-process path to the analyzers (perf/report, perf/tscope).
+Dump snapshot(const CounterRegistry& reg, sim::SimTime wall);
+
+/// Serialise a Dump. from_json(to_json(d)) round-trips losslessly and
+/// to_json(from_json(doc)) reproduces `doc` byte for byte.
+json::Value to_json(const Dump& d);
 
 /// Rebuild a Dump from a parsed document. Throws std::runtime_error on a
 /// document that is not a perf dump.

@@ -1,0 +1,100 @@
+#include "perf/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace fpst::perf {
+
+namespace {
+
+int bucket_of(std::int64_t v) {
+  return v <= 0
+             ? 0
+             : static_cast<int>(std::bit_width(static_cast<std::uint64_t>(v)));
+}
+
+}  // namespace
+
+void Histogram::add(std::int64_t v) {
+  if (v < 0) {
+    v = 0;
+  }
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[static_cast<std::size_t>(bucket_of(v))];
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::int64_t Histogram::bucket_lo(int b) {
+  return b == 0 ? 0 : std::int64_t{1} << (b - 1);
+}
+
+std::int64_t Histogram::bucket_hi(int b) {
+  return b == 0 ? 0 : (std::int64_t{1} << (b - 1)) * 2 - 1;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // 0-based rank of the target observation.
+  const double rank = q * static_cast<double>(count_ - 1);
+  std::uint64_t before = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(b)];
+    if (n == 0) {
+      continue;
+    }
+    if (rank < static_cast<double>(before + n)) {
+      const double lo = static_cast<double>(bucket_lo(b));
+      const double hi = static_cast<double>(bucket_hi(b)) + 1.0;
+      const double frac = (rank - static_cast<double>(before)) /
+                          static_cast<double>(n);
+      const double v = lo + (hi - lo) * frac;
+      return std::clamp(v, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+    before += n;
+  }
+  return static_cast<double>(max_);
+}
+
+json::Value Histogram::to_json() const {
+  json::Value h = json::Value::object();
+  h["count"] = json::Value::integer(static_cast<std::int64_t>(count_));
+  h["min"] = json::Value::integer(min());
+  h["max"] = json::Value::integer(max());
+  h["sum"] = json::Value::integer(sum_);
+  h["mean"] = json::Value::number(mean());
+  h["p50"] = json::Value::number(quantile(0.50));
+  h["p90"] = json::Value::number(quantile(0.90));
+  h["p99"] = json::Value::number(quantile(0.99));
+  json::Value buckets = json::Value::array();
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[static_cast<std::size_t>(b)] == 0) {
+      continue;
+    }
+    json::Value e = json::Value::object();
+    e["lo"] = json::Value::integer(bucket_lo(b));
+    e["hi"] = json::Value::integer(bucket_hi(b));
+    e["count"] = json::Value::integer(
+        static_cast<std::int64_t>(buckets_[static_cast<std::size_t>(b)]));
+    buckets.append(std::move(e));
+  }
+  h["buckets"] = std::move(buckets);
+  return h;
+}
+
+}  // namespace fpst::perf

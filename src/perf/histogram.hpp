@@ -1,0 +1,55 @@
+// Deterministic log-bucketed histogram for latency-class quantities.
+//
+// Values (integer picoseconds, bytes, hop counts — any non-negative int64)
+// land in power-of-two buckets: bucket 0 holds exactly 0, bucket b >= 1
+// holds [2^(b-1), 2^b). Two identical runs therefore produce bit-identical
+// histograms, and the serialised form is byte-identical — the property the
+// tscope determinism gate relies on. Quantiles are estimated by linear
+// interpolation inside the covering bucket and clamped to the observed
+// [min, max], so a single-valued distribution reports its exact value.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "perf/json.hpp"
+
+namespace fpst::perf {
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  // bucket 0 + one per bit of int64
+
+  /// Record one value. Negative values clamp to 0.
+  void add(std::int64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const { return count_ == 0 ? 0 : max_; }
+  std::int64_t sum() const { return sum_; }
+  double mean() const;
+
+  /// Quantile estimate for q in [0, 1] (0 when empty). Deterministic:
+  /// bucket walk + linear interpolation, clamped to [min, max].
+  double quantile(double q) const;
+
+  std::uint64_t bucket_count(int b) const {
+    return buckets_[static_cast<std::size_t>(b)];
+  }
+  /// Inclusive value range covered by bucket b.
+  static std::int64_t bucket_lo(int b);
+  static std::int64_t bucket_hi(int b);
+
+  /// {"count", "min", "max", "sum", "mean", "p50", "p90", "p99",
+  ///  "buckets": [{"lo", "hi", "count"}...]} — only non-empty buckets.
+  json::Value to_json() const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  std::int64_t sum_ = 0;
+};
+
+}  // namespace fpst::perf

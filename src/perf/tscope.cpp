@@ -1,0 +1,518 @@
+#include "perf/tscope.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <utility>
+
+namespace fpst::perf {
+
+namespace {
+
+// Paper §II communications constants, restated here because perf sits below
+// the link library in the layering (as perf/report.hpp does for the balance
+// rules): 5 us DMA startup, 2 us per byte (0.5 MB/s), 8-byte packet header.
+constexpr std::int64_t kDmaStartupPs = 5'000'000;
+constexpr double kHeaderBytes = 8.0;
+constexpr double kLinkMbPerSec = 0.5;
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+/// Split a span name into whitespace-separated tokens.
+std::vector<std::string_view> tokens(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && s[i] == ' ') {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < s.size() && s[i] != ' ') {
+      ++i;
+    }
+    if (i > start) {
+      out.push_back(s.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+/// Parse the digits of `s` after `prefix` chars; nullopt when malformed.
+std::optional<std::uint64_t> parse_num(std::string_view s,
+                                       std::size_t prefix,
+                                       std::size_t suffix = 0) {
+  if (s.size() <= prefix + suffix) {
+    return std::nullopt;
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = prefix; i < s.size() - suffix; ++i) {
+    if (s[i] < '0' || s[i] > '9') {
+      return std::nullopt;
+    }
+    v = v * 10 + static_cast<std::uint64_t>(s[i] - '0');
+  }
+  return v;
+}
+
+/// All raw lifecycle events of one trace id before stitching.
+struct RawFlight {
+  bool has_inj = false;
+  bool has_dlv = false;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t tag = 0;
+  std::uint64_t bytes = 0;
+  sim::SimTime inject{};
+  sim::SimTime deliver{};
+  struct Enq {
+    sim::SimTime at{};
+    std::uint32_t node = 0;
+  };
+  struct Tx {
+    sim::SimTime start{};
+    sim::SimTime duration{};
+    std::uint32_t node = 0;
+  };
+  std::vector<Enq> enq;
+  std::vector<Tx> tx;
+  std::vector<std::pair<sim::SimTime, std::uint32_t>> fwd;
+};
+
+bool is_link_component(const std::string& c) {
+  return c.rfind("link", 0) == 0;
+}
+
+}  // namespace
+
+MessageReport analyze_messages(const Dump& dump) {
+  MessageReport r;
+  r.meta = dump.meta;
+  r.wall = dump.wall;
+  r.spans_dropped = dump.spans_dropped;
+
+  // ---- collect the raw lifecycle events per trace id ----------------------
+  std::map<std::uint32_t, RawFlight> raw;
+  for (const DumpSpan& s : dump.spans) {
+    const bool occam = s.component == "occam";
+    const bool link = is_link_component(s.component);
+    if (!occam && !link) {
+      continue;
+    }
+    const std::vector<std::string_view> tok = tokens(s.name);
+    if (tok.size() < 2 || tok[0].size() < 2 || tok[0][0] != 'm') {
+      continue;
+    }
+    const std::optional<std::uint64_t> id = parse_num(tok[0], 1);
+    if (!id) {
+      continue;
+    }
+    RawFlight& f = raw[static_cast<std::uint32_t>(*id)];
+    if (occam && tok[1] == "inj" && tok.size() >= 5) {
+      // m<id> inj ->n<dst> t<tag> <bytes>B
+      const auto dst = parse_num(tok[2], 3);
+      const auto tag = parse_num(tok[3], 1);
+      const auto bytes = parse_num(tok[4], 0, 1);
+      if (dst && tag && bytes) {
+        f.has_inj = true;
+        f.src = s.node;
+        f.dst = static_cast<std::uint32_t>(*dst);
+        f.tag = static_cast<std::uint32_t>(*tag);
+        f.bytes = *bytes;
+        f.inject = s.start;
+      }
+    } else if (occam && tok[1] == "dlv") {
+      f.has_dlv = true;
+      f.deliver = s.start;
+    } else if (occam && tok[1] == "fwd") {
+      f.fwd.emplace_back(s.start, s.node);
+    } else if (link && tok[1] == "enq") {
+      f.enq.push_back(RawFlight::Enq{s.start, s.node});
+    } else if (link && tok[1].rfind("tx", 0) == 0 && !s.is_instant) {
+      f.tx.push_back(RawFlight::Tx{s.start, s.duration, s.node});
+    }
+  }
+
+  // ---- stitch each raw record into a flight -------------------------------
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> edge_load;
+  std::map<std::uint32_t, NodeMsgStats> per_node;
+  for (std::uint32_t n = 0; n < dump.meta.nodes; ++n) {
+    per_node[n].node = n;
+  }
+  for (auto& [id, rf] : raw) {
+    std::stable_sort(rf.enq.begin(), rf.enq.end(),
+                     [](const RawFlight::Enq& a, const RawFlight::Enq& b) {
+                       return a.at < b.at;
+                     });
+    std::stable_sort(rf.tx.begin(), rf.tx.end(),
+                     [](const RawFlight::Tx& a, const RawFlight::Tx& b) {
+                       return a.start < b.start;
+                     });
+    bool ok = rf.has_inj && rf.has_dlv && rf.enq.size() == rf.tx.size();
+    for (std::size_t i = 0; ok && i < rf.tx.size(); ++i) {
+      ok = rf.enq[i].node == rf.tx[i].node && rf.enq[i].at <= rf.tx[i].start;
+    }
+    if (!ok) {
+      ++r.incomplete;
+      continue;
+    }
+    Flight f;
+    f.id = id;
+    f.src = rf.src;
+    f.dst = rf.dst;
+    f.tag = rf.tag;
+    f.bytes = rf.bytes;
+    f.inject = rf.inject;
+    f.deliver = rf.deliver;
+    f.ecube_min = std::popcount(rf.src ^ rf.dst);
+    f.complete = true;
+    for (std::size_t i = 0; i < rf.tx.size(); ++i) {
+      FlightHop hop;
+      hop.from = rf.tx[i].node;
+      // The receiver of hop i is the transmitter of hop i+1 (store-and-
+      // forward), and the destination for the final hop — routing-agnostic.
+      hop.to = i + 1 < rf.tx.size() ? rf.tx[i + 1].node : rf.dst;
+      hop.enq = rf.enq[i].at;
+      hop.dma_start = rf.tx[i].start;
+      hop.queue = hop.dma_start - hop.enq;
+      hop.transfer = rf.tx[i].duration;
+      r.queue_ps.add(hop.queue.ps());
+      r.transfer_ps.add(hop.transfer.ps());
+      const std::uint32_t a = std::min(hop.from, hop.to);
+      const std::uint32_t b = std::max(hop.from, hop.to);
+      ++edge_load[{a, b}];
+      f.hops.push_back(hop);
+    }
+    const int hops = static_cast<int>(f.hops.size());
+    r.max_hops = std::max(r.max_hops, hops);
+    r.total_hops += static_cast<std::uint64_t>(hops);
+    if (hops != f.ecube_min) {
+      r.ecube_minimal = false;
+    }
+    r.latency_ps.add(f.latency().ps());
+
+    NodeMsgStats& src_stats = per_node[f.src];
+    src_stats.node = f.src;
+    ++src_stats.sent;
+    src_stats.bytes_sent += f.bytes;
+    src_stats.hops_sent += static_cast<std::uint64_t>(hops);
+    NodeMsgStats& dst_stats = per_node[f.dst];
+    dst_stats.node = f.dst;
+    ++dst_stats.received;
+    for (const auto& [at, via] : rf.fwd) {
+      (void)at;
+      NodeMsgStats& via_stats = per_node[via];
+      via_stats.node = via;
+      ++via_stats.forwarded;
+    }
+    r.flights.push_back(std::move(f));
+  }
+  for (const auto& [key, load] : edge_load) {
+    r.edges.push_back(EdgeLoad{key.first, key.second, load});
+  }
+  for (const auto& [node, stats] : per_node) {
+    (void)node;
+    r.per_node.push_back(stats);
+  }
+
+  // ---- critical path over the message-causality DAG -----------------------
+  // Flight g enables flight f when g was delivered to f's source no later
+  // than f's injection; the critical path is the dependency chain with the
+  // largest total latency. Processed in (inject, id) order so every
+  // candidate predecessor's own chain value is already final.
+  std::vector<std::size_t> order(r.flights.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Flight& fa = r.flights[a];
+    const Flight& fb = r.flights[b];
+    return std::tie(fa.inject, fa.id) < std::tie(fb.inject, fb.id);
+  });
+  std::vector<sim::SimTime> chain_len(r.flights.size());
+  std::vector<std::ptrdiff_t> parent(r.flights.size(), -1);
+  std::map<std::uint32_t, std::vector<std::size_t>> delivered_at;
+  for (const std::size_t i : order) {
+    const Flight& f = r.flights[i];
+    std::ptrdiff_t best = -1;
+    for (const std::size_t g : delivered_at[f.src]) {
+      const Flight& fg = r.flights[g];
+      if (fg.deliver > f.inject) {
+        continue;
+      }
+      if (best < 0 || chain_len[g] > chain_len[static_cast<std::size_t>(best)] ||
+          (chain_len[g] == chain_len[static_cast<std::size_t>(best)] &&
+           fg.id < r.flights[static_cast<std::size_t>(best)].id)) {
+        best = static_cast<std::ptrdiff_t>(g);
+      }
+    }
+    chain_len[i] = f.latency() +
+                   (best < 0 ? sim::SimTime{}
+                             : chain_len[static_cast<std::size_t>(best)]);
+    parent[i] = best;
+    delivered_at[f.dst].push_back(i);
+  }
+  std::ptrdiff_t tail = -1;
+  for (std::size_t i = 0; i < r.flights.size(); ++i) {
+    if (tail < 0 || chain_len[i] > chain_len[static_cast<std::size_t>(tail)] ||
+        (chain_len[i] == chain_len[static_cast<std::size_t>(tail)] &&
+         r.flights[i].id < r.flights[static_cast<std::size_t>(tail)].id)) {
+      tail = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  if (tail >= 0) {
+    r.critical.length = chain_len[static_cast<std::size_t>(tail)];
+    if (dump.wall.ps() > 0) {
+      r.critical.wall_fraction = r.critical.length / dump.wall;
+    }
+    for (std::ptrdiff_t i = tail; i >= 0;
+         i = parent[static_cast<std::size_t>(i)]) {
+      r.critical.chain.push_back(r.flights[static_cast<std::size_t>(i)].id);
+    }
+    std::reverse(r.critical.chain.begin(), r.critical.chain.end());
+  }
+  return r;
+}
+
+json::Value messages_to_json(const MessageReport& r) {
+  json::Value doc = json::Value::object();
+  doc["messages"] =
+      json::Value::integer(static_cast<std::int64_t>(r.flights.size()));
+  doc["incomplete"] =
+      json::Value::integer(static_cast<std::int64_t>(r.incomplete));
+  doc["spans_dropped"] =
+      json::Value::integer(static_cast<std::int64_t>(r.spans_dropped));
+  doc["total_hops"] =
+      json::Value::integer(static_cast<std::int64_t>(r.total_hops));
+  doc["max_hops"] = json::Value::integer(r.max_hops);
+  doc["ecube_minimal"] = json::Value::boolean(r.ecube_minimal);
+  doc["latency_ps"] = r.latency_ps.to_json();
+  doc["queue_ps"] = r.queue_ps.to_json();
+  doc["transfer_ps"] = r.transfer_ps.to_json();
+
+  json::Value edges = json::Value::array();
+  for (const EdgeLoad& e : r.edges) {
+    json::Value v = json::Value::object();
+    v["a"] = json::Value::integer(e.a);
+    v["b"] = json::Value::integer(e.b);
+    v["crossings"] =
+        json::Value::integer(static_cast<std::int64_t>(e.crossings));
+    edges.append(std::move(v));
+  }
+  doc["edges"] = std::move(edges);
+
+  json::Value per_node = json::Value::array();
+  for (const NodeMsgStats& n : r.per_node) {
+    json::Value v = json::Value::object();
+    v["node"] = json::Value::integer(n.node);
+    v["sent"] = json::Value::integer(static_cast<std::int64_t>(n.sent));
+    v["received"] =
+        json::Value::integer(static_cast<std::int64_t>(n.received));
+    v["forwarded"] =
+        json::Value::integer(static_cast<std::int64_t>(n.forwarded));
+    v["bytes_sent"] =
+        json::Value::integer(static_cast<std::int64_t>(n.bytes_sent));
+    v["mean_hops"] = json::Value::number(n.mean_hops());
+    per_node.append(std::move(v));
+  }
+  doc["per_node"] = std::move(per_node);
+
+  json::Value crit = json::Value::object();
+  crit["length_ps"] = json::Value::integer(r.critical.length.ps());
+  crit["wall_fraction"] = json::Value::number(r.critical.wall_fraction);
+  json::Value chain = json::Value::array();
+  for (const std::uint32_t id : r.critical.chain) {
+    chain.append(json::Value::integer(id));
+  }
+  crit["chain"] = std::move(chain);
+  doc["critical_path"] = std::move(crit);
+
+  json::Value flights = json::Value::array();
+  for (const Flight& f : r.flights) {
+    json::Value v = json::Value::object();
+    v["id"] = json::Value::integer(f.id);
+    v["src"] = json::Value::integer(f.src);
+    v["dst"] = json::Value::integer(f.dst);
+    v["tag"] = json::Value::integer(f.tag);
+    v["bytes"] = json::Value::integer(static_cast<std::int64_t>(f.bytes));
+    v["inject_ps"] = json::Value::integer(f.inject.ps());
+    v["deliver_ps"] = json::Value::integer(f.deliver.ps());
+    v["latency_ps"] = json::Value::integer(f.latency().ps());
+    v["ecube_min"] = json::Value::integer(f.ecube_min);
+    json::Value hops = json::Value::array();
+    for (const FlightHop& h : f.hops) {
+      json::Value hv = json::Value::object();
+      hv["from"] = json::Value::integer(h.from);
+      hv["to"] = json::Value::integer(h.to);
+      hv["enq_ps"] = json::Value::integer(h.enq.ps());
+      hv["dma_ps"] = json::Value::integer(h.dma_start.ps());
+      hv["queue_ps"] = json::Value::integer(h.queue.ps());
+      hv["transfer_ps"] = json::Value::integer(h.transfer.ps());
+      hops.append(std::move(hv));
+    }
+    v["hops"] = std::move(hops);
+    flights.append(std::move(v));
+  }
+  doc["flights"] = std::move(flights);
+  return doc;
+}
+
+std::string render_messages(const MessageReport& r) {
+  std::string out;
+  appendf(out, "tscope message report — %s\n",
+          r.meta.workload.empty() ? "(unlabelled run)"
+                                  : r.meta.workload.c_str());
+  appendf(out, "machine: %d-cube, %u node%s, wall %s\n", r.meta.dimension,
+          r.meta.nodes, r.meta.nodes == 1 ? "" : "s",
+          r.wall.to_string().c_str());
+  if (r.spans_dropped > 0) {
+    appendf(out,
+            "WARNING: %llu timeline spans were dropped (ring full) — "
+            "flight records may be incomplete\n",
+            static_cast<unsigned long long>(r.spans_dropped));
+  }
+  appendf(out, "messages: %zu stitched, %llu incomplete\n", r.flights.size(),
+          static_cast<unsigned long long>(r.incomplete));
+  if (r.flights.empty()) {
+    return out;
+  }
+
+  std::uint64_t payload = 0;
+  for (const Flight& f : r.flights) {
+    payload += f.bytes;
+  }
+  appendf(out,
+          "routing: %llu hops total, max %d per message "
+          "(e-cube bound log2 n = %d) %s, minimal routes: %s\n",
+          static_cast<unsigned long long>(r.total_hops), r.max_hops,
+          r.meta.dimension,
+          r.max_hops <= r.meta.dimension ? "OK" : "VIOLATION",
+          r.ecube_minimal ? "yes" : "NO");
+  appendf(out, "payload: %llu bytes\n",
+          static_cast<unsigned long long>(payload));
+
+  appendf(out, "\nlatency per message (us):  p50 %10.3f  p90 %10.3f  "
+               "p99 %10.3f  max %10.3f\n",
+          r.latency_ps.quantile(0.50) * 1e-6,
+          r.latency_ps.quantile(0.90) * 1e-6,
+          r.latency_ps.quantile(0.99) * 1e-6,
+          static_cast<double>(r.latency_ps.max()) * 1e-6);
+  appendf(out, "queueing per hop (us):     p50 %10.3f  p90 %10.3f  "
+               "p99 %10.3f  max %10.3f\n",
+          r.queue_ps.quantile(0.50) * 1e-6, r.queue_ps.quantile(0.90) * 1e-6,
+          r.queue_ps.quantile(0.99) * 1e-6,
+          static_cast<double>(r.queue_ps.max()) * 1e-6);
+  appendf(out, "transfer per hop (us):     p50 %10.3f  p90 %10.3f  "
+               "p99 %10.3f  max %10.3f\n",
+          r.transfer_ps.quantile(0.50) * 1e-6,
+          r.transfer_ps.quantile(0.90) * 1e-6,
+          r.transfer_ps.quantile(0.99) * 1e-6,
+          static_cast<double>(r.transfer_ps.max()) * 1e-6);
+
+  // The paper's Figure 2 constants, validated from the hop records: every
+  // transfer charges the 5 us DMA startup, and what remains is wire time at
+  // 0.5 MB/s (2 us per byte including the 8-byte header).
+  if (r.total_hops > 0) {
+    const double wire_ps =
+        static_cast<double>(r.transfer_ps.sum()) -
+        static_cast<double>(kDmaStartupPs) *
+            static_cast<double>(r.total_hops);
+    double wire_bytes = 0;
+    for (const Flight& f : r.flights) {
+      wire_bytes += (static_cast<double>(f.bytes) + kHeaderBytes) *
+                    static_cast<double>(f.hops.size());
+    }
+    const double mb_per_sec =
+        wire_ps <= 0 ? 0.0 : wire_bytes / (wire_ps * 1e-12) / 1e6;
+    appendf(out,
+            "wire rate: %.3f MB/s per hop after the 5 us DMA startup "
+            "(paper Fig 2: %.1f MB/s, 5 us startup)\n",
+            mb_per_sec, kLinkMbPerSec);
+  }
+
+  appendf(out,
+          "\ncritical path: %zu message%s, %s = %.1f%% of wall\n",
+          r.critical.chain.size(), r.critical.chain.size() == 1 ? "" : "s",
+          r.critical.length.to_string().c_str(),
+          100.0 * r.critical.wall_fraction);
+  if (!r.critical.chain.empty()) {
+    std::map<std::uint32_t, const Flight*> by_id;
+    for (const Flight& f : r.flights) {
+      by_id[f.id] = &f;
+    }
+    out += "  chain:";
+    for (const std::uint32_t id : r.critical.chain) {
+      const Flight* f = by_id[id];
+      appendf(out, " m%u(n%u->n%u)", id, f->src, f->dst);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_message_summary(const MessageReport& r) {
+  std::string out;
+  appendf(out, "%-6s %8s %8s %9s %12s %9s\n", "node", "sent", "recv", "fwd",
+          "bytes sent", "avg hops");
+  for (const NodeMsgStats& n : r.per_node) {
+    appendf(out, "%-6u %8llu %8llu %9llu %12llu %9.2f\n", n.node,
+            static_cast<unsigned long long>(n.sent),
+            static_cast<unsigned long long>(n.received),
+            static_cast<unsigned long long>(n.forwarded),
+            static_cast<unsigned long long>(n.bytes_sent), n.mean_hops());
+  }
+  return out;
+}
+
+std::string render_edges(const MessageReport& r,
+                         const std::vector<EdgeLoad>& predicted) {
+  std::string out;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> want;
+  for (const EdgeLoad& e : predicted) {
+    want[{e.a, e.b}] = e.crossings;
+  }
+  if (predicted.empty()) {
+    appendf(out, "%-12s %10s\n", "edge", "crossings");
+  } else {
+    appendf(out, "%-12s %10s %10s\n", "edge", "observed", "predicted");
+  }
+  // Union of observed and predicted edges, in (a, b) order.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> seen;
+  for (const EdgeLoad& e : r.edges) {
+    seen[{e.a, e.b}] = e.crossings;
+  }
+  for (const auto& [key, crossings] : want) {
+    seen.emplace(key, seen.count(key) ? seen[key] : 0);
+    (void)crossings;
+  }
+  for (const auto& [key, observed] : seen) {
+    char edge[32];
+    std::snprintf(edge, sizeof edge, "%u-%u", key.first, key.second);
+    if (predicted.empty()) {
+      appendf(out, "%-12s %10llu\n", edge,
+              static_cast<unsigned long long>(observed));
+    } else {
+      const auto it = want.find(key);
+      const std::uint64_t p = it == want.end() ? 0 : it->second;
+      appendf(out, "%-12s %10llu %10llu %s\n", edge,
+              static_cast<unsigned long long>(observed),
+              static_cast<unsigned long long>(p),
+              observed == p ? "OK" : "MISMATCH");
+    }
+  }
+  return out;
+}
+
+}  // namespace fpst::perf

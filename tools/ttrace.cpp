@@ -17,6 +17,7 @@
 
 #include "perf/chrome_trace.hpp"
 #include "perf/report.hpp"
+#include "perf/tscope.hpp"
 
 namespace {
 
@@ -27,6 +28,10 @@ void usage(std::FILE* to) {
                "  --metric <name>       print a single value and exit:\n"
                "                        active_mflops | aggregate_mflops |\n"
                "                        total_flops | wall_us\n"
+               "  --messages            message-flight report (latency\n"
+               "                        percentiles, critical path) instead\n"
+               "                        of the utilization report\n"
+               "  --summary             per-node message table\n"
                "  --fail-on-violation   exit 1 when a balance rule is "
                "violated\n"
                "  -h, --help            this text\n");
@@ -38,6 +43,8 @@ int main(int argc, char** argv) {
   std::string metric;
   std::string path;
   bool fail_on_violation = false;
+  bool messages = false;
+  bool summary = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-h" || arg == "--help") {
@@ -46,6 +53,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--fail-on-violation") {
       fail_on_violation = true;
+    } else if (arg == "--messages") {
+      messages = true;
+    } else if (arg == "--summary") {
+      summary = true;
     } else if (arg == "--metric") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "ttrace: --metric needs a name\n");
@@ -68,13 +79,33 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  fpst::perf::MachineReport report;
+  fpst::perf::Dump dump;
   try {
-    report = fpst::perf::analyze(fpst::perf::load_file(path));
+    dump = fpst::perf::load_file(path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ttrace: %s\n", e.what());
     return 2;
   }
+  if (dump.spans_dropped > 0) {
+    std::fprintf(stderr,
+                 "ttrace: warning: %llu timeline spans were dropped (ring "
+                 "capacity %llu) — span-derived views are incomplete\n",
+                 static_cast<unsigned long long>(dump.spans_dropped),
+                 static_cast<unsigned long long>(dump.span_capacity));
+  }
+
+  if (messages || summary) {
+    const fpst::perf::MessageReport mr = fpst::perf::analyze_messages(dump);
+    if (messages) {
+      std::fputs(fpst::perf::render_messages(mr).c_str(), stdout);
+    }
+    if (summary) {
+      std::fputs(fpst::perf::render_message_summary(mr).c_str(), stdout);
+    }
+    return 0;
+  }
+
+  const fpst::perf::MachineReport report = fpst::perf::analyze(dump);
 
   if (!metric.empty()) {
     if (metric == "active_mflops") {

@@ -1,0 +1,242 @@
+// bench_parallel_scaling — host-thread scaling of the conservative parallel
+// DES engine (src/sim/parallel_sim.hpp).
+//
+// For each cube size the same occam workload (rounds of a 16-double
+// dimension-exchange allreduce — every node active, every cube dimension
+// crossed every round) runs on the sharded engine at a fixed shard count
+// and a sweep of worker-thread counts, plus once on the plain serial
+// engine as the reference point. Because the shard count is fixed, every
+// parallel row simulates the *identical* event sequence — the only thing
+// that varies is how many host threads divide the epoch work, so
+// events/sec ratios are pure thread-scaling measurements.
+//
+//   $ bench_parallel_scaling [--dims 6,8,10] [--threads 1,2,4]
+//                            [--rounds N] [--json out.json]
+//
+// Defaults: dims 6,8,10; threads 1,2,4 (plus 8 when the host has >= 8
+// cores); rounds scaled down as the cube grows so each row stays tractable.
+// --json writes the BENCH schema (meta.build release/sanitized like
+// bench_simcore, plus a rows array where every row carries a `threads`
+// field) so CI can track the 10-cube speedup over time. On a single-core
+// host the sweep still runs — the speedup column then just documents that
+// no parallelism was available.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "link/link.hpp"
+#include "occam/occam.hpp"
+#include "perf/chrome_trace.hpp"
+#include "perf/json.hpp"
+#include "sim/parallel_sim.hpp"
+#include "sim/proc.hpp"
+
+namespace {
+
+using namespace fpst;
+
+constexpr std::size_t kElems = 16;  // doubles per allreduce
+
+struct Row {
+  int dim = 0;
+  int shards = 1;   // 1 == the serial engine reference row
+  int threads = 1;
+  int rounds = 0;
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  double sim_ms = 0.0;
+};
+
+occam::Runtime::Body workload(int rounds) {
+  return [rounds](occam::Ctx& ctx) -> sim::Proc {
+    std::vector<double> xs(kElems, 1.0 + ctx.id());
+    for (int r = 0; r < rounds; ++r) {
+      co_await ctx.allreduce_sum(&xs);
+    }
+  };
+}
+
+Row run_serial(int dim, int rounds) {
+  Row row;
+  row.dim = dim;
+  row.rounds = rounds;
+  sim::Simulator sim;
+  core::TSeries machine{sim, dim};
+  occam::Runtime rt{machine};
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::SimTime elapsed = rt.run(workload(rounds));
+  const auto t1 = std::chrono::steady_clock::now();
+  row.events = sim.events_processed();
+  row.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  row.events_per_sec = static_cast<double>(row.events) / row.wall_s;
+  row.sim_ms = elapsed.us() / 1000.0;
+  return row;
+}
+
+Row run_parallel(int dim, int shards, int threads, int rounds) {
+  Row row;
+  row.dim = dim;
+  row.shards = shards;
+  row.threads = threads;
+  row.rounds = rounds;
+  sim::ParallelSim::Options po;
+  po.shards = shards;
+  po.threads = threads;
+  po.lookahead = link::LinkParams::transfer_time(0);
+  sim::ParallelSim psim{po};
+  core::TSeries machine{psim, dim};
+  occam::Runtime rt{machine};
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::SimTime elapsed = rt.run(workload(rounds));
+  const auto t1 = std::chrono::steady_clock::now();
+  row.events = psim.events_processed();
+  row.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  row.events_per_sec = static_cast<double>(row.events) / row.wall_s;
+  row.sim_ms = elapsed.us() / 1000.0;
+  return row;
+}
+
+std::vector<int> parse_list(const std::string& arg) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string tok =
+        arg.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const int v = std::atoi(tok.c_str());
+    if (v > 0) {
+      out.push_back(v);
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int rounds_for(int dim, int rounds_flag) {
+  if (rounds_flag > 0) {
+    return rounds_flag;
+  }
+  // Halve the round count per added cube size step: work per round grows
+  // roughly as dim * 2^dim, so this keeps the larger cubes tractable while
+  // every row still runs long enough to measure.
+  return dim >= 10 ? 2 : dim >= 8 ? 4 : 8;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> dims{6, 8, 10};
+  std::vector<int> threads_list{1, 2, 4};
+  if (std::thread::hardware_concurrency() >= 8) {
+    threads_list.push_back(8);
+  }
+  int rounds_flag = 0;
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dims" && i + 1 < argc) {
+      dims = parse_list(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads_list = parse_list(argv[++i]);
+    } else if (arg == "--rounds" && i + 1 < argc) {
+      rounds_flag = std::atoi(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_parallel_scaling [--dims 6,8,10] "
+                   "[--threads 1,2,4] [--rounds N] [--json out.json]\n");
+      return 2;
+    }
+  }
+  if (dims.empty() || threads_list.empty()) {
+    std::fprintf(stderr, "bench_parallel_scaling: empty sweep\n");
+    return 2;
+  }
+
+  bench::title("parallel DES engine: host-thread scaling");
+  std::printf("  host cores: %u\n", std::thread::hardware_concurrency());
+  std::printf("  %-4s %-7s %-8s %-7s %12s %9s %12s %9s\n", "dim", "shards",
+              "threads", "rounds", "events", "wall_s", "events/sec",
+              "speedup");
+
+  std::vector<Row> rows;
+  for (const int dim : dims) {
+    const int rounds = rounds_for(dim, rounds_flag);
+    // Fixed shard count per cube: every thread count below simulates the
+    // same partition, so events/sec ratios isolate host-thread scaling.
+    const int shards = std::min(8, 1 << dim);
+
+    Row serial = run_serial(dim, rounds);
+    std::printf("  %-4d %-7s %-8s %-7d %12llu %9.3f %12.0f %9s\n",
+                serial.dim, "serial", "-", serial.rounds,
+                static_cast<unsigned long long>(serial.events), serial.wall_s,
+                serial.events_per_sec, "-");
+    rows.push_back(serial);
+
+    double base_eps = 0.0;
+    for (const int t : threads_list) {
+      Row r = run_parallel(dim, shards, t, rounds);
+      if (t == threads_list.front()) {
+        base_eps = r.events_per_sec;
+      }
+      const double speedup =
+          base_eps > 0.0 ? r.events_per_sec / base_eps : 0.0;
+      std::printf("  %-4d %-7d %-8d %-7d %12llu %9.3f %12.0f %8.2fx\n",
+                  r.dim, r.shards, r.threads, r.rounds,
+                  static_cast<unsigned long long>(r.events), r.wall_s,
+                  r.events_per_sec, speedup);
+      rows.push_back(r);
+    }
+  }
+
+  if (!json_out.empty()) {
+    namespace json = perf::json;
+    json::Value doc = json::Value::object();
+    doc["meta"] = json::Value::object();
+    doc["meta"]["workload"] = json::Value::string("bench_parallel_scaling");
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+    doc["meta"]["build"] = json::Value::string("sanitized");
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+    doc["meta"]["build"] = json::Value::string("sanitized");
+#else
+    doc["meta"]["build"] = json::Value::string("release");
+#endif
+#else
+    doc["meta"]["build"] = json::Value::string("release");
+#endif
+    doc["meta"]["host_cores"] = json::Value::integer(
+        static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+    doc["results"] = json::Value::object();
+    json::Value arr = json::Value::array();
+    for (const Row& r : rows) {
+      json::Value o = json::Value::object();
+      o["dim"] = json::Value::integer(r.dim);
+      o["engine"] =
+          json::Value::string(r.shards > 1 ? "parallel" : "serial");
+      o["shards"] = json::Value::integer(r.shards);
+      o["threads"] = json::Value::integer(r.threads);
+      o["rounds"] = json::Value::integer(r.rounds);
+      o["events"] =
+          json::Value::integer(static_cast<std::int64_t>(r.events));
+      o["wall_s"] = json::Value::number(r.wall_s);
+      o["events_per_sec"] = json::Value::number(r.events_per_sec);
+      o["sim_ms"] = json::Value::number(r.sim_ms);
+      arr.append(std::move(o));
+    }
+    doc["results"]["rows"] = std::move(arr);
+    perf::write_file(json_out, doc);
+    std::printf("wrote perf dump: %s\n", json_out.c_str());
+  }
+  return 0;
+}

@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "bench_util.hpp"
@@ -204,9 +206,62 @@ int write_json_dump(const std::string& path) {
   return 0;
 }
 
+// `--metric NAME FILE`: print one value from a recorded --json dump, looked
+// up in `results` then `meta`. This replaces ci.sh's sed-based JSON
+// scraping, which silently broke the moment the dump gained nested keys —
+// the reader that owns the schema should be the one extracting from it.
+// Exit 2 (with a stderr diagnostic) on a missing file or metric.
+int print_metric(const std::string& name, const std::string& path) {
+  namespace json = perf::json;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_simcore: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  json::Value doc;
+  try {
+    doc = json::Value::parse(ss.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_simcore: %s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+  const json::Value* v = nullptr;
+  for (const char* section : {"results", "meta"}) {
+    if (const json::Value* s = doc.find(section);
+        v == nullptr && s != nullptr) {
+      v = s->find(name);
+    }
+  }
+  if (v == nullptr) {
+    std::fprintf(stderr, "bench_simcore: no metric '%s' in %s\n",
+                 name.c_str(), path.c_str());
+    return 2;
+  }
+  if (v->is_string()) {
+    std::printf("%s\n", v->as_string().c_str());
+  } else if (v->is_number()) {
+    std::printf("%.17g\n", v->as_double());
+  } else {
+    std::printf("%s\n", v->dump().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--metric") {
+      if (i + 2 >= argc) {
+        std::fprintf(stderr,
+                     "usage: bench_simcore --metric NAME DUMP.json\n");
+        return 2;
+      }
+      return print_metric(argv[i + 1], argv[i + 2]);
+    }
+  }
   const std::string json_path = fpst::bench::json_path_from_args(argc, argv);
   if (!json_path.empty()) {
     return write_json_dump(json_path);

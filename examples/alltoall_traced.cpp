@@ -3,22 +3,33 @@
 // 4-cube with machine-wide perf collection attached, then writes a dump
 // whose message-lifecycle events tscope stitches into flight records:
 //
-//   $ ./alltoall_traced [out.json] [dimension]   (default alltoall.json, 4)
+//   $ ./alltoall_traced [out.json] [dimension] [--threads N]
+//                                        (default alltoall.json, 4)
 //   $ tscope alltoall.json              — latency percentiles, critical path
 //   $ tscope --edges alltoall.json      — congestion vs e-cube prediction
 //   $ tscope --check-ecube alltoall.json
 //   $ ttrace --summary alltoall.json    — per-node message table
 //
+// --threads 1 (the default) runs the serial engine exactly as before;
+// --threads N>1 builds the machine over the sharded parallel engine
+// (shards fixed at min(4, nodes) so the dump is identical for every
+// worker-thread count).
+//
 // The simulation is deterministic, so two runs of this program produce
-// byte-identical dumps — ci.sh diffs them to pin that property.
+// byte-identical dumps — ci.sh diffs them to pin that property, serial and
+// parallel alike.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "link/link.hpp"
 #include "occam/occam.hpp"
 #include "perf/chrome_trace.hpp"
 #include "perf/counters.hpp"
+#include "sim/parallel_sim.hpp"
 #include "sim/proc.hpp"
 
 using namespace fpst;
@@ -41,11 +52,39 @@ sim::Proc drain(occam::Ctx* ctx, std::size_t peers, double* sum) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out = argc > 1 ? argv[1] : "alltoall.json";
-  const int dim = argc > 2 ? std::atoi(argv[2]) : 4;
+  int threads = 1;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc || (threads = std::atoi(argv[++i])) < 1) {
+        std::fprintf(stderr,
+                     "usage: alltoall_traced [out.json] [dimension] "
+                     "[--threads N]\n");
+        return 2;
+      }
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  const std::string out = !pos.empty() ? pos[0] : "alltoall.json";
+  const int dim = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 4;
 
-  sim::Simulator sim;
-  core::TSeries machine{sim, dim};
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<sim::ParallelSim> psim;
+  std::unique_ptr<core::TSeries> machine_ptr;
+  if (threads > 1) {
+    sim::ParallelSim::Options po;
+    po.shards = std::min(4, 1 << dim);
+    po.threads = threads;
+    po.lookahead = link::LinkParams::transfer_time(0);
+    psim = std::make_unique<sim::ParallelSim>(po);
+    machine_ptr = std::make_unique<core::TSeries>(*psim, dim);
+  } else {
+    sim = std::make_unique<sim::Simulator>();
+    machine_ptr = std::make_unique<core::TSeries>(*sim, dim);
+  }
+  core::TSeries& machine = *machine_ptr;
   perf::CounterRegistry reg;
   machine.enable_perf(reg);
   reg.meta().workload = "alltoall d=" + std::to_string(dim);

@@ -3,20 +3,30 @@
 // perf collection attached, then writes a dump that is simultaneously a
 // Chrome trace and a ttrace/CI input:
 //
-//   $ ./traced_saxpy [out.json]      (default ./traced_saxpy.json)
+//   $ ./traced_saxpy [out.json] [--threads N]  (default ./traced_saxpy.json)
 //   $ ttrace traced_saxpy.json      — utilization + balance report
 //   open the same file in chrome://tracing or https://ui.perfetto.dev
+//
+// --threads 1 (the default) runs the serial engine exactly as before;
+// --threads N>1 builds the machine over the sharded parallel engine
+// (shards fixed at min(4, nodes) so the dump is identical for every
+// worker-thread count).
 //
 // Every vector form here is a full 128-element VSAXPY, so the report's
 // vpu-active MFLOPS must equal bench_fig1_node's 128-element SAXPY rate —
 // ci.sh asserts that equivalence to within 1%.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "link/link.hpp"
 #include "occam/occam.hpp"
 #include "perf/chrome_trace.hpp"
 #include "perf/counters.hpp"
+#include "sim/parallel_sim.hpp"
 #include "sim/proc.hpp"
 
 using namespace fpst;
@@ -30,10 +40,37 @@ constexpr std::size_t kElems = 128;  // one full 64-bit row
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out = argc > 1 ? argv[1] : "traced_saxpy.json";
+  int threads = 1;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc || (threads = std::atoi(argv[++i])) < 1) {
+        std::fprintf(stderr, "usage: traced_saxpy [out.json] [--threads N]\n");
+        return 2;
+      }
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  const std::string out = !pos.empty() ? pos[0] : "traced_saxpy.json";
+  constexpr int kDim = 2;
 
-  sim::Simulator sim;
-  core::TSeries machine{sim, /*dimension=*/2};
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<sim::ParallelSim> psim;
+  std::unique_ptr<core::TSeries> machine_ptr;
+  if (threads > 1) {
+    sim::ParallelSim::Options po;
+    po.shards = std::min(4, 1 << kDim);
+    po.threads = threads;
+    po.lookahead = link::LinkParams::transfer_time(0);
+    psim = std::make_unique<sim::ParallelSim>(po);
+    machine_ptr = std::make_unique<core::TSeries>(*psim, kDim);
+  } else {
+    sim = std::make_unique<sim::Simulator>();
+    machine_ptr = std::make_unique<core::TSeries>(*sim, kDim);
+  }
+  core::TSeries& machine = *machine_ptr;
   perf::CounterRegistry reg;
   machine.enable_perf(reg);
   reg.meta().workload = "traced_saxpy";

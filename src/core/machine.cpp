@@ -54,10 +54,25 @@ node::Node& Module::node(int local_index) {
 }
 
 TSeries::TSeries(sim::Simulator& sim, int dimension)
-    : TSeries(sim, dimension, node::NodeConfig{}) {}
+    : TSeries(&sim, nullptr, dimension, node::NodeConfig{}) {}
 
 TSeries::TSeries(sim::Simulator& sim, int dimension, node::NodeConfig cfg)
-    : sim_{&sim}, cube_{dimension} {
+    : TSeries(&sim, nullptr, dimension, cfg) {}
+
+TSeries::TSeries(sim::ParallelSim& psim, int dimension)
+    : TSeries(nullptr, &psim, dimension, node::NodeConfig{}) {}
+
+TSeries::TSeries(sim::ParallelSim& psim, int dimension, node::NodeConfig cfg)
+    : TSeries(nullptr, &psim, dimension, cfg) {}
+
+TSeries::TSeries(sim::Simulator* sim, sim::ParallelSim* psim, int dimension,
+                 node::NodeConfig cfg)
+    : sim_{sim}, psim_{psim}, cube_{dimension} {
+  if (psim_ != nullptr) {
+    // Throws unless the shard count is a power of two <= 2^dimension.
+    smap_ = sim::ShardMap(dimension, psim_->shards());
+    sim_ = &psim_->shard(0);
+  }
   const ConfigReport rep = ConfigReport::derive(dimension);
   if (!rep.feasible) {
     throw std::invalid_argument(
@@ -65,7 +80,7 @@ TSeries::TSeries(sim::Simulator& sim, int dimension, node::NodeConfig cfg)
   }
   nodes_.reserve(cube_.size());
   for (net::NodeId id = 0; id < cube_.size(); ++id) {
-    nodes_.push_back(std::make_unique<node::Node>(sim, id, cfg));
+    nodes_.push_back(std::make_unique<node::Node>(sim_for(id), id, cfg));
   }
   for (std::uint32_t m = 0; m < rep.modules; ++m) {
     modules_.push_back(std::make_unique<Module>(*this, m));
@@ -77,7 +92,8 @@ TSeries::TSeries(sim::Simulator& sim, int dimension, node::NodeConfig cfg)
   for (net::NodeId id = 0; id < cube_.size(); ++id) {
     cables_[id].resize(static_cast<std::size_t>(dimension));
     for (int p = 0; p < link::LinkParams::kPhysicalLinks; ++p) {
-      port_mux_[id].push_back(std::make_unique<sim::Semaphore>(sim, 1));
+      port_mux_[id].push_back(
+          std::make_unique<sim::Semaphore>(sim_for(id), 1));
     }
   }
   for (net::NodeId id = 0; id < cube_.size(); ++id) {
@@ -85,31 +101,45 @@ TSeries::TSeries(sim::Simulator& sim, int dimension, node::NodeConfig cfg)
       const net::NodeId peer = cube_.neighbor(id, d);
       if (id < peer) {
         Cable& c = cables_[id][static_cast<std::size_t>(d)];
-        c.wire = std::make_unique<link::Link>(sim);
         c.lo = id;
         c.hi = peer;
+        if (psim_ != nullptr && smap_.dim_crosses_shards(d)) {
+          c.xwire = std::make_unique<link::CrossLink>(
+              *psim_, smap_.shard_of(id), smap_.shard_of(peer));
+        } else {
+          // Subcube sharding keeps both endpoints of a low-dimension edge
+          // in one shard, so an ordinary rendezvous Link works unchanged.
+          c.wire = std::make_unique<link::Link>(sim_for(id));
+        }
       }
     }
   }
   // Wire each node's NodeLinks ports to its first four cube cables so that
   // programs running ON the control processors (TISA / MOCC linkout-linkin)
-  // reach the same physical wires. Note: the Occam host runtime's router
+  // reach the same physical wires. Cross-shard cables are skipped (see the
+  // parallel-constructor limitation). Note: the Occam host runtime's router
   // daemons consume sublink (dim/4) inboxes, so ISA-level link I/O and
   // occam::Runtime should not share one machine instance.
   for (net::NodeId id = 0; id < cube_.size(); ++id) {
     for (int d = 0; d < std::min(dimension, link::LinkParams::kPhysicalLinks);
          ++d) {
       Cable& c = cable(id, d);
-      nodes_[id]->links().attach(d, *c.wire, side_of(c, id));
+      if (c.wire) {
+        nodes_[id]->links().attach(d, *c.wire, side_of(c, id));
+      }
     }
   }
+}
+
+sim::Simulator& TSeries::sim_for(net::NodeId id) {
+  return psim_ != nullptr ? psim_->shard(smap_.shard_of(id)) : *sim_;
 }
 
 TSeries::Cable& TSeries::cable(net::NodeId at, int dim) {
   const net::NodeId peer = cube_.neighbor(at, dim);
   const net::NodeId lo = std::min(at, peer);
   Cable& c = cables_[lo][static_cast<std::size_t>(dim)];
-  if (!c.wire) {
+  if (!c.wire && !c.xwire) {
     throw std::logic_error("TSeries::cable: unwired edge");
   }
   return c;
@@ -134,23 +164,37 @@ sim::Proc TSeries::send_dim(net::NodeId from, int dim, link::Packet p) {
     // tscope enqueue marker: the gap to the matching tx span's start is the
     // hop's queueing delay (port mutex + wire direction contention).
     perf_->track(from, "link" + std::to_string(port))
-        .instant(sim_->now(), "m" + std::to_string(p.trace) + " enq");
+        .instant(sim_for(from).now(), "m" + std::to_string(p.trace) + " enq");
   }
   co_await mux.acquire();
-  co_await c.wire->transmit(side, std::move(p));
+  if (c.wire) {
+    co_await c.wire->transmit(side, std::move(p));
+  } else {
+    co_await c.xwire->transmit(side, std::move(p));
+  }
   mux.release();
 }
 
 sim::Channel<link::Packet>& TSeries::inbox(net::NodeId at, int dim) {
   Cable& c = cable(at, dim);
-  return c.wire->inbox(side_of(c, at),
-                       dim / link::LinkParams::kPhysicalLinks);
+  const int sub = dim / link::LinkParams::kPhysicalLinks;
+  return c.wire ? c.wire->inbox(side_of(c, at), sub)
+                : c.xwire->inbox(side_of(c, at), sub);
 }
 
 void TSeries::enable_perf(perf::CounterRegistry& reg) {
   perf_ = &reg;
   reg.meta().dimension = dimension();
   reg.meta().nodes = static_cast<std::uint32_t>(size());
+  if (psim_ != nullptr) {
+    // Give every shard its own span timeline so workers never share a ring;
+    // the dump merges them deterministically (perf/chrome_trace.cpp).
+    std::vector<int> shard_of(size());
+    for (net::NodeId id = 0; id < cube_.size(); ++id) {
+      shard_of[id] = smap_.shard_of(id);
+    }
+    reg.shard_spans(std::move(shard_of), psim_->shards());
+  }
   for (const auto& n : nodes_) {
     n->attach_perf(reg);
   }
@@ -159,10 +203,12 @@ void TSeries::enable_perf(perf::CounterRegistry& reg) {
   for (const auto& per_node : cables_) {
     for (std::size_t d = 0; d < per_node.size(); ++d) {
       const Cable& c = per_node[d];
+      const std::string comp =
+          "link" + std::to_string(d % link::LinkParams::kPhysicalLinks);
       if (c.wire) {
-        const std::string comp =
-            "link" + std::to_string(d % link::LinkParams::kPhysicalLinks);
         c.wire->set_sinks(&reg.track(c.lo, comp), &reg.track(c.hi, comp));
+      } else if (c.xwire) {
+        c.xwire->set_sinks(&reg.track(c.lo, comp), &reg.track(c.hi, comp));
       }
     }
   }
@@ -182,6 +228,8 @@ std::uint64_t TSeries::total_link_bytes() const {
     for (const Cable& c : per_node) {
       if (c.wire) {
         total += c.wire->bytes_sent(0) + c.wire->bytes_sent(1);
+      } else if (c.xwire) {
+        total += c.xwire->bytes_sent(0) + c.xwire->bytes_sent(1);
       }
     }
   }

@@ -93,10 +93,28 @@ class TSeries {
   TSeries(sim::Simulator& sim, int dimension);
   TSeries(sim::Simulator& sim, int dimension, node::NodeConfig cfg);
 
+  /// Sharded construction: nodes are partitioned over `psim`'s shards by
+  /// the Gray-code subcube ShardMap, each node (and every shard-internal
+  /// cable) living on its shard's simulator. Cube dimensions that connect
+  /// different subcubes get CrossLink cables routed through the engine's
+  /// epoch mailboxes. Limitation: NodeLinks ports are wired only for
+  /// shard-local cables, so ISA-level linkout/linkin across a shard
+  /// boundary is unsupported — the occam runtime (which uses
+  /// send_dim/inbox) is the parallel messaging path.
+  TSeries(sim::ParallelSim& psim, int dimension);
+  TSeries(sim::ParallelSim& psim, int dimension, node::NodeConfig cfg);
+
   TSeries(const TSeries&) = delete;
   TSeries& operator=(const TSeries&) = delete;
 
+  /// The single simulator (serial construction) or shard 0's simulator.
   sim::Simulator& simulator() { return *sim_; }
+  /// The sharded engine, or null when serially constructed.
+  sim::ParallelSim* parallel() { return psim_; }
+  const sim::ShardMap& shard_map() const { return smap_; }
+  /// The simulator that executes node `id` (the single simulator when
+  /// serial).
+  sim::Simulator& sim_for(net::NodeId id);
   int dimension() const { return cube_.dimension(); }
   std::size_t size() const { return cube_.size(); }
   const net::Hypercube& cube() const { return cube_; }
@@ -130,15 +148,23 @@ class TSeries {
   friend class Module;
 
   struct Cable {
+    /// Exactly one of wire/xwire is set: wire when both endpoints share a
+    /// shard (or the machine is serial), xwire across shard boundaries.
     std::unique_ptr<link::Link> wire;
+    std::unique_ptr<link::CrossLink> xwire;
     net::NodeId lo = 0;  // side 0
     net::NodeId hi = 0;  // side 1
   };
+
+  TSeries(sim::Simulator* sim, sim::ParallelSim* psim, int dimension,
+          node::NodeConfig cfg);
 
   Cable& cable(net::NodeId at, int dim);
   int side_of(const Cable& c, net::NodeId at) const;
 
   sim::Simulator* sim_;
+  sim::ParallelSim* psim_ = nullptr;
+  sim::ShardMap smap_{};
   net::Hypercube cube_;
   perf::CounterRegistry* perf_ = nullptr;
   std::vector<std::unique_ptr<node::Node>> nodes_;

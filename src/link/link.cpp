@@ -1,8 +1,20 @@
 #include "link/link.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace fpst::link {
+
+namespace {
+
+/// Receiver-side half of a cross-shard transfer: performs the rendezvous
+/// into the inbox locally on the destination shard, buffering the packet in
+/// its own frame until a receiver arrives.
+sim::Proc cross_deliver(sim::Channel<Packet>& box, Packet p) {
+  co_await box.send(std::move(p));
+}
+
+}  // namespace
 
 Link::Link(sim::Simulator& sim) : sim_{&sim} {
   for (auto& d : dir_) {
@@ -82,6 +94,97 @@ sim::SimTime Link::busy_time(int direction) const {
 }
 
 std::uint64_t Link::packets_sent(int direction) const {
+  return dir_[static_cast<std::size_t>(direction)]->packets;
+}
+
+CrossLink::CrossLink(sim::ParallelSim& psim, int shard0, int shard1)
+    : psim_{&psim},
+      shard_{shard0, shard1},
+      sim_{&psim.shard(shard0), &psim.shard(shard1)} {
+  for (std::size_t side = 0; side < 2; ++side) {
+    // A direction's mutex belongs to the *sending* side's shard; the
+    // receiving channels belong to the side that reads them.
+    dir_[side] = std::make_unique<Direction>(*sim_[side]);
+    for (auto& ch : inboxes_[side]) {
+      ch = std::make_unique<sim::Channel<Packet>>(*sim_[side]);
+    }
+  }
+}
+
+sim::Proc CrossLink::transmit(int from_side, Packet p) {
+  if (from_side != 0 && from_side != 1) {
+    throw std::logic_error("CrossLink::transmit: bad side");
+  }
+  if (p.sublink >= LinkParams::kSublinksPerLink) {
+    throw std::logic_error("CrossLink::transmit: bad sublink");
+  }
+  Direction& d = *dir_[static_cast<std::size_t>(from_side)];
+  const int to_side = 1 - from_side;
+  co_await d.mutex.acquire();
+  const sim::SimTime start = (co_await sim::ThisSim{}).now();
+  const sim::SimTime elapsed = LinkParams::transfer_time(p.payload.size());
+  const auto wire = static_cast<std::uint64_t>(p.wire_bytes());
+  const std::size_t payload_bytes = p.payload.size();
+  const std::uint32_t trace = p.trace;
+  const std::uint32_t dst = p.dst;
+  const int sub = p.sublink;
+  // Post the arrival *now*, at send start: it lands at start + transfer
+  // time, which is at least the engine lookahead in the future, so the
+  // conservative window can never admit it early. The packet itself rides
+  // in the closure; trace is the deterministic same-instant merge key.
+  {
+    sim::Channel<Packet>& box =
+        *inboxes_[static_cast<std::size_t>(to_side)]
+                 [static_cast<std::size_t>(sub)];
+    sim::Simulator& dest = *sim_[static_cast<std::size_t>(to_side)];
+    psim_->post(shard_[static_cast<std::size_t>(from_side)],
+                shard_[static_cast<std::size_t>(to_side)], start + elapsed,
+                trace, [&dest, &box, pkt = std::move(p)]() mutable {
+                  dest.spawn(cross_deliver(box, std::move(pkt)));
+                });
+  }
+  co_await sim::Delay{elapsed};
+  d.bytes += wire;
+  ++d.packets;
+  d.busy += elapsed;
+  if (perf::PerfSink* sink = sink_[static_cast<std::size_t>(from_side)]) {
+    sink->count("bytes", wire);
+    sink->count("payload_bytes", payload_bytes);
+    sink->count("packets", 1);
+    sink->count("acks", 2 * wire);
+    sink->count("dma_starts", 1);
+    sink->busy("busy", elapsed);
+    sink->busy(std::string("busy.sublink") + std::to_string(sub), elapsed);
+    std::string name;
+    if (trace != 0) {
+      name += "m";
+      name += std::to_string(trace);
+      name += " ";
+    }
+    name += "tx->node";
+    name += std::to_string(dst);
+    name += " ";
+    name += std::to_string(payload_bytes);
+    name += "B";
+    sink->span(start, elapsed, std::move(name));
+  }
+  d.mutex.release();
+}
+
+sim::Channel<Packet>& CrossLink::inbox(int side, int sublink) {
+  return *inboxes_[static_cast<std::size_t>(side)]
+                  [static_cast<std::size_t>(sublink)];
+}
+
+std::uint64_t CrossLink::bytes_sent(int direction) const {
+  return dir_[static_cast<std::size_t>(direction)]->bytes;
+}
+
+sim::SimTime CrossLink::busy_time(int direction) const {
+  return dir_[static_cast<std::size_t>(direction)]->busy;
+}
+
+std::uint64_t CrossLink::packets_sent(int direction) const {
   return dir_[static_cast<std::size_t>(direction)]->packets;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "perf/sink.hpp"
+#include "sim/parallel_sim.hpp"
 #include "sim/proc.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
@@ -123,6 +124,70 @@ class Link {
   std::array<perf::PerfSink*, 2> sink_{nullptr, nullptr};
   std::array<std::unique_ptr<Direction>, 2> dir_;
   // inboxes_[side][sublink]
+  std::array<std::array<std::unique_ptr<sim::Channel<Packet>>,
+                        LinkParams::kSublinksPerLink>,
+             2>
+      inboxes_;
+};
+
+/// A full-duplex cable whose two ports live on *different shards* of a
+/// ParallelSim. Timing and statistics match Link exactly — the sender's
+/// direction is an exclusive FIFO resource charging DMA startup + wire time
+/// — but the hand-off is fire-and-forget: the arrival is posted through the
+/// engine's cross-shard mailbox at send-start + transfer_time, and a
+/// delivery process spawned on the receiving shard performs the rendezvous
+/// into the per-sublink inbox locally. This is the conservative-PDES
+/// relaxation of Link's sender-blocking rendezvous (a sender cannot wait on
+/// a remote receiver without collapsing the lookahead window); the sender
+/// instead blocks only for the wire occupancy it would have paid anyway.
+/// Because the arrival is posted at send start, it lands at least
+/// transfer_time(0) — the engine's lookahead — in the future, so no epoch
+/// ever admits it early.
+class CrossLink {
+ public:
+  /// Side 0 lives on `shard0`'s simulator, side 1 on `shard1`'s.
+  CrossLink(sim::ParallelSim& psim, int shard0, int shard1);
+
+  CrossLink(const CrossLink&) = delete;
+  CrossLink& operator=(const CrossLink&) = delete;
+
+  /// Transmit `p` from `from_side`. Runs on the sending side's simulator;
+  /// completes when the wire frees (not when the receiver takes delivery).
+  sim::Proc transmit(int from_side, Packet p);
+
+  /// Inbox of `side` for packets arriving addressed to `sublink` (a channel
+  /// on that side's shard simulator).
+  sim::Channel<Packet>& inbox(int side, int sublink);
+
+  void set_sinks(perf::PerfSink* side0, perf::PerfSink* side1) {
+    sink_[0] = side0;
+    sink_[1] = side1;
+  }
+
+  int shard(int side) const {
+    return shard_[static_cast<std::size_t>(side)];
+  }
+
+  // --- statistics per direction (0: side0->side1, 1: side1->side0) ---
+  std::uint64_t bytes_sent(int direction) const;
+  sim::SimTime busy_time(int direction) const;
+  std::uint64_t packets_sent(int direction) const;
+
+ private:
+  struct Direction {
+    explicit Direction(sim::Simulator& sim) : mutex{sim, 1} {}
+    sim::Semaphore mutex;
+    std::uint64_t bytes = 0;
+    std::uint64_t packets = 0;
+    sim::SimTime busy{};
+  };
+
+  sim::ParallelSim* psim_;
+  std::array<int, 2> shard_;
+  std::array<sim::Simulator*, 2> sim_;
+  std::array<perf::PerfSink*, 2> sink_{nullptr, nullptr};
+  std::array<std::unique_ptr<Direction>, 2> dir_;
+  // inboxes_[side][sublink]: the channels on which `side` receives.
   std::array<std::array<std::unique_ptr<sim::Channel<Packet>>,
                         LinkParams::kSublinksPerLink>,
              2>

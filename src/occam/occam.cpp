@@ -167,9 +167,12 @@ sim::Proc Ctx::allreduce_max(double* value, double* payload) {
 }
 
 Runtime::Runtime(core::TSeries& machine) : machine_{&machine} {
+  per_node_seq_.resize(machine_->size(), 0);
   for (net::NodeId id = 0; id < machine_->size(); ++id) {
     ctxs_.push_back(std::unique_ptr<Ctx>(new Ctx(*this, id)));
-    mailboxes_.push_back(std::make_unique<Mailbox>(machine_->simulator()));
+    // Each node's mailbox signals on that node's shard simulator (the
+    // single simulator when the machine is serial).
+    mailboxes_.push_back(std::make_unique<Mailbox>(machine_->sim_for(id)));
   }
 }
 
@@ -178,7 +181,7 @@ void Runtime::deliver(net::NodeId at, Msg m) {
     perf::TrackSink& sink = reg->track(at, "occam");
     sink.count("msgs_recv", 1);
     if (m.trace != 0) {
-      sink.instant(machine_->simulator().now(),
+      sink.instant(machine_->sim_for(at).now(),
                    "m" + std::to_string(m.trace) + " dlv <-n" +
                        std::to_string(m.src));
     }
@@ -198,8 +201,8 @@ sim::Proc Runtime::send_packet(net::NodeId from, net::NodeId dst,
     sink.count("msgs_sent", 1);
     // tscope injection marker: id, destination, tag and encoded payload
     // size, in the grammar perf/tscope.hpp documents.
-    trace = next_trace_++;
-    sink.instant(machine_->simulator().now(),
+    trace = alloc_trace(from);
+    sink.instant(machine_->sim_for(from).now(),
                  "m" + std::to_string(trace) + " inj ->n" +
                      std::to_string(dst) + " t" + std::to_string(tag) + " " +
                      std::to_string(4 + 8 * data.size()) + "B");
@@ -226,19 +229,32 @@ sim::Proc Runtime::router_listener(net::NodeId at, int dim) {
     }
     // Store-and-forward: inspect and retransmit along the next e-cube
     // dimension; the hop count rides in the packet.
-    ++forwarded_;
+    forwarded_.fetch_add(1, std::memory_order_relaxed);
     ++p.hops;
     if (perf::CounterRegistry* reg = machine_->perf()) {
       perf::TrackSink& sink = reg->track(at, "occam");
       sink.count("pkts_forwarded", 1);
       if (p.trace != 0) {
-        sink.instant(machine_->simulator().now(),
+        sink.instant(machine_->sim_for(at).now(),
                      "m" + std::to_string(p.trace) + " fwd");
       }
     }
     co_await machine_->node(at).cp_work(RtParams::kForwardInstr);
     co_await machine_->send_dim(at, first_route_dim(at, p.dst), std::move(p));
   }
+}
+
+std::uint32_t Runtime::alloc_trace(net::NodeId from) {
+  if (machine_->parallel() == nullptr) {
+    return next_trace_++;
+  }
+  // Parallel: a shared counter would race (and its values would depend on
+  // host thread timing). Instead node n's k-th traced message gets id
+  // 1 + n + nodes*k — unique machine-wide, strictly monotonic per source,
+  // and a pure function of the program, so dumps stay byte-identical
+  // across thread counts.
+  const auto nodes = static_cast<std::uint32_t>(machine_->size());
+  return 1 + from + nodes * per_node_seq_[from]++;
 }
 
 void Runtime::start_routers() {
@@ -248,7 +264,7 @@ void Runtime::start_routers() {
   routers_started_ = true;
   for (net::NodeId id = 0; id < machine_->size(); ++id) {
     for (int d = 0; d < machine_->dimension(); ++d) {
-      machine_->simulator().spawn(router_listener(id, d));
+      machine_->sim_for(id).spawn(router_listener(id, d));
     }
   }
 }
@@ -264,6 +280,12 @@ sim::Proc run_all(const std::vector<Runtime::Body>* bodies,
   co_await Par{std::move(procs)};
   *done = true;
 }
+
+sim::Proc run_one(const Runtime::Body* body, Ctx* ctx,
+                  std::atomic<std::size_t>* done) {
+  co_await (*body)(*ctx);
+  done->fetch_add(1, std::memory_order_relaxed);
+}
 }  // namespace
 
 sim::SimTime Runtime::run(const Body& body) {
@@ -274,6 +296,9 @@ sim::SimTime Runtime::run(const Body& body) {
 sim::SimTime Runtime::run(const std::vector<Body>& bodies) {
   if (bodies.size() != machine_->size()) {
     throw std::invalid_argument("Runtime::run: one body per node required");
+  }
+  if (machine_->parallel() != nullptr) {
+    return run_parallel(bodies);
   }
   start_routers();
   sim::Simulator& sim = machine_->simulator();
@@ -289,6 +314,32 @@ sim::SimTime Runtime::run(const std::vector<Body>& bodies) {
         "with no matching communication");
   }
   return sim.now() - start;
+}
+
+sim::SimTime Runtime::run_parallel(const std::vector<Body>& bodies) {
+  sim::ParallelSim& psim = *machine_->parallel();
+  if (perf::CounterRegistry* reg = machine_->perf()) {
+    // Pre-create every node's occam track while still single-threaded;
+    // lazy creation from shard workers would race on the registry map.
+    for (net::NodeId id = 0; id < machine_->size(); ++id) {
+      reg->track(id, "occam");
+    }
+  }
+  start_routers();
+  const sim::SimTime start = psim.now();
+  std::atomic<std::size_t> done{0};
+  for (net::NodeId id = 0; id < machine_->size(); ++id) {
+    machine_->sim_for(id).spawn(run_one(&bodies[id], ctxs_[id].get(), &done));
+  }
+  psim.run();
+  if (done.load(std::memory_order_relaxed) != machine_->size()) {
+    // Every shard drained and no mail is in flight, yet bodies are still
+    // suspended: the same communication deadlock the serial path reports.
+    throw DeadlockError(
+        "occam: program deadlocked — node bodies are blocked on channels "
+        "with no matching communication");
+  }
+  return psim.now() - start;
 }
 
 }  // namespace fpst::occam

@@ -16,6 +16,7 @@
 // net/hypercube.hpp, expressed as per-node code.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -117,7 +118,9 @@ class Runtime {
 
   /// Run `body` on every node (Occam PAR over the whole machine) and drive
   /// the simulation until everything completes. Returns elapsed simulated
-  /// time for the program.
+  /// time for the program. On a sharded machine (TSeries built over a
+  /// ParallelSim) every node body, mailbox and router daemon lives on its
+  /// node's shard simulator and the run is driven by the parallel engine.
   sim::SimTime run(const Body& body);
 
   /// Run a distinct body per node.
@@ -127,7 +130,9 @@ class Runtime {
   Ctx& ctx(net::NodeId id) { return *ctxs_.at(id); }
 
   /// Messages forwarded in transit (router workload), for the benches.
-  std::uint64_t packets_forwarded() const { return forwarded_; }
+  std::uint64_t packets_forwarded() const {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class Ctx;
@@ -143,15 +148,25 @@ class Runtime {
   void deliver(net::NodeId at, Msg m);
   sim::Proc send_packet(net::NodeId from, net::NodeId dst, std::uint16_t tag,
                         std::vector<double> data);
+  std::uint32_t alloc_trace(net::NodeId from);
+  sim::SimTime run_parallel(const std::vector<Body>& bodies);
 
   core::TSeries* machine_;
   std::vector<std::unique_ptr<Ctx>> ctxs_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   bool routers_started_ = false;
-  std::uint64_t forwarded_ = 0;
+  /// Atomic because shard workers forward concurrently in parallel runs
+  /// (relaxed: it is a statistic, not a synchronisation point).
+  std::atomic<std::uint64_t> forwarded_{0};
   /// Next tscope trace id; assigned at injection when perf is attached.
-  /// Starts at 1 so 0 can mean "untraced" in link::Packet.
+  /// Starts at 1 so 0 can mean "untraced" in link::Packet. Serial runs
+  /// draw from this global counter (kept for byte-identical dumps);
+  /// parallel runs use the per-source scheme in alloc_trace so ids stay
+  /// monotonic per source without a cross-thread counter.
   std::uint32_t next_trace_ = 1;
+  /// Parallel trace allocation: per-source message sequence numbers. Entry
+  /// n is written only by node n's shard worker.
+  std::vector<std::uint32_t> per_node_seq_;
 };
 
 }  // namespace fpst::occam

@@ -38,8 +38,15 @@ Dump snapshot(const CounterRegistry& reg, sim::SimTime wall) {
   Dump d;
   d.meta = reg.meta();
   d.wall = wall;
-  d.spans_dropped = reg.timeline().dropped();
   d.span_capacity = reg.timeline().capacity();
+  if (reg.span_sharded()) {
+    d.spans_dropped = 0;
+    for (const auto& tl : reg.shard_timelines()) {
+      d.spans_dropped += tl->dropped();
+    }
+  } else {
+    d.spans_dropped = reg.timeline().dropped();
+  }
   // Track-id -> (node, component) so timeline spans regain their identity.
   std::map<std::uint32_t, std::pair<std::uint32_t, const std::string*>> by_id;
   for (const auto& [key, sink] : reg.tracks()) {
@@ -52,12 +59,10 @@ Dump snapshot(const CounterRegistry& reg, sim::SimTime wall) {
     t.times = sink->times();
     d.tracks.push_back(std::move(t));
   }
-  const Timeline& tl = reg.timeline();
-  for (std::size_t i = 0; i < tl.size(); ++i) {
-    const Span& s = tl[i];
+  const auto emit = [&](const Span& s) {
     const auto it = by_id.find(s.track);
     if (it == by_id.end()) {
-      continue;  // track was never registered (cannot happen via TrackSink)
+      return;  // track was never registered (cannot happen via TrackSink)
     }
     DumpSpan out;
     out.node = it->second.first;
@@ -67,6 +72,31 @@ Dump snapshot(const CounterRegistry& reg, sim::SimTime wall) {
     out.name = s.name;
     out.is_instant = s.is_instant;
     d.spans.push_back(std::move(out));
+  };
+  if (reg.span_sharded()) {
+    // Merge the per-shard timelines into one deterministic order: by start
+    // time, ties broken by shard number (the stable sort sees the spans
+    // shard-major) and then per-shard emission order. Host thread timing
+    // never influences the result — each shard's ring is already in that
+    // shard's deterministic execution order.
+    std::vector<const Span*> merged;
+    for (const auto& tl : reg.shard_timelines()) {
+      for (std::size_t i = 0; i < tl->size(); ++i) {
+        merged.push_back(&(*tl)[i]);
+      }
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Span* a, const Span* b) {
+                       return a->start < b->start;
+                     });
+    for (const Span* s : merged) {
+      emit(*s);
+    }
+  } else {
+    const Timeline& tl = reg.timeline();
+    for (std::size_t i = 0; i < tl.size(); ++i) {
+      emit(tl[i]);
+    }
   }
   return d;
 }

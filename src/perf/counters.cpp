@@ -47,10 +47,35 @@ TrackSink& CounterRegistry::track(std::uint32_t node,
     return *it->second;
   }
   auto sink = std::unique_ptr<TrackSink>(
-      new TrackSink(node, key.second, next_id_++, &timeline_));
+      new TrackSink(node, key.second, next_id_++, timeline_for(node)));
   TrackSink& ref = *sink;
   tracks_.emplace(key, std::move(sink));
   return ref;
+}
+
+Timeline* CounterRegistry::timeline_for(std::uint32_t node) {
+  if (shard_timelines_.empty()) {
+    return &timeline_;
+  }
+  const std::size_t s = node < shard_of_node_.size()
+                            ? static_cast<std::size_t>(shard_of_node_[node])
+                            : 0;
+  return shard_timelines_.at(s).get();
+}
+
+void CounterRegistry::shard_spans(std::vector<int> shard_of_node,
+                                  int shards) {
+  shard_of_node_ = std::move(shard_of_node);
+  shard_timelines_.clear();
+  shard_timelines_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    auto tl = std::make_unique<Timeline>(timeline_.capacity());
+    tl->set_enabled(timeline_.enabled());
+    shard_timelines_.push_back(std::move(tl));
+  }
+  for (auto& [key, sink] : tracks_) {
+    sink->timeline_ = timeline_for(key.first);
+  }
 }
 
 const TrackSink* CounterRegistry::find(std::uint32_t node,

@@ -15,6 +15,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "perf/sink.hpp"
 #include "perf/timeline.hpp"
@@ -117,14 +118,34 @@ class CounterRegistry {
   Timeline& timeline() { return timeline_; }
   const Timeline& timeline() const { return timeline_; }
 
+  /// Parallel-engine mode: give each of `shards` shards its own span
+  /// timeline (same capacity and enablement as the shared one) so worker
+  /// threads never write a common ring. `shard_of_node[n]` is node n's
+  /// shard; existing tracks are re-pointed and tracks created later route
+  /// by their node's shard (out-of-range nodes go to shard 0). Counters
+  /// are untouched — each track is single-writer already. The dump
+  /// (perf/chrome_trace.cpp) merges shard timelines deterministically.
+  /// Call before the run starts, from the construction thread.
+  void shard_spans(std::vector<int> shard_of_node, int shards);
+
+  /// True once shard_spans() was applied.
+  bool span_sharded() const { return !shard_timelines_.empty(); }
+  const std::vector<std::unique_ptr<Timeline>>& shard_timelines() const {
+    return shard_timelines_;
+  }
+
   Meta& meta() { return meta_; }
   const Meta& meta() const { return meta_; }
 
  private:
+  Timeline* timeline_for(std::uint32_t node);
+
   std::map<std::pair<std::uint32_t, std::string>, std::unique_ptr<TrackSink>>
       tracks_;
   Timeline timeline_;
   Meta meta_;
+  std::vector<int> shard_of_node_;
+  std::vector<std::unique_ptr<Timeline>> shard_timelines_;
   std::uint32_t next_id_ = 0;
 };
 

@@ -1,0 +1,269 @@
+#include "sim/parallel_sim.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/proc.hpp"  // completes Proc for Simulator's root-frame vector
+
+namespace fpst::sim {
+
+namespace {
+
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int log2_exact(int v) {
+  int k = 0;
+  while ((1 << k) < v) {
+    ++k;
+  }
+  return k;
+}
+
+/// Total order for merged cross-shard mail: timestamp, then key (the
+/// message trace id), then source shard, then per-pair FIFO sequence.
+bool mail_before(const auto& a, const auto& b) {
+  if (a.at != b.at) {
+    return a.at < b.at;
+  }
+  if (a.key != b.key) {
+    return a.key < b.key;
+  }
+  if (a.from != b.from) {
+    return a.from < b.from;
+  }
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+ShardMap::ShardMap(int dimension, int shards) : dim_{dimension} {
+  if (dimension < 0 || dimension > 30) {
+    throw std::invalid_argument("ShardMap: dimension out of range");
+  }
+  if (!is_pow2(shards) || shards > (1 << dimension)) {
+    throw std::invalid_argument(
+        "ShardMap: shard count must be a power of two no larger than the "
+        "node count");
+  }
+  log2_shards_ = log2_exact(shards);
+}
+
+ParallelSim::ParallelSim(Options opts) : lookahead_{opts.lookahead} {
+  if (opts.shards < 1) {
+    throw std::invalid_argument("ParallelSim: shards must be >= 1");
+  }
+  if (opts.shards > 1 && !(lookahead_ > SimTime{})) {
+    throw std::invalid_argument(
+        "ParallelSim: a positive lookahead is required when sharding — no "
+        "conservative window exists without one");
+  }
+  threads_ = opts.threads > 0 ? opts.threads : opts.shards;
+  threads_ = std::min(threads_, opts.shards);
+  sims_.reserve(static_cast<std::size_t>(opts.shards));
+  for (int s = 0; s < opts.shards; ++s) {
+    sims_.push_back(std::make_unique<Simulator>());
+  }
+  boxes_.resize(static_cast<std::size_t>(opts.shards) *
+                static_cast<std::size_t>(opts.shards));
+  pending_.resize(static_cast<std::size_t>(opts.shards));
+}
+
+ParallelSim::~ParallelSim() = default;
+
+void ParallelSim::post(int from, int to, SimTime at, std::uint64_t key,
+                       std::function<void()> deliver) {
+  if (from < 0 || from >= shards() || to < 0 || to >= shards()) {
+    throw std::invalid_argument("ParallelSim::post: bad shard id");
+  }
+  PairBox& pb = box(from, to);
+  Mail m;
+  m.at = at;
+  m.key = key;
+  m.from = static_cast<std::uint32_t>(from);
+  m.seq = pb.next_seq++;
+  m.fn = std::move(deliver);
+  pb.box.push_back(std::move(m));
+}
+
+void ParallelSim::deliver_below(SimTime window_end) {
+  for (int dst = 0; dst < shards(); ++dst) {
+    std::vector<Mail>& due = pending_[static_cast<std::size_t>(dst)];
+    if (due.empty()) {
+      continue;
+    }
+    std::sort(due.begin(), due.end(), [](const Mail& a, const Mail& b) {
+      return mail_before(a, b);
+    });
+    Simulator& sim = *sims_[static_cast<std::size_t>(dst)];
+    std::size_t taken = 0;
+    for (Mail& m : due) {
+      if (m.at >= window_end) {
+        break;
+      }
+      if (m.at < sim.now()) {
+        // A cross-shard delivery landing in the destination's past means
+        // the lookahead contract was broken; executing it would silently
+        // corrupt deterministic ordering, so die loudly instead.
+        std::fprintf(stderr,
+                     "parallel_sim: causality violation: cross-shard "
+                     "delivery at %s is before shard %d time %s\n",
+                     m.at.to_string().c_str(), dst,
+                     sim.now().to_string().c_str());
+        std::abort();
+      }
+      sim.schedule_at(m.at, std::move(m.fn));
+      ++taken;
+    }
+    due.erase(due.begin(),
+              due.begin() + static_cast<std::ptrdiff_t>(taken));
+  }
+}
+
+void ParallelSim::serial_phase() noexcept {
+  if (failure_ != nullptr) {
+    stop_ = true;
+    return;
+  }
+  // Take every mailbox batch. Producers are parked at the barrier, so the
+  // single-consumer side of the SPSC contract holds here.
+  for (int from = 0; from < shards(); ++from) {
+    for (int to = 0; to < shards(); ++to) {
+      PairBox& pb = box(from, to);
+      if (pb.box.empty()) {
+        continue;
+      }
+      std::vector<Mail>& dst = pending_[static_cast<std::size_t>(to)];
+      dst.insert(dst.end(), std::make_move_iterator(pb.box.begin()),
+                 std::make_move_iterator(pb.box.end()));
+      pb.box.clear();
+    }
+  }
+  // The globally earliest pending work — event or undelivered mail —
+  // anchors the next conservative window [T, T + L).
+  bool any = false;
+  SimTime t_min{};
+  for (int s = 0; s < shards(); ++s) {
+    const Simulator& sim = *sims_[static_cast<std::size_t>(s)];
+    if (!sim.idle() && (!any || sim.next_event_time() < t_min)) {
+      t_min = sim.next_event_time();
+      any = true;
+    }
+    for (const Mail& m : pending_[static_cast<std::size_t>(s)]) {
+      if (!any || m.at < t_min) {
+        t_min = m.at;
+        any = true;
+      }
+    }
+  }
+  if (!any) {
+    stop_ = true;
+    return;
+  }
+  const SimTime window_end = t_min + lookahead_;
+  deliver_below(window_end);
+  // run_until is inclusive; the window is half-open at picosecond grain.
+  epoch_deadline_ = window_end - SimTime::picoseconds(1);
+}
+
+void ParallelSim::record_failure(int shard, std::exception_ptr e) {
+  if (failure_ == nullptr || shard < failure_shard_) {
+    failure_ = e;
+    failure_shard_ = shard;
+  }
+}
+
+std::uint64_t ParallelSim::run() {
+  const std::uint64_t before = events_processed();
+  if (shards() == 1) {
+    // Degenerate case: exactly the serial engine. Any self-posted mail is
+    // folded in between drains.
+    Simulator& sim = *sims_[0];
+    for (;;) {
+      serial_phase();  // moves mail; with one shard no window is needed
+      std::vector<Mail>& due = pending_[0];
+      std::sort(due.begin(), due.end(),
+                [](const Mail& a, const Mail& b) {
+                  return mail_before(a, b);
+                });
+      for (Mail& m : due) {
+        if (m.at < sim.now()) {
+          std::fprintf(stderr,
+                       "parallel_sim: causality violation: delivery at %s "
+                       "is before shard 0 time %s\n",
+                       m.at.to_string().c_str(),
+                       sim.now().to_string().c_str());
+          std::abort();
+        }
+        sim.schedule_at(m.at, std::move(m.fn));
+      }
+      due.clear();
+      if (sim.idle()) {
+        break;
+      }
+      sim.run();
+    }
+    stop_ = false;
+    return events_processed() - before;
+  }
+
+  stop_ = false;
+  failure_ = nullptr;
+  failure_shard_ = shards();
+  serial_phase();  // seed the first window (or stop on an empty machine)
+  if (!stop_) {
+    const int nworkers = threads_;
+    auto completion = [this]() noexcept { serial_phase(); };
+    std::barrier sync(nworkers, completion);
+    std::mutex err_mu;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(nworkers));
+    for (int w = 0; w < nworkers; ++w) {
+      pool.emplace_back([this, w, nworkers, &sync, &err_mu] {
+        while (!stop_) {
+          const SimTime deadline = epoch_deadline_;
+          for (int s = w; s < shards(); s += nworkers) {
+            try {
+              sims_[static_cast<std::size_t>(s)]->run_until(deadline);
+            } catch (...) {
+              const std::lock_guard<std::mutex> lock(err_mu);
+              record_failure(s, std::current_exception());
+            }
+          }
+          sync.arrive_and_wait();
+        }
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  if (failure_ != nullptr) {
+    std::exception_ptr e = failure_;
+    failure_ = nullptr;
+    std::rethrow_exception(e);
+  }
+  return events_processed() - before;
+}
+
+SimTime ParallelSim::now() const {
+  SimTime latest{};
+  for (const auto& sim : sims_) {
+    latest = std::max(latest, sim->last_event_time());
+  }
+  return latest;
+}
+
+std::uint64_t ParallelSim::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& sim : sims_) {
+    total += sim->events_processed();
+  }
+  return total;
+}
+
+}  // namespace fpst::sim

@@ -1,0 +1,209 @@
+// Conservative parallel discrete-event engine.
+//
+// The serial kernel (simulator.hpp) executes one event queue; a 10-cube
+// machine model — 1024 nodes, ~10k router processes — is serialized through
+// it. This engine shards the model across host threads while keeping the
+// simulation bit-for-bit deterministic:
+//
+//   * The cube's nodes are partitioned into contiguous subcubes, one per
+//     shard (ShardMap). Subcube shards keep every low-dimension cube link
+//     internal to a shard, so for the dimension-ordered traffic of e-cube
+//     routing most packets never leave their shard. Shards are numbered
+//     along the binary-reflected Gray code of the high node bits, so
+//     consecutive shards are cube neighbours.
+//
+//   * Each shard owns a private Simulator (its own event queue, its own
+//     clock) driven by a host worker thread. Shards synchronize with
+//     *barrier epochs*: every epoch processes the window [T, T + L) where
+//     T is the globally earliest pending event and L is the lookahead —
+//     the minimum latency of any cross-shard interaction. In the T Series
+//     model every cross-shard effect is a link DMA (5 us startup plus
+//     >= 16 us of wire time for the 8-byte header, link/link.hpp), so no
+//     event executed inside the window can affect another shard within
+//     that same window. This is classic conservative (CMB-style)
+//     synchronization with the lookahead taken from the paper's link
+//     timing.
+//
+//   * Cross-shard messages travel through per-(source, destination)
+//     mailboxes. A mailbox has exactly one producer (the source shard's
+//     worker, during the parallel phase) and one consumer (the epoch
+//     coordinator, during the serial phase between barriers); ownership
+//     alternates at the barrier, so the handoff needs no locks. The
+//     coordinator merges drained mail in a deterministic total order —
+//     (timestamp, key, source shard, per-pair sequence) — before
+//     scheduling it, so delivery order is a pure function of the
+//     simulation state, never of host thread timing. With the key chosen
+//     as the message trace id, same-instant cross-shard deliveries land
+//     in (timestamp, trace id, shard id) order, which the determinism
+//     tests pin across thread counts.
+//
+// Worker-thread count is independent of the shard count: shards are
+// statically assigned round-robin to threads, and because each shard's
+// epoch work is sequential-deterministic and the merge order is fixed,
+// running 4 shards on 1, 2 or 4 threads produces identical simulations.
+// With a single shard the engine degenerates to the serial kernel: run()
+// just drains the one queue, so `--threads 1` reproduces today's serial
+// engine exactly, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace fpst::sim {
+
+/// Partition of a binary n-cube's 2^dim nodes into 2^k equal contiguous
+/// subcubes. Nodes sharing the top k address bits form one shard — all
+/// dim-k low cube dimensions stay shard-internal — and shards are numbered
+/// by the Gray-code rank of those top bits, so shard s and shard s+1 are
+/// adjacent subcubes (their nodes differ in exactly one cube dimension).
+class ShardMap {
+ public:
+  /// The whole cube on one shard.
+  ShardMap() = default;
+
+  /// Throws std::invalid_argument unless 1 <= shards <= 2^dimension and
+  /// shards is a power of two.
+  ShardMap(int dimension, int shards);
+
+  int dimension() const { return dim_; }
+  int shards() const { return 1 << log2_shards_; }
+  int log2_shards() const { return log2_shards_; }
+
+  /// Shard executing cube node `node`.
+  int shard_of(std::uint32_t node) const {
+    return static_cast<int>(
+        gray_rank(node >> static_cast<unsigned>(dim_ - log2_shards_)));
+  }
+
+  /// True when cube dimension `dim` connects two shards (the high
+  /// dimensions) rather than staying inside one subcube.
+  bool dim_crosses_shards(int dim) const { return dim >= dim_ - log2_shards_; }
+
+  /// Binary-reflected Gray code and its rank (inverse). Duplicated from
+  /// net/hypercube (two expressions) because the sim layer sits below net.
+  static std::uint32_t gray(std::uint32_t i) { return i ^ (i >> 1); }
+  static std::uint32_t gray_rank(std::uint32_t g) {
+    std::uint32_t r = 0;
+    for (; g != 0; g >>= 1) {
+      r ^= g;
+    }
+    return r;
+  }
+
+ private:
+  int dim_ = 0;
+  int log2_shards_ = 0;
+};
+
+/// The sharded engine: S Simulators, W worker threads, barrier epochs.
+class ParallelSim {
+ public:
+  struct Options {
+    /// Shard count (determines the simulation's partition and therefore
+    /// its exact event interleaving; must be fixed to compare runs).
+    int shards = 1;
+    /// Host worker threads; 0 means one per shard. Any value yields the
+    /// identical simulation — threads only divide the epoch work.
+    int threads = 0;
+    /// Conservative lookahead: a lower bound on the simulated latency of
+    /// every cross-shard interaction. Must be positive when shards > 1.
+    /// For the T Series link model pass
+    /// link::LinkParams::transfer_time(0) — DMA startup + header wire
+    /// time, the cheapest possible cross-shard packet.
+    SimTime lookahead{};
+  };
+
+  explicit ParallelSim(Options opts);
+
+  ParallelSim(const ParallelSim&) = delete;
+  ParallelSim& operator=(const ParallelSim&) = delete;
+
+  ~ParallelSim();
+
+  int shards() const { return static_cast<int>(sims_.size()); }
+  int threads() const { return threads_; }
+  SimTime lookahead() const { return lookahead_; }
+
+  Simulator& shard(int s) { return *sims_.at(static_cast<std::size_t>(s)); }
+
+  /// Hand a cross-shard effect to shard `to`: at simulated time `at`,
+  /// `deliver` runs on that shard's simulator. Must be called either from
+  /// shard `from`'s worker during an epoch (the single-producer side of
+  /// the (from, to) mailbox) or from the driving thread while the engine
+  /// is not running. `at` must be at least lookahead() in the future of
+  /// shard `from`'s clock; the epoch scheduler aborts the process on a
+  /// causality violation (a delivery time already in the destination's
+  /// past), since a silently late event would corrupt determinism.
+  /// Same-instant deliveries are merged in (at, key, from, sequence)
+  /// order; pass the message trace id as `key`.
+  void post(int from, int to, SimTime at, std::uint64_t key,
+            std::function<void()> deliver);
+
+  /// Drive every shard until all queues drain and no mail is in flight.
+  /// Rethrows the failure of the lowest-numbered failing shard, if any.
+  /// Returns events executed across all shards during this call.
+  std::uint64_t run();
+
+  /// Time of the latest event any shard has executed (the machine-wide
+  /// completion time after run(); epoch padding is excluded).
+  SimTime now() const;
+
+  /// Total events executed across all shards since construction.
+  std::uint64_t events_processed() const;
+
+ private:
+  struct Mail {
+    SimTime at;
+    std::uint64_t key = 0;
+    std::uint32_t from = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+
+  /// One single-producer mailbox per (from, to) shard pair. The producer
+  /// appends during the parallel phase; the coordinator takes the batch
+  /// during the serial phase. The epoch barrier orders the two.
+  struct PairBox {
+    std::vector<Mail> box;
+    std::uint64_t next_seq = 0;
+  };
+
+  PairBox& box(int from, int to) {
+    return boxes_[static_cast<std::size_t>(from) *
+                      static_cast<std::size_t>(shards()) +
+                  static_cast<std::size_t>(to)];
+  }
+
+  /// Serial phase, run with every worker parked at the barrier: drain all
+  /// mailboxes, pick the next epoch window, schedule in-window deliveries
+  /// in merged deterministic order. Sets stop_ when the machine drained.
+  void serial_phase() noexcept;
+  /// Schedule every pending delivery below `window_end` onto its shard.
+  void deliver_below(SimTime window_end);
+  void record_failure(int shard, std::exception_ptr e);
+
+  SimTime lookahead_{};
+  int threads_ = 1;
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<PairBox> boxes_;
+  /// Per destination shard: drained-but-not-yet-due mail.
+  std::vector<std::vector<Mail>> pending_;
+
+  // Epoch state: written only in the serial phase (or before workers
+  // start), read by workers. The barrier's completion step provides the
+  // ordering.
+  SimTime epoch_deadline_{};
+  bool stop_ = false;
+
+  // First failure, by lowest shard id so the rethrown error is stable.
+  std::exception_ptr failure_{};
+  int failure_shard_ = 0;
+};
+
+}  // namespace fpst::sim

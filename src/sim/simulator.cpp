@@ -44,6 +44,7 @@ bool Simulator::step() {
   }
   const EventQueue::Entry ev = queue_.pop_min();
   now_ = ev.t;
+  last_event_ = ev.t;
   if (ev.resume) {
     ev.resume.resume();
   } else {

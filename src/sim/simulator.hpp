@@ -80,6 +80,14 @@ class Simulator {
   /// True when no events remain.
   bool idle() const { return queue_.empty(); }
 
+  /// Timestamp of the earliest queued event. Precondition: !idle().
+  SimTime next_event_time() const { return queue_.next_time(); }
+
+  /// Timestamp of the latest event actually executed — unlike now(), never
+  /// padded forward by a run_until() deadline, so it reports the true
+  /// completion time of the model's activity.
+  SimTime last_event_time() const { return last_event_; }
+
   /// Total events executed since construction (for the engine bench).
   std::uint64_t events_processed() const { return events_processed_; }
 
@@ -99,6 +107,7 @@ class Simulator {
   [[noreturn]] void rethrow_root_failure();
 
   SimTime now_{};
+  SimTime last_event_{};
   std::uint64_t events_processed_ = 0;
   std::size_t finished_roots_ = 0;
   EventQueue queue_;

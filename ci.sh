@@ -22,14 +22,20 @@
 #      prediction), and the same --threads determinism sweep as stage 4
 #      runs against the all-to-all — including --check-ecube on the
 #      parallel engine's dump
-#   6. engine perf trajectory: bench_simcore --json records DES event
+#   6. tcheck --predict cross-validation: the static cost model's
+#      prediction for the shipped vform SAXPY must match the tisa_traced
+#      measurement (instruction count exact, elapsed within the documented
+#      2% tolerance — today the match is bit-exact), and the static
+#      per-edge volume of the all-to-all .comm twin must match the traced
+#      16-node run exactly: every cube edge crossed 16 times, 512 hops
+#   7. engine perf trajectory: bench_simcore --json records DES event
 #      throughput; the run fails if events/sec regressed more than 10%
 #      run-over-run against the previous dump from the same build flavour
 #      (sanitized CI runs are never compared against the release baseline
 #      committed as BENCH_simcore.json). bench_parallel_scaling records
 #      the parallel engine's host-thread scaling alongside it
-#   7. clang-tidy over all first-party translation units (skipped when the
-#      toolchain image has no clang-tidy)
+#   8. clang-tidy over all first-party translation units (skipped when the
+#      toolchain image has no clang-tidy); src/check findings are blocking
 #
 # usage: ./ci.sh [options] [build-dir]        (default build dir: build-ci)
 #   --stage N[,M...]  run only the listed stages (default: all). Stages
@@ -57,8 +63,9 @@ ci.sh stages:
      E9 ablation flagged, --threads determinism sweep
   5  tscope: all-to-all determinism, e-cube routing invariants,
      --threads determinism sweep
-  6  bench_simcore throughput gate + bench_parallel_scaling record
-  7  clang-tidy
+  6  tcheck --predict: static cost/volume prediction vs measurement
+  7  bench_simcore throughput gate + bench_parallel_scaling record
+  8  clang-tidy (src/check findings blocking)
 EOF
 }
 
@@ -102,7 +109,7 @@ want_stage() {
 stages_ran=""
 begin_stage() {
   stages_ran="$stages_ran${stages_ran:+,}$1"
-  echo "== [$1/7] $2 =="
+  echo "== [$1/8] $2 =="
 }
 
 # determinism_sweep <example-bin> <serial-dump> <out-prefix> [extra args...]:
@@ -254,7 +261,27 @@ if want_stage 5; then
 fi
 
 if want_stage 6; then
-  begin_stage 6 "bench_simcore: DES event-throughput trajectory"
+  begin_stage 6 "tcheck --predict: static prediction vs measured run"
+  # Single node: assemble-and-run the shipped vform SAXPY under tperf, then
+  # require the static prediction to agree — instruction count exactly,
+  # elapsed time within the documented 2% tolerance (the match is bit-exact
+  # today; the tolerance only covers deliberate future timing-model drift).
+  saxpy_dump="$build_dir/ci_predict_saxpy.json"
+  "$build_dir/examples/tisa_traced" \
+      "$repo_root/examples/tisa/vform_saxpy.tisa" "$saxpy_dump" > /dev/null
+  "$tcheck" --predict "$repo_root/examples/tisa/vform_saxpy.tisa" \
+      --against "$saxpy_dump" --tolerance 0.02
+  # Network: the all-to-all .comm twin's static per-edge volume must match
+  # the traced 16-node run *exactly* — 240 messages, 512 hops, every one of
+  # the 32 cube edges crossed 16 times. Any deviation is a hard failure.
+  a2a_dump="$build_dir/ci_predict_alltoall.json"
+  "$build_dir/examples/alltoall_traced" "$a2a_dump" 4 > /dev/null
+  "$tcheck" --predict "$repo_root/examples/comm/alltoall.comm" \
+      --against "$a2a_dump"
+fi
+
+if want_stage 7; then
+  begin_stage 7 "bench_simcore: DES event-throughput trajectory"
   simcore="$build_dir/bench/bench_simcore"
   # Fresh measurement. The dump is flavour-tagged (release vs sanitized), so
   # the gate only ever compares consecutive runs of the same flavour: a
@@ -299,8 +326,8 @@ if want_stage 6; then
       --json "$build_dir/BENCH_parallel_scaling.json"
 fi
 
-if want_stage 7; then
-  begin_stage 7 "clang-tidy"
+if want_stage 8; then
+  begin_stage 8 "clang-tidy"
   "$repo_root"/tools/run-tidy.sh "$build_dir"
 fi
 

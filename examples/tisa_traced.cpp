@@ -1,0 +1,79 @@
+// tisa_traced: run one assembled TISA program on a perf-attached node and
+// dump the measurement in the tperf JSON schema — the measured half of the
+// tcheck --predict cross-validation (DESIGN.md §4.4).
+//
+//   $ ./tisa_traced prog.tisa [out.json]     (default ./tisa_traced.json)
+//   $ tcheck --predict prog.tisa --against out.json
+//
+// ci.sh runs this over examples/tisa/vform_saxpy.tisa and fails the build
+// when the static prediction and this measurement diverge.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cp/assembler.hpp"
+#include "node/node.hpp"
+#include "perf/chrome_trace.hpp"
+#include "perf/counters.hpp"
+
+using namespace fpst;
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: tisa_traced <prog.tisa> [out.json]\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  const std::string out = argc > 2 ? argv[2] : "tisa_traced.json";
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "tisa_traced: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  cp::Program prog;
+  try {
+    prog = cp::assemble(ss.str());
+  } catch (const cp::AsmError& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+
+  sim::Simulator sim;
+  node::Node nd{sim, 0};
+  perf::CounterRegistry reg;
+  nd.attach_perf(reg);
+  reg.meta().workload =
+      "tisa_traced:" + std::filesystem::path(path).filename().string();
+
+  // Same entry convention as tcheck: the `main` symbol when defined.
+  const auto it = prog.symbols.find("main");
+  const std::uint32_t entry =
+      it != prog.symbols.end() ? it->second : prog.entry();
+  nd.cpu().load(prog);
+  nd.cpu().start_process(entry, 0x8000, 1);
+  sim.spawn(nd.cpu().run());
+  sim.run();
+
+  const sim::SimTime elapsed = sim.now();
+  perf::json::Value doc = perf::to_json(reg, elapsed);
+  perf::json::Value results = perf::json::Value::object();
+  results["elapsed_ps"] = perf::json::Value::integer(elapsed.ps());
+  results["elapsed_us"] = perf::json::Value::number(elapsed.us());
+  results["instructions"] = perf::json::Value::integer(
+      static_cast<std::int64_t>(nd.cpu().instructions_executed()));
+  doc["results"] = std::move(results);
+  perf::write_file(out, doc);
+
+  std::printf("%s: %llu instructions, %s simulated\n", path.c_str(),
+              static_cast<unsigned long long>(nd.cpu().instructions_executed()),
+              elapsed.to_string().c_str());
+  std::printf("wrote %s — diff with `tcheck --predict %s --against %s`\n",
+              out.c_str(), path.c_str(), out.c_str());
+  return 0;
+}

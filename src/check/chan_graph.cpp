@@ -14,18 +14,8 @@ using occam::CommKind;
 using occam::CommOp;
 using occam::CommSpec;
 
-/// One lowered point-to-point event.
-struct Event {
-  bool is_send = false;
-  bool any = false;          ///< recv_any: match the tag from any source
-  net::NodeId peer = 0;      ///< dst for sends, src for receives
-  std::uint32_t tag = 0;
-  std::size_t origin = 0;    ///< index of the CommOp this lowered from
-  std::string detail;        ///< e.g. "barrier exchange, dimension 2"
-};
-
 std::string node_op_desc(const CommSpec& spec, net::NodeId n,
-                         const Event& e) {
+                         const CommEvent& e) {
   std::ostringstream os;
   os << "node " << n << " op #" << e.origin << " ("
      << occam::to_string(spec.ops(n)[e.origin]) << ")";
@@ -35,19 +25,34 @@ std::string node_op_desc(const CommSpec& spec, net::NodeId n,
   return os.str();
 }
 
-/// Lower one node's CommOp sequence to point-to-point events, mirroring
-/// the schedules in occam.cpp (including Ctx::internal_tag numbering:
-/// one fresh 0x8000|seq tag per collective call).
-std::vector<Event> lower(const CommSpec& spec, net::NodeId id) {
+/// Source line of the CommOp an event lowered from (0 when the spec was
+/// built from C++ rather than parsed).
+std::size_t op_line(const CommSpec& spec, net::NodeId n, std::size_t origin) {
+  return spec.ops(n)[origin].line;
+}
+
+struct Mail {
+  net::NodeId src;
+  std::uint32_t tag;
+  std::size_t origin;  ///< sender-side CommOp index, for line mapping
+};
+
+}  // namespace
+
+std::vector<CommEvent> lower_comm(const CommSpec& spec, net::NodeId id) {
   const int dim = spec.dimension();
-  std::vector<Event> ev;
+  std::vector<CommEvent> ev;
   std::uint32_t internal_seq = 0;
   const auto internal_tag = [&internal_seq]() {
     return 0x8000u | (internal_seq++ & 0x7FFFu);
   };
+  // Collective hops always carry one 64-bit scalar (the occam.cpp
+  // schedules exchange a single double per dimension).
   const auto push = [&](bool is_send, net::NodeId peer, std::uint32_t tag,
-                        std::size_t origin, std::string detail) {
-    ev.push_back(Event{is_send, false, peer, tag, origin, std::move(detail)});
+                        std::uint32_t elems, std::size_t origin,
+                        std::string detail) {
+    ev.push_back(
+        CommEvent{is_send, false, peer, tag, elems, origin, std::move(detail)});
   };
 
   const std::vector<CommOp>& ops = spec.ops(id);
@@ -55,21 +60,21 @@ std::vector<Event> lower(const CommSpec& spec, net::NodeId id) {
     const CommOp& op = ops[i];
     switch (op.kind) {
       case CommKind::kSend:
-        push(true, op.peer, op.tag, i, "");
+        push(true, op.peer, op.tag, op.elems, i, "");
         break;
       case CommKind::kRecv:
-        push(false, op.peer, op.tag, i, "");
+        push(false, op.peer, op.tag, op.elems, i, "");
         break;
       case CommKind::kRecvAny:
-        ev.push_back(Event{false, true, 0, op.tag, i, ""});
+        ev.push_back(CommEvent{false, true, 0, op.tag, op.elems, i, ""});
         break;
       case CommKind::kBarrier: {
         const std::uint32_t t = internal_tag();
         for (int k = 0; k < dim; ++k) {
           const net::NodeId peer = id ^ (net::NodeId{1} << k);
           const std::string d = "exchange, dimension " + std::to_string(k);
-          push(true, peer, t, i, d);
-          push(false, peer, t, i, d);
+          push(true, peer, t, 1, i, d);
+          push(false, peer, t, 1, i, d);
         }
         break;
       }
@@ -79,12 +84,12 @@ std::vector<Event> lower(const CommSpec& spec, net::NodeId id) {
         int first_send_dim = 0;
         if (rel != 0) {
           const int j = static_cast<int>(std::bit_width(rel)) - 1;
-          push(false, id ^ (net::NodeId{1} << j), t, i,
+          push(false, id ^ (net::NodeId{1} << j), t, 1, i,
                "tree arrival, dimension " + std::to_string(j));
           first_send_dim = j + 1;
         }
         for (int k = first_send_dim; k < dim; ++k) {
-          push(true, id ^ (net::NodeId{1} << k), t, i,
+          push(true, id ^ (net::NodeId{1} << k), t, 1, i,
                "tree fan-out, dimension " + std::to_string(k));
         }
         break;
@@ -96,10 +101,10 @@ std::vector<Event> lower(const CommSpec& spec, net::NodeId id) {
         for (int k = dim - 1; k >= 0 && !merged_upstream; --k) {
           const std::uint32_t bit = std::uint32_t{1} << k;
           if (rel < bit) {
-            push(false, id ^ bit, t, i,
+            push(false, id ^ bit, t, 1, i,
                  "tree merge, dimension " + std::to_string(k));
           } else if (rel < 2 * bit) {
-            push(true, id ^ bit, t, i,
+            push(true, id ^ bit, t, 1, i,
                  "tree partial, dimension " + std::to_string(k));
             merged_upstream = true;
           }
@@ -112,8 +117,8 @@ std::vector<Event> lower(const CommSpec& spec, net::NodeId id) {
           const net::NodeId peer = id ^ (net::NodeId{1} << k);
           const std::string d =
               "dimension exchange, dimension " + std::to_string(k);
-          push(true, peer, t, i, d);
-          push(false, peer, t, i, d);
+          push(true, peer, t, 1, i, d);
+          push(false, peer, t, 1, i, d);
         }
         break;
       }
@@ -122,20 +127,13 @@ std::vector<Event> lower(const CommSpec& spec, net::NodeId id) {
   return ev;
 }
 
-struct Mail {
-  net::NodeId src;
-  std::uint32_t tag;
-};
-
-}  // namespace
-
 CommAnalysis analyze_comm(const CommSpec& spec) {
   CommAnalysis res;
   const std::size_t n = spec.size();
 
-  std::vector<std::vector<Event>> ev(n);
+  std::vector<std::vector<CommEvent>> ev(n);
   for (net::NodeId id = 0; id < n; ++id) {
-    ev[id] = lower(spec, id);
+    ev[id] = lower_comm(spec, id);
   }
 
   // ---- abstract execution: buffered sends, blocking receives ----
@@ -147,9 +145,9 @@ CommAnalysis analyze_comm(const CommSpec& spec) {
     progress = false;
     for (net::NodeId id = 0; id < n; ++id) {
       while (pc[id] < ev[id].size()) {
-        const Event& e = ev[id][pc[id]];
+        const CommEvent& e = ev[id][pc[id]];
         if (e.is_send) {
-          mail[e.peer].push_back(Mail{id, e.tag});
+          mail[e.peer].push_back(Mail{id, e.tag, e.origin});
           ++pc[id];
           progress = true;
           continue;
@@ -186,7 +184,9 @@ CommAnalysis analyze_comm(const CommSpec& spec) {
         std::ostringstream os;
         os << "message (node " << m.src << " -> node " << id << ", tag "
            << m.tag << ") is sent but never received";
-        res.report.warning("unconsumed-message", 0, os.str());
+        res.report.add(Severity::kWarning, "unconsumed-message", 0,
+                       op_line(spec, m.src, m.origin), os.str(),
+                       DiagClass::kValidity);
       }
     }
     return res;
@@ -199,7 +199,7 @@ CommAnalysis analyze_comm(const CommSpec& spec) {
   }
   const auto wait_targets = [&](net::NodeId id) {
     std::vector<net::NodeId> out;
-    const Event& e = ev[id][pc[id]];
+    const CommEvent& e = ev[id][pc[id]];
     if (e.any) {
       for (const net::NodeId b : blocked) {
         if (b != id) {
@@ -257,10 +257,14 @@ CommAnalysis analyze_comm(const CommSpec& spec) {
         os << " -> ";
       }
     }
-    res.report.error("deadlock", 0, os.str());
+    // The summary spans nodes; the first participant's line anchors it.
+    const net::NodeId first = cycle->front();
+    res.report.add(Severity::kError, "deadlock", 0,
+                   op_line(spec, first, ev[first][pc[first]].origin),
+                   os.str(), DiagClass::kValidity);
     for (std::size_t i = 0; i + 1 < cycle->size(); ++i) {
       const net::NodeId b = (*cycle)[i];  // last entry repeats the first
-      const Event& e = ev[b][pc[b]];
+      const CommEvent& e = ev[b][pc[b]];
       std::ostringstream ns;
       ns << node_op_desc(spec, b, e) << " is blocked on ";
       if (e.any) {
@@ -268,7 +272,9 @@ CommAnalysis analyze_comm(const CommSpec& spec) {
       } else {
         ns << "recv(src " << e.peer << ", tag " << e.tag << ")";
       }
-      res.report.note("deadlock-participant", 0, ns.str());
+      res.report.add(Severity::kNote, "deadlock-participant", 0,
+                     op_line(spec, b, e.origin), ns.str(),
+                     DiagClass::kValidity);
     }
     return res;
   }
@@ -276,7 +282,7 @@ CommAnalysis analyze_comm(const CommSpec& spec) {
   // No cycle: each blocked node waits on a message that is never sent.
   res.deadlock = true;
   for (const net::NodeId b : blocked) {
-    const Event& e = ev[b][pc[b]];
+    const CommEvent& e = ev[b][pc[b]];
     std::ostringstream os;
     os << node_op_desc(spec, b, e) << " waits for ";
     if (e.any) {
@@ -285,7 +291,9 @@ CommAnalysis analyze_comm(const CommSpec& spec) {
       os << "a message from node " << e.peer << " with tag " << e.tag;
     }
     os << " that is never sent";
-    res.report.error("stuck-recv", 0, os.str());
+    res.report.add(Severity::kError, "stuck-recv", 0,
+                   op_line(spec, b, e.origin), os.str(),
+                   DiagClass::kValidity);
   }
   return res;
 }

@@ -13,8 +13,14 @@
 // deadlock; acyclic stalls are reported as receives whose message is never
 // sent. This flags at build time what occam::DeadlockError only reports
 // after the simulated event queue drains.
+//
+// The lowering itself (lower_comm) is shared with the static volume
+// analysis in check/comm_volume.hpp, which reuses the same point-to-point
+// event streams to compute per-cube-edge traffic.
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "check/diagnostics.hpp"
@@ -22,6 +28,25 @@
 #include "occam/commspec.hpp"
 
 namespace fpst::check {
+
+/// One point-to-point event a CommOp lowers to. User sends/recvs map
+/// one-to-one; collectives expand to the occam.cpp schedule with internal
+/// 0x8000|seq tags.
+struct CommEvent {
+  bool is_send = false;
+  bool any = false;        ///< recv_any: match the tag from any source
+  net::NodeId peer = 0;    ///< dst for sends, src for receives
+  std::uint32_t tag = 0;
+  std::uint32_t elems = 1;  ///< payload, 64-bit elements
+  std::size_t origin = 0;   ///< index of the CommOp this lowered from
+  std::string detail;       ///< e.g. "barrier exchange, dimension 2"
+};
+
+/// Lower one node's CommOp sequence to point-to-point events, mirroring
+/// the schedules in occam.cpp (including Ctx::internal_tag numbering:
+/// one fresh 0x8000|seq tag per collective call).
+std::vector<CommEvent> lower_comm(const occam::CommSpec& spec,
+                                  net::NodeId id);
 
 struct CommAnalysis {
   Report report;

@@ -1,0 +1,105 @@
+// Static cycle-cost prediction for assembled TISA programs (DESIGN.md §4.4).
+//
+// predict_cost() symbolically executes a program over the recovered CFG
+// with the exact cost accounting of the interpreter in cp/cpu.cpp — the
+// timing constants are *shared* (cp::CpuParams, mem::MemParams,
+// vpu::VectorUnit::duration_of, link::LinkParams), never duplicated — so
+// for a program whose control flow is statically decidable the predicted
+// elapsed time equals the simulator's measurement bit-for-bit.
+//
+// The executor is an abstract interpreter over the same constant lattice
+// the verifier uses (check/tisa_verify.hpp), extended with:
+//   * a concrete workspace pointer (CostOptions::wptr, matching the value
+//     passed to Cpu::start_process),
+//   * a word-granular memory overlay seeded from the program image
+//     (unwritten RAM reads as 0, exactly like the zero-initialised
+//     mem::NodeMemory), so counted loops, call/ret through the workspace
+//     and vform descriptors built with stl/stnl stay fully constant,
+//   * the CP clock, the vector-unit completion time and link occupancy.
+//
+// Honesty rules — the model never guesses control flow:
+//   * a cj whose condition is not a compile-time constant stops the
+//     prediction (complete = false, stop_reason says why) and marks every
+//     natural loop containing it `unbounded`;
+//   * statically-unbounded loops whose body contains communication or
+//     vector work raise the `unbounded-hot-loop` diagnostic (performance
+//     class); cold ones get an `unbounded-loop` note;
+//   * a bounded prediction whose instruction count exceeds
+//     CostOptions::max_steps raises `cost-overflow` and stops;
+//   * vform descriptors that are constant but violate the vector unit's
+//     geometry (element count over the 128/256-element row limit, row
+//     index out of range, undefined form) raise `vform-overrun` — the
+//     static twin of the std::invalid_argument VectorUnit::execute throws.
+//
+// Modelling assumptions, stated rather than hidden: hard-channel partners
+// are assumed ready (a transfer costs link::LinkParams::transfer_time and
+// the process resumes after it plus one switch time), and data accesses
+// through statically-unknown pointers are charged the off-chip (DRAM)
+// penalty, the common case. Multi-process programs (startp/endp/runp) and
+// soft-channel rendezvous stop the prediction honestly instead.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/cfg.hpp"
+#include "check/diagnostics.hpp"
+#include "cp/assembler.hpp"
+#include "sim/time.hpp"
+
+namespace fpst::check {
+
+struct CostOptions {
+  /// Initial workspace pointer, as passed to Cpu::start_process.
+  std::uint32_t wptr = 0x8000;
+  /// Abort a (bounded but huge) prediction after this many executed
+  /// instruction bytes and raise `cost-overflow`.
+  std::uint64_t max_steps = 2'000'000;
+  /// Extra entry points; empty means `main` or the org, like the verifier.
+  std::set<std::uint32_t> entries;
+};
+
+/// What the analyzer decided about one natural loop.
+enum class LoopVerdict {
+  kBounded,    ///< the executor ran it to exit; `iterations` is exact
+  kUnbounded,  ///< no exit edge, or the bound is not statically decidable
+  kUnknown,    ///< the prediction stopped before reaching this loop's exit
+};
+
+struct LoopInfo {
+  std::uint32_t head = 0;       ///< block start address of the loop header
+  std::uint32_t back_edge = 0;  ///< address of the jump that closes it
+  LoopVerdict verdict = LoopVerdict::kUnknown;
+  bool hot = false;             ///< body does channel/vector/block-move work
+  std::uint64_t iterations = 0;  ///< header entries observed (kBounded only)
+};
+
+struct CostPrediction {
+  Report report;
+  bool complete = false;     ///< reached halt with all costs accounted
+  std::string stop_reason;   ///< why the prediction ended early
+  std::uint32_t stop_addr = 0;
+
+  /// Counters; `instructions` counts fetched bytes including prefixes,
+  /// matching Cpu::instructions_executed().
+  std::uint64_t instructions = 0;
+  std::uint64_t flops = 0;
+  std::uint64_t vforms = 0;
+
+  sim::SimTime elapsed{};   ///< predicted simulator time at event drain
+  sim::SimTime cp_busy{};   ///< control-processor execution time
+  sim::SimTime vpu_busy{};  ///< vector-pipe occupancy
+  sim::SimTime link_busy{}; ///< hard-channel wire + DMA occupancy
+
+  std::vector<LoopInfo> loops;
+};
+
+/// Predict the cost of running `p` as a single process from its entry
+/// point. Performance diagnostics land in `report` with
+/// DiagClass::kPerformance; structural problems are the verifier's job and
+/// are not re-reported here.
+CostPrediction predict_cost(const cp::Program& p, const CostOptions& opts = {});
+
+}  // namespace fpst::check

@@ -23,6 +23,13 @@ std::size_t Report::count(Severity s) const {
                     [s](const Diagnostic& d) { return d.severity == s; }));
 }
 
+std::size_t Report::count(Severity s, DiagClass c) const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(), [s, c](const Diagnostic& d) {
+        return d.severity == s && d.dclass == c;
+      }));
+}
+
 bool Report::has(const std::string& code) const {
   return find(code) != nullptr;
 }

@@ -3,6 +3,12 @@
 // A Diagnostic pins a finding to a program byte address and, when the
 // assembler recorded one, a source line, so tcheck can print the familiar
 // `file:line: severity[code]: message` shape and CI can gate on severity.
+//
+// Every diagnostic also carries a class: kValidity findings mean the input
+// is wrong (it would fault, deadlock or corrupt memory at run time), while
+// kPerformance findings come from the predictive analyses (cost model,
+// communication volume) and mean the input would run but violates the
+// performance model. tcheck maps the two classes to distinct exit codes.
 #pragma once
 
 #include <cstdint>
@@ -15,12 +21,16 @@ enum class Severity { kNote, kWarning, kError };
 
 std::string to_string(Severity s);
 
+/// Which analysis family produced a finding (see file header).
+enum class DiagClass { kValidity, kPerformance };
+
 struct Diagnostic {
   Severity severity = Severity::kError;
   std::string code;      ///< stable machine-readable slug, e.g. "bad-jump"
   std::uint32_t addr = 0;  ///< absolute program byte address (0 when n/a)
   std::size_t line = 0;    ///< 1-based source line (0 when unknown)
   std::string message;
+  DiagClass dclass = DiagClass::kValidity;
 };
 
 /// An ordered bag of diagnostics produced by one analysis run.
@@ -29,7 +39,14 @@ class Report {
   void add(Severity sev, std::string code, std::uint32_t addr,
            std::string message) {
     diags_.push_back(Diagnostic{sev, std::move(code), addr, 0,
-                                std::move(message)});
+                                std::move(message), DiagClass::kValidity});
+  }
+  /// Full-control variant: source line and diagnostic class included.
+  void add(Severity sev, std::string code, std::uint32_t addr,
+           std::size_t line, std::string message, DiagClass dclass) {
+    diags_.push_back(
+        Diagnostic{sev, std::move(code), addr, line, std::move(message),
+                   dclass});
   }
   void error(std::string code, std::uint32_t addr, std::string message) {
     add(Severity::kError, std::move(code), addr, std::move(message));
@@ -44,6 +61,8 @@ class Report {
   const std::vector<Diagnostic>& diagnostics() const { return diags_; }
   std::vector<Diagnostic>& mutable_diagnostics() { return diags_; }
   std::size_t count(Severity s) const;
+  /// Count restricted to one diagnostic class.
+  std::size_t count(Severity s, DiagClass c) const;
   bool has_errors() const { return count(Severity::kError) > 0; }
   bool has(const std::string& code) const;
   /// First diagnostic carrying `code`, or nullptr.

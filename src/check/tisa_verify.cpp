@@ -2,12 +2,38 @@
 
 #include <algorithm>
 #include <deque>
+#include <map>
 #include <sstream>
 #include <utility>
 
 #include "cp/isa.hpp"
 
 namespace fpst::check {
+
+bool abs_join(AbsStack& into, const AbsStack& from) {
+  bool changed = false;
+  if (into.depth != from.depth && into.depth != -1) {
+    into.depth = -1;
+    changed = true;
+  }
+  for (auto [dst, src] : {std::pair{&into.a, &from.a},
+                          std::pair{&into.b, &from.b},
+                          std::pair{&into.c, &from.c}}) {
+    if (*dst != *src && dst->known) {
+      *dst = abs_unknown();
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool abs_leq(const AbsStack& x, const AbsStack& y) {
+  const auto val_leq = [](const AbsVal& a, const AbsVal& b) {
+    return !b.known || (a.known && a.v == b.v);
+  };
+  return (y.depth == -1 || x.depth == y.depth) && val_leq(x.a, y.a) &&
+         val_leq(x.b, y.b) && val_leq(x.c, y.c);
+}
 
 namespace {
 
@@ -17,46 +43,16 @@ std::string hex(std::uint32_t v) {
   return os.str();
 }
 
-/// One abstract register: a known 32-bit constant or unknown.
-struct AVal {
-  bool known = false;
-  std::uint32_t v = 0;
-};
-
-AVal konst(std::uint32_t v) { return AVal{true, v}; }
-AVal unknown() { return AVal{}; }
-
-bool same(const AVal& x, const AVal& y) {
-  return x.known == y.known && (!x.known || x.v == y.v);
-}
-
-/// Abstract machine state: the A/B/C evaluation stack. `depth` is the
-/// number of live values (-1 once control paths joined with different
-/// depths — both depth checks are then suppressed, matching programs like
-/// the cj idiom where the taken path keeps A and the fall-through pops it).
-struct AbsState {
-  int depth = 0;  // -1 = unknown
-  AVal a, b, c;
-};
-
-bool merge(AbsState& into, const AbsState& from) {
-  bool changed = false;
-  if (into.depth != from.depth && into.depth != -1) {
-    into.depth = -1;
-    changed = true;
-  }
-  for (auto [dst, src] : {std::pair{&into.a, &from.a},
-                          std::pair{&into.b, &from.b},
-                          std::pair{&into.c, &from.c}}) {
-    if (!same(*dst, *src) && dst->known) {
-      *dst = unknown();
-      changed = true;
-    }
-  }
-  return changed;
-}
-
 constexpr int kMaxDepth = 3;
+
+class Verifier;
+
+// The single transfer function shared by the verifier (v != nullptr:
+// diagnostics and hard-channel discovery fire) and by pure abstract
+// stepping via abs_step (v == nullptr: stack effect only). Keeping one
+// switch guarantees the cost model and the property tests interpret
+// instructions exactly as the verifier does.
+void step(const Insn& in, AbsStack& st, Verifier* v);
 
 class Verifier {
  public:
@@ -85,76 +81,11 @@ class Verifier {
     return result;
   }
 
- private:
-  VerifyResult analyze(const std::set<std::uint32_t>& entries) {
-    VerifyResult res;
-    seen_.clear();
-    discovered_.clear();
-    hard_chans_.clear();
-    rep_ = &res.report;
-
-    if (prog_.bytes.empty()) {
-      res.report.note("empty-program", 0, "program image is empty");
-      return res;
-    }
-    std::set<std::uint32_t> valid_entries;
-    for (const std::uint32_t e : entries) {
-      if (e >= prog_.org &&
-          e < prog_.org + static_cast<std::uint32_t>(prog_.bytes.size())) {
-        valid_entries.insert(e);
-      } else {
-        res.report.error("bad-entry", e,
-                         "entry point " + hex(e) +
-                             " is outside the program image");
-      }
-    }
-    res.cfg = build_cfg(prog_, valid_entries, res.report);
-    interpret(res.cfg);
-    report_unreachable(res.cfg);
-    res.hard_chans = hard_chans_;
-    return res;
-  }
-
   // ---- deduplicated diagnostics (fixpoint visits blocks repeatedly) ----
   void diag(Severity sev, const char* code, std::uint32_t addr,
             std::string msg) {
     if (seen_.insert({code, addr}).second) {
       rep_->add(sev, code, addr, std::move(msg));
-    }
-  }
-
-  // ---- stack helpers ----
-  void push(AbsState& st, std::uint32_t at, AVal v) {
-    if (st.depth == kMaxDepth) {
-      diag(Severity::kWarning, "stack-overflow", at,
-           "push onto a full evaluation stack silently drops the C "
-           "register");
-    } else if (st.depth >= 0) {
-      ++st.depth;
-    }
-    st.c = st.b;
-    st.b = st.a;
-    st.a = v;
-  }
-
-  /// Check that `n` operands are live before an op reads them.
-  void need(AbsState& st, std::uint32_t at, int n, const char* what) {
-    if (st.depth >= 0 && st.depth < n) {
-      std::ostringstream os;
-      os << what << " needs " << n << " stack operand" << (n > 1 ? "s" : "")
-         << " but only " << st.depth << (st.depth == 1 ? " is" : " are")
-         << " live — evaluation-stack underflow";
-      diag(Severity::kError, "stack-underflow", at, os.str());
-      st.depth = n;  // assume satisfied to avoid cascading reports
-    }
-  }
-
-  void pop(AbsState& st) {
-    st.a = st.b;
-    st.b = st.c;
-    st.c = unknown();
-    if (st.depth > 0) {
-      --st.depth;
     }
   }
 
@@ -170,7 +101,7 @@ class Verifier {
             addr < cp::kOnChipBase + cp::kOnChipBytes);
   }
 
-  void check_word_addr(std::uint32_t at, const AVal& a, const char* what) {
+  void check_word_addr(std::uint32_t at, const AbsVal& a, const char* what) {
     if (!a.known) {
       return;
     }
@@ -193,7 +124,7 @@ class Verifier {
     }
   }
 
-  void check_byte_addr(std::uint32_t at, const AVal& a, const char* what) {
+  void check_byte_addr(std::uint32_t at, const AbsVal& a, const char* what) {
     if (!a.known) {
       return;
     }
@@ -204,7 +135,7 @@ class Verifier {
     }
   }
 
-  void check_channel(std::uint32_t at, const AVal& chan, bool is_input) {
+  void check_channel(std::uint32_t at, const AbsVal& chan, bool is_input) {
     if (!chan.known) {
       return;
     }
@@ -250,7 +181,7 @@ class Verifier {
     check_word_addr(at, chan, "soft-channel word");
   }
 
-  void check_vform(std::uint32_t at, const AVal& desc) {
+  void check_vform(std::uint32_t at, const AbsVal& desc) {
     if (!desc.known) {
       return;
     }
@@ -269,280 +200,65 @@ class Verifier {
     }
   }
 
-  // ---- transfer functions ----
-  void exec_secondary(const Insn& in, AbsState& st) {
-    using cp::SecOp;
-    const std::uint32_t at = in.addr;
-    const auto op = static_cast<SecOp>(in.d.operand);
-
-    // B-and-A arithmetic: need 2, pop 1, combine into A.
-    const auto binop = [&](const char* name, auto f) {
-      need(st, at, 2, name);
-      AVal r = unknown();
-      if (st.a.known && st.b.known) {
-        r = konst(f(st.b.v, st.a.v));
-      }
-      const AVal saved_c = st.c;
-      pop(st);
-      st.a = r;
-      st.b = saved_c;
-    };
-
-    switch (op) {
-      case SecOp::rev:
-        need(st, at, 2, "rev");
-        std::swap(st.a, st.b);
-        break;
-      case SecOp::add:
-        binop("add", [](std::uint32_t b, std::uint32_t a) { return b + a; });
-        break;
-      case SecOp::sub:
-        binop("sub", [](std::uint32_t b, std::uint32_t a) { return b - a; });
-        break;
-      case SecOp::mul:
-        binop("mul", [](std::uint32_t b, std::uint32_t a) {
-          return static_cast<std::uint32_t>(
-              static_cast<std::int64_t>(static_cast<std::int32_t>(b)) *
-              static_cast<std::int64_t>(static_cast<std::int32_t>(a)));
-        });
-        break;
-      case SecOp::divi:
-      case SecOp::rem: {
-        need(st, at, 2, op == SecOp::divi ? "div" : "rem");
-        if (st.a.known && st.a.v == 0) {
-          diag(Severity::kError, "div-by-zero", at,
-               "division by a constant zero traps at run time");
-        }
-        pop(st);
-        st.a = unknown();
-        break;
-      }
-      case SecOp::land:
-        binop("and", [](std::uint32_t b, std::uint32_t a) { return b & a; });
-        break;
-      case SecOp::lor:
-        binop("or", [](std::uint32_t b, std::uint32_t a) { return b | a; });
-        break;
-      case SecOp::lxor:
-        binop("xor", [](std::uint32_t b, std::uint32_t a) { return b ^ a; });
-        break;
-      case SecOp::lnot:
-        need(st, at, 1, "not");
-        st.a = st.a.known ? konst(~st.a.v) : unknown();
-        break;
-      case SecOp::shl:
-        binop("shl", [](std::uint32_t b, std::uint32_t a) {
-          return a >= 32 ? 0u : b << a;
-        });
-        break;
-      case SecOp::shr:
-        binop("shr", [](std::uint32_t b, std::uint32_t a) {
-          return a >= 32 ? 0u : b >> a;
-        });
-        break;
-      case SecOp::gt:
-        binop("gt", [](std::uint32_t b, std::uint32_t a) {
-          return static_cast<std::int32_t>(b) > static_cast<std::int32_t>(a)
-                     ? 1u
-                     : 0u;
-        });
-        break;
-      case SecOp::mint:
-        push(st, at, konst(cp::kNotProcess));
-        break;
-      case SecOp::ldpi:
-        need(st, at, 1, "ldpi");
-        st.a = st.a.known ? konst(in.next() + st.a.v) : unknown();
-        break;
-      case SecOp::wsub:
-        binop("wsub",
-              [](std::uint32_t b, std::uint32_t a) { return a + 4 * b; });
-        break;
-      case SecOp::bsub:
-        binop("bsub",
-              [](std::uint32_t b, std::uint32_t a) { return a + b; });
-        break;
-      case SecOp::lb:
-        need(st, at, 1, "lb");
-        check_byte_addr(at, st.a, "byte load");
-        st.a = unknown();
-        break;
-      case SecOp::sb:
-        need(st, at, 2, "sb");
-        check_byte_addr(at, st.a, "byte store");
-        pop(st);
-        pop(st);
-        break;
-      case SecOp::move:
-        need(st, at, 3, "move");
-        check_byte_addr(at, st.c, "move source");
-        check_byte_addr(at, st.b, "move destination");
-        pop(st);
-        pop(st);
-        pop(st);
-        break;
-      case SecOp::in:
-      case SecOp::out:
-        need(st, at, 3, op == SecOp::in ? "in" : "out");
-        check_channel(at, st.b, op == SecOp::in);
-        check_byte_addr(at, st.c, op == SecOp::in ? "channel destination"
-                                                  : "channel source");
-        pop(st);
-        pop(st);
-        pop(st);
-        // The process deschedules; registers are not preserved across the
-        // reschedule in this machine.
-        st.a = st.b = st.c = unknown();
-        break;
-      case SecOp::startp: {
-        need(st, at, 2, "startp");
-        if (st.b.known) {  // B carries the child's code address
-          const std::uint32_t target = st.b.v;
-          const std::uint32_t lo = prog_.org;
-          const std::uint32_t hi =
-              prog_.org + static_cast<std::uint32_t>(prog_.bytes.size());
-          if (target < lo || target >= hi) {
-            diag(Severity::kError, "bad-startp-target", at,
-                 "startp spawns code at " + hex(target) +
-                     ", outside the program image");
-          } else {
-            discovered_.insert(target);
-          }
-        }
-        pop(st);
-        pop(st);
-        break;
-      }
-      case SecOp::endp:
-        need(st, at, 1, "endp");
-        pop(st);
-        break;
-      case SecOp::stopp:
-        st.a = st.b = st.c = unknown();
-        break;
-      case SecOp::runp:
-        need(st, at, 1, "runp");
-        pop(st);
-        break;
-      case SecOp::ldtimer:
-        push(st, at, unknown());
-        break;
-      case SecOp::tin:
-        need(st, at, 1, "tin");
-        pop(st);
-        st.a = st.b = st.c = unknown();
-        break;
-      case SecOp::ret:
-        break;  // block terminator
-      case SecOp::vform:
-        need(st, at, 1, "vform");
-        check_vform(at, st.a);
-        pop(st);
-        break;
-      case SecOp::vwait:
-        st.a = st.b = st.c = unknown();
-        break;
-      case SecOp::gather:
-      case SecOp::scatter:
-        need(st, at, 3, op == SecOp::gather ? "gather" : "scatter");
-        check_word_addr(at, st.b, "vector base");
-        check_word_addr(at, st.c, "index table");
-        pop(st);
-        pop(st);
-        pop(st);
-        break;
-      case SecOp::halt:
-        break;
-      case SecOp::testerr:
-        push(st, at, unknown());
-        break;
-      default:
-        diag(Severity::kError, "bad-opcode", at,
-             "undefined secondary opcode " +
-                 std::to_string(in.d.operand) + " faults at run time");
-        break;
+  /// Record a constant startp target: an extra entry point if it lands in
+  /// the image, an error otherwise.
+  void note_startp(std::uint32_t at, std::uint32_t target) {
+    const std::uint32_t lo = prog_.org;
+    const std::uint32_t hi =
+        prog_.org + static_cast<std::uint32_t>(prog_.bytes.size());
+    if (target < lo || target >= hi) {
+      diag(Severity::kError, "bad-startp-target", at,
+           "startp spawns code at " + hex(target) +
+               ", outside the program image");
+    } else {
+      discovered_.insert(target);
     }
   }
 
-  /// Apply one instruction. cj/call edge-specific effects are handled by
-  /// the caller when propagating along edges.
-  void exec_insn(const Insn& in, AbsState& st) {
-    using cp::Op;
-    const std::uint32_t at = in.addr;
-    const std::uint32_t operand = static_cast<std::uint32_t>(in.d.operand);
-    switch (in.d.op) {
-      case Op::j:
-        break;
-      case Op::ldlp:
-        push(st, at, unknown());  // Wptr is dynamic
-        break;
-      case Op::ldnl:
-        need(st, at, 1, "ldnl");
-        if (st.a.known) {
-          check_word_addr(at, konst(st.a.v + 4 * operand), "ldnl");
-        }
-        st.a = unknown();
-        break;
-      case Op::ldc:
-        push(st, at, konst(operand));
-        break;
-      case Op::ldnlp:
-        need(st, at, 1, "ldnlp");
-        st.a = st.a.known ? konst(st.a.v + 4 * operand) : unknown();
-        break;
-      case Op::ldl:
-        push(st, at, unknown());
-        break;
-      case Op::adc:
-        need(st, at, 1, "adc");
-        st.a = st.a.known ? konst(st.a.v + operand) : unknown();
-        break;
-      case Op::call:
-        break;  // workspace push only; eval stack carries arguments
-      case Op::cj:
-        need(st, at, 1, "cj");
-        break;  // stack effect is per-edge
-      case Op::ajw:
-        break;
-      case Op::eqc:
-        need(st, at, 1, "eqc");
-        st.a = st.a.known ? konst(st.a.v == operand ? 1u : 0u) : unknown();
-        break;
-      case Op::stl:
-        need(st, at, 1, "stl");
-        pop(st);
-        break;
-      case Op::stnl:
-        need(st, at, 2, "stnl");
-        if (st.a.known) {
-          check_word_addr(at, konst(st.a.v + 4 * operand), "stnl");
-        }
-        pop(st);
-        pop(st);
-        break;
-      case Op::opr:
-        exec_secondary(in, st);
-        break;
-      case Op::pfix:
-      case Op::nfix:
-        break;  // folded into the decode; never appear as full insns
+ private:
+  VerifyResult analyze(const std::set<std::uint32_t>& entries) {
+    VerifyResult res;
+    seen_.clear();
+    discovered_.clear();
+    hard_chans_.clear();
+    rep_ = &res.report;
+
+    if (prog_.bytes.empty()) {
+      res.report.note("empty-program", 0, "program image is empty");
+      return res;
     }
+    std::set<std::uint32_t> valid_entries;
+    for (const std::uint32_t e : entries) {
+      if (e >= prog_.org &&
+          e < prog_.org + static_cast<std::uint32_t>(prog_.bytes.size())) {
+        valid_entries.insert(e);
+      } else {
+        res.report.error("bad-entry", e,
+                         "entry point " + hex(e) +
+                             " is outside the program image");
+      }
+    }
+    res.cfg = build_cfg(prog_, valid_entries, res.report);
+    interpret(res.cfg);
+    report_unreachable(res.cfg);
+    res.hard_chans = hard_chans_;
+    return res;
   }
 
   void interpret(const Cfg& cfg) {
-    std::map<std::uint32_t, AbsState> in_states;
+    std::map<std::uint32_t, AbsStack> in_states;
     std::deque<std::uint32_t> work;
     for (const std::uint32_t e : cfg.entries) {
       if (cfg.blocks.count(e) != 0) {
-        AbsState fresh;  // depth 0, regs unknown
+        AbsStack fresh;  // depth 0, regs unknown
         in_states.emplace(e, fresh);
         work.push_back(e);
       }
     }
 
-    const auto propagate = [&](std::uint32_t succ, const AbsState& st) {
+    const auto propagate = [&](std::uint32_t succ, const AbsStack& st) {
       const auto [it, inserted] = in_states.emplace(succ, st);
-      if (inserted || merge(it->second, st)) {
+      if (inserted || abs_join(it->second, st)) {
         work.push_back(succ);
       }
     };
@@ -555,19 +271,24 @@ class Verifier {
         continue;
       }
       const BasicBlock& bb = bit->second;
-      AbsState st = in_states.at(start);
+      AbsStack st = in_states.at(start);
       for (const Insn& in : bb.insns) {
-        exec_insn(in, st);
+        step(in, st, this);
       }
       // Edge-specific effects of the terminator.
       const Insn& term = bb.terminator();
       const auto target = term.static_target();
       switch (term.flow()) {
         case Flow::kCondJump: {
-          AbsState taken = st;
-          taken.a = konst(0);  // cj branches exactly when A == 0
-          AbsState fall = st;
-          pop(fall);
+          AbsStack taken = st;
+          taken.a = abs_const(0);  // cj branches exactly when A == 0
+          AbsStack fall = st;
+          fall.a = fall.b;
+          fall.b = fall.c;
+          fall.c = abs_unknown();
+          if (fall.depth > 0) {
+            --fall.depth;
+          }
           if (target && cfg.blocks.count(*target) != 0) {
             propagate(*target, taken);
           }
@@ -582,8 +303,8 @@ class Verifier {
           }
           // At the return point assume the callee preserved the depth
           // (result in A by convention) but trust no register values.
-          AbsState ret = st;
-          ret.a = ret.b = ret.c = unknown();
+          AbsStack ret = st;
+          ret.a = ret.b = ret.c = abs_unknown();
           if (cfg.blocks.count(term.next()) != 0) {
             propagate(term.next(), ret);
           }
@@ -653,7 +374,313 @@ class Verifier {
   std::vector<HardChanUse> hard_chans_;
 };
 
+// ---- stack helpers shared by both stepping modes ----
+
+void do_push(AbsStack& st, std::uint32_t at, AbsVal v, Verifier* ver) {
+  if (st.depth == kMaxDepth) {
+    if (ver != nullptr) {
+      ver->diag(Severity::kWarning, "stack-overflow", at,
+                "push onto a full evaluation stack silently drops the C "
+                "register");
+    }
+  } else if (st.depth >= 0) {
+    ++st.depth;
+  }
+  st.c = st.b;
+  st.b = st.a;
+  st.a = v;
+}
+
+/// Check that `n` operands are live before an op reads them. The depth
+/// clamp applies in both modes so the transfer function stays total.
+void do_need(AbsStack& st, std::uint32_t at, int n, const char* what,
+             Verifier* ver) {
+  if (st.depth >= 0 && st.depth < n) {
+    if (ver != nullptr) {
+      std::ostringstream os;
+      os << what << " needs " << n << " stack operand" << (n > 1 ? "s" : "")
+         << " but only " << st.depth << (st.depth == 1 ? " is" : " are")
+         << " live — evaluation-stack underflow";
+      ver->diag(Severity::kError, "stack-underflow", at, os.str());
+    }
+    st.depth = n;  // assume satisfied to avoid cascading reports
+  }
+}
+
+void do_pop(AbsStack& st) {
+  st.a = st.b;
+  st.b = st.c;
+  st.c = abs_unknown();
+  if (st.depth > 0) {
+    --st.depth;
+  }
+}
+
+void step_secondary(const Insn& in, AbsStack& st, Verifier* v) {
+  using cp::SecOp;
+  const std::uint32_t at = in.addr;
+  const auto op = static_cast<SecOp>(in.d.operand);
+
+  // B-and-A arithmetic: need 2, pop 1, combine into A.
+  const auto binop = [&](const char* name, auto f) {
+    do_need(st, at, 2, name, v);
+    AbsVal r = abs_unknown();
+    if (st.a.known && st.b.known) {
+      r = abs_const(f(st.b.v, st.a.v));
+    }
+    const AbsVal saved_c = st.c;
+    do_pop(st);
+    st.a = r;
+    st.b = saved_c;
+  };
+
+  switch (op) {
+    case SecOp::rev:
+      do_need(st, at, 2, "rev", v);
+      std::swap(st.a, st.b);
+      break;
+    case SecOp::add:
+      binop("add", [](std::uint32_t b, std::uint32_t a) { return b + a; });
+      break;
+    case SecOp::sub:
+      binop("sub", [](std::uint32_t b, std::uint32_t a) { return b - a; });
+      break;
+    case SecOp::mul:
+      binop("mul", [](std::uint32_t b, std::uint32_t a) {
+        return static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(static_cast<std::int32_t>(b)) *
+            static_cast<std::int64_t>(static_cast<std::int32_t>(a)));
+      });
+      break;
+    case SecOp::divi:
+    case SecOp::rem: {
+      do_need(st, at, 2, op == SecOp::divi ? "div" : "rem", v);
+      if (st.a.known && st.a.v == 0 && v != nullptr) {
+        v->diag(Severity::kError, "div-by-zero", at,
+                "division by a constant zero traps at run time");
+      }
+      do_pop(st);
+      st.a = abs_unknown();
+      break;
+    }
+    case SecOp::land:
+      binop("and", [](std::uint32_t b, std::uint32_t a) { return b & a; });
+      break;
+    case SecOp::lor:
+      binop("or", [](std::uint32_t b, std::uint32_t a) { return b | a; });
+      break;
+    case SecOp::lxor:
+      binop("xor", [](std::uint32_t b, std::uint32_t a) { return b ^ a; });
+      break;
+    case SecOp::lnot:
+      do_need(st, at, 1, "not", v);
+      st.a = st.a.known ? abs_const(~st.a.v) : abs_unknown();
+      break;
+    case SecOp::shl:
+      binop("shl", [](std::uint32_t b, std::uint32_t a) {
+        return a >= 32 ? 0u : b << a;
+      });
+      break;
+    case SecOp::shr:
+      binop("shr", [](std::uint32_t b, std::uint32_t a) {
+        return a >= 32 ? 0u : b >> a;
+      });
+      break;
+    case SecOp::gt:
+      binop("gt", [](std::uint32_t b, std::uint32_t a) {
+        return static_cast<std::int32_t>(b) > static_cast<std::int32_t>(a)
+                   ? 1u
+                   : 0u;
+      });
+      break;
+    case SecOp::mint:
+      do_push(st, at, abs_const(cp::kNotProcess), v);
+      break;
+    case SecOp::ldpi:
+      do_need(st, at, 1, "ldpi", v);
+      st.a = st.a.known ? abs_const(in.next() + st.a.v) : abs_unknown();
+      break;
+    case SecOp::wsub:
+      binop("wsub",
+            [](std::uint32_t b, std::uint32_t a) { return a + 4 * b; });
+      break;
+    case SecOp::bsub:
+      binop("bsub",
+            [](std::uint32_t b, std::uint32_t a) { return a + b; });
+      break;
+    case SecOp::lb:
+      do_need(st, at, 1, "lb", v);
+      if (v != nullptr) {
+        v->check_byte_addr(at, st.a, "byte load");
+      }
+      st.a = abs_unknown();
+      break;
+    case SecOp::sb:
+      do_need(st, at, 2, "sb", v);
+      if (v != nullptr) {
+        v->check_byte_addr(at, st.a, "byte store");
+      }
+      do_pop(st);
+      do_pop(st);
+      break;
+    case SecOp::move:
+      do_need(st, at, 3, "move", v);
+      if (v != nullptr) {
+        v->check_byte_addr(at, st.c, "move source");
+        v->check_byte_addr(at, st.b, "move destination");
+      }
+      do_pop(st);
+      do_pop(st);
+      do_pop(st);
+      break;
+    case SecOp::in:
+    case SecOp::out:
+      do_need(st, at, 3, op == SecOp::in ? "in" : "out", v);
+      if (v != nullptr) {
+        v->check_channel(at, st.b, op == SecOp::in);
+        v->check_byte_addr(at, st.c, op == SecOp::in ? "channel destination"
+                                                     : "channel source");
+      }
+      do_pop(st);
+      do_pop(st);
+      do_pop(st);
+      // The process deschedules; registers are not preserved across the
+      // reschedule in this machine.
+      st.a = st.b = st.c = abs_unknown();
+      break;
+    case SecOp::startp: {
+      do_need(st, at, 2, "startp", v);
+      if (st.b.known && v != nullptr) {  // B carries the child's address
+        v->note_startp(at, st.b.v);
+      }
+      do_pop(st);
+      do_pop(st);
+      break;
+    }
+    case SecOp::endp:
+      do_need(st, at, 1, "endp", v);
+      do_pop(st);
+      break;
+    case SecOp::stopp:
+      st.a = st.b = st.c = abs_unknown();
+      break;
+    case SecOp::runp:
+      do_need(st, at, 1, "runp", v);
+      do_pop(st);
+      break;
+    case SecOp::ldtimer:
+      do_push(st, at, abs_unknown(), v);
+      break;
+    case SecOp::tin:
+      do_need(st, at, 1, "tin", v);
+      do_pop(st);
+      st.a = st.b = st.c = abs_unknown();
+      break;
+    case SecOp::ret:
+      break;  // block terminator
+    case SecOp::vform:
+      do_need(st, at, 1, "vform", v);
+      if (v != nullptr) {
+        v->check_vform(at, st.a);
+      }
+      do_pop(st);
+      break;
+    case SecOp::vwait:
+      st.a = st.b = st.c = abs_unknown();
+      break;
+    case SecOp::gather:
+    case SecOp::scatter:
+      do_need(st, at, 3, op == SecOp::gather ? "gather" : "scatter", v);
+      if (v != nullptr) {
+        v->check_word_addr(at, st.b, "vector base");
+        v->check_word_addr(at, st.c, "index table");
+      }
+      do_pop(st);
+      do_pop(st);
+      do_pop(st);
+      break;
+    case SecOp::halt:
+      break;
+    case SecOp::testerr:
+      do_push(st, at, abs_unknown(), v);
+      break;
+    default:
+      if (v != nullptr) {
+        v->diag(Severity::kError, "bad-opcode", at,
+                "undefined secondary opcode " +
+                    std::to_string(in.d.operand) + " faults at run time");
+      }
+      break;
+  }
+}
+
+void step(const Insn& in, AbsStack& st, Verifier* v) {
+  using cp::Op;
+  const std::uint32_t at = in.addr;
+  const std::uint32_t operand = static_cast<std::uint32_t>(in.d.operand);
+  switch (in.d.op) {
+    case Op::j:
+      break;
+    case Op::ldlp:
+      do_push(st, at, abs_unknown(), v);  // Wptr is dynamic
+      break;
+    case Op::ldnl:
+      do_need(st, at, 1, "ldnl", v);
+      if (st.a.known && v != nullptr) {
+        v->check_word_addr(at, abs_const(st.a.v + 4 * operand), "ldnl");
+      }
+      st.a = abs_unknown();
+      break;
+    case Op::ldc:
+      do_push(st, at, abs_const(operand), v);
+      break;
+    case Op::ldnlp:
+      do_need(st, at, 1, "ldnlp", v);
+      st.a = st.a.known ? abs_const(st.a.v + 4 * operand) : abs_unknown();
+      break;
+    case Op::ldl:
+      do_push(st, at, abs_unknown(), v);
+      break;
+    case Op::adc:
+      do_need(st, at, 1, "adc", v);
+      st.a = st.a.known ? abs_const(st.a.v + operand) : abs_unknown();
+      break;
+    case Op::call:
+      break;  // workspace push only; eval stack carries arguments
+    case Op::cj:
+      do_need(st, at, 1, "cj", v);
+      break;  // stack effect is per-edge
+    case Op::ajw:
+      break;
+    case Op::eqc:
+      do_need(st, at, 1, "eqc", v);
+      st.a = st.a.known ? abs_const(st.a.v == operand ? 1u : 0u)
+                        : abs_unknown();
+      break;
+    case Op::stl:
+      do_need(st, at, 1, "stl", v);
+      do_pop(st);
+      break;
+    case Op::stnl:
+      do_need(st, at, 2, "stnl", v);
+      if (st.a.known && v != nullptr) {
+        v->check_word_addr(at, abs_const(st.a.v + 4 * operand), "stnl");
+      }
+      do_pop(st);
+      do_pop(st);
+      break;
+    case Op::opr:
+      step_secondary(in, st, v);
+      break;
+    case Op::pfix:
+    case Op::nfix:
+      break;  // folded into the decode; never appear as full insns
+  }
+}
+
 }  // namespace
+
+void abs_step(const Insn& in, AbsStack& st) { step(in, st, nullptr); }
 
 VerifyResult verify(const cp::Program& p, const VerifyOptions& opts) {
   Verifier v{p, opts};

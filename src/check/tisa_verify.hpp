@@ -34,6 +34,59 @@
 
 namespace fpst::check {
 
+// ---- the abstract-interpretation lattice ------------------------------
+//
+// Exported so the cost model (check/cost_model.hpp) reuses the exact
+// transfer functions the verifier fixpoints over, and so property tests
+// can check the lattice laws (join commutativity/associativity/
+// idempotence, transfer monotonicity) directly.
+
+/// One abstract register: a known 32-bit constant or top (unknown).
+struct AbsVal {
+  bool known = false;
+  std::uint32_t v = 0;
+};
+
+inline AbsVal abs_const(std::uint32_t v) { return AbsVal{true, v}; }
+inline AbsVal abs_unknown() { return AbsVal{}; }
+
+inline bool operator==(const AbsVal& x, const AbsVal& y) {
+  return x.known == y.known && (!x.known || x.v == y.v);
+}
+inline bool operator!=(const AbsVal& x, const AbsVal& y) { return !(x == y); }
+
+/// Abstract machine state: the A/B/C evaluation stack. `depth` is the
+/// number of live values (-1 once control paths joined with different
+/// depths — both depth checks are then suppressed, matching programs like
+/// the cj idiom where the taken path keeps A and the fall-through pops it).
+struct AbsStack {
+  int depth = 0;  // -1 = unknown
+  AbsVal a, b, c;
+};
+
+inline bool operator==(const AbsStack& x, const AbsStack& y) {
+  return x.depth == y.depth && x.a == y.a && x.b == y.b && x.c == y.c;
+}
+inline bool operator!=(const AbsStack& x, const AbsStack& y) {
+  return !(x == y);
+}
+
+/// Lattice join: widen `into` until it also covers `from`. Returns true
+/// when `into` changed (the fixpoint loop's convergence signal).
+bool abs_join(AbsStack& into, const AbsStack& from);
+
+/// Partial order: x ⊑ y iff every concrete state x describes, y describes
+/// too (y is at least as abstract as x).
+bool abs_leq(const AbsStack& x, const AbsStack& y);
+
+/// Diagnostic-free transfer function: the stack effect of one decoded
+/// instruction, byte-identical to what the verifier applies while it also
+/// emits diagnostics. Depth underflow is clamped to the operand count the
+/// instruction reads (the verifier reports it; pure callers just keep a
+/// total function). Edge-specific effects of cj/call are NOT applied here
+/// — they belong to CFG edges, not instructions.
+void abs_step(const Insn& in, AbsStack& st);
+
 struct VerifyOptions {
   /// Physical links per node (hard-channel port range).
   int ports = 4;

@@ -225,19 +225,33 @@ EmbeddingStats analyze(const Hypercube& cube, const Embedding& emb) {
 std::vector<EdgeTraffic> ecube_edge_traffic(
     const Hypercube& cube,
     const std::vector<std::pair<NodeId, NodeId>>& flows) {
-  std::map<std::pair<NodeId, NodeId>, std::uint64_t> load;
+  std::vector<Flow> weighted;
+  weighted.reserve(flows.size());
   for (const auto& [src, dst] : flows) {
-    const std::vector<NodeId> path = cube.ecube_path(src, dst);
+    weighted.push_back(Flow{src, dst, 0});
+  }
+  return ecube_edge_traffic(cube, weighted);
+}
+
+std::vector<EdgeTraffic> ecube_edge_traffic(const Hypercube& cube,
+                                            const std::vector<Flow>& flows) {
+  std::map<std::pair<NodeId, NodeId>, std::pair<std::uint64_t, std::uint64_t>>
+      load;  // edge -> (crossings, bytes)
+  for (const Flow& f : flows) {
+    const std::vector<NodeId> path = cube.ecube_path(f.src, f.dst);
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
       const NodeId x = std::min(path[i], path[i + 1]);
       const NodeId y = std::max(path[i], path[i + 1]);
-      ++load[{x, y}];
+      auto& [crossings, bytes] = load[{x, y}];
+      ++crossings;
+      bytes += f.bytes;
     }
   }
   std::vector<EdgeTraffic> out;
   out.reserve(load.size());
-  for (const auto& [edge, crossings] : load) {
-    out.push_back(EdgeTraffic{edge.first, edge.second, crossings});
+  for (const auto& [edge, tally] : load) {
+    out.push_back(
+        EdgeTraffic{edge.first, edge.second, tally.first, tally.second});
   }
   return out;
 }

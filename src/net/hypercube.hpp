@@ -92,6 +92,16 @@ struct EdgeTraffic {
   NodeId a = 0;
   NodeId b = 0;
   std::uint64_t crossings = 0;
+  /// Payload bytes carried across the edge (0 under the unweighted
+  /// overload, which routes bare (src, dst) pairs).
+  std::uint64_t bytes = 0;
+};
+
+/// A routed flow with a payload size, for byte-weighted congestion.
+struct Flow {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t bytes = 0;
 };
 
 /// Static congestion prediction: route every (src, dst) flow e-cube and
@@ -101,6 +111,12 @@ struct EdgeTraffic {
 std::vector<EdgeTraffic> ecube_edge_traffic(
     const Hypercube& cube,
     const std::vector<std::pair<NodeId, NodeId>>& flows);
+
+/// Byte-weighted variant: crossings tally as above and every crossing also
+/// accumulates the flow's payload bytes, so tcheck can gate per-edge volume
+/// against a link budget.
+std::vector<EdgeTraffic> ecube_edge_traffic(const Hypercube& cube,
+                                            const std::vector<Flow>& flows);
 
 /// One hop of a collective schedule: at `step`, `from` sends to `to` along
 /// cube dimension `dim`.

@@ -9,10 +9,12 @@ std::string to_string(const CommOp& op) {
   std::ostringstream os;
   switch (op.kind) {
     case CommKind::kSend:
-      os << "send(dst=" << op.peer << ", tag=" << op.tag << ")";
+      os << "send(dst=" << op.peer << ", tag=" << op.tag
+         << ", elems=" << op.elems << ")";
       break;
     case CommKind::kRecv:
-      os << "recv(src=" << op.peer << ", tag=" << op.tag << ")";
+      os << "recv(src=" << op.peer << ", tag=" << op.tag
+         << ", elems=" << op.elems << ")";
       break;
     case CommKind::kRecvAny:
       os << "recv_any(tag=" << op.tag << ")";
@@ -55,6 +57,9 @@ void CommSpec::append(net::NodeId id, CommOp op) {
       op.kind == CommKind::kBroadcast || op.kind == CommKind::kReduce) {
     check_node(op.peer);
   }
+  if (op.elems == 0) {
+    throw CommSpecError("CommSpec: payload size must be at least 1 element");
+  }
   // Self-sends are legal in the runtime (delivered locally); keep them.
   ops_[id].push_back(op);
 }
@@ -64,14 +69,14 @@ CommSpec::NodeSeq CommSpec::node(net::NodeId id) {
   return NodeSeq{*this, id};
 }
 
-CommSpec::NodeSeq& CommSpec::NodeSeq::send(net::NodeId dst,
-                                           std::uint16_t tag) {
-  spec_->append(id_, CommOp{CommKind::kSend, dst, tag});
+CommSpec::NodeSeq& CommSpec::NodeSeq::send(net::NodeId dst, std::uint16_t tag,
+                                           std::uint32_t elems) {
+  spec_->append(id_, CommOp{CommKind::kSend, dst, tag, elems});
   return *this;
 }
-CommSpec::NodeSeq& CommSpec::NodeSeq::recv(net::NodeId src,
-                                           std::uint16_t tag) {
-  spec_->append(id_, CommOp{CommKind::kRecv, src, tag});
+CommSpec::NodeSeq& CommSpec::NodeSeq::recv(net::NodeId src, std::uint16_t tag,
+                                           std::uint32_t elems) {
+  spec_->append(id_, CommOp{CommKind::kRecv, src, tag, elems});
   return *this;
 }
 CommSpec::NodeSeq& CommSpec::NodeSeq::recv_any(std::uint16_t tag) {
@@ -158,6 +163,22 @@ CommSpec parse_comm_spec(const std::string& text) {
       spec.emplace(static_cast<int>(d));
       continue;
     }
+    {
+      std::istringstream ls(line);
+      std::string kw;
+      ls >> kw;
+      if (kw == "budget") {
+        std::string btext;
+        std::uint32_t b = 0;
+        ls >> btext;
+        std::string extra;
+        if (!parse_u32(btext, b) || b == 0 || (ls >> extra)) {
+          parse_fail(lineno, "expected `budget <bytes>`");
+        }
+        spec->set_edge_budget(b);
+        continue;
+      }
+    }
     const std::size_t colon = line.find(':');
     if (colon == std::string::npos) {
       parse_fail(lineno, "expected `<node>: op ; op ; ...`");
@@ -194,19 +215,35 @@ CommSpec parse_comm_spec(const std::string& text) {
                                  " operand(s)");
         }
       };
+      // Arity for ops with an optional trailing payload-size operand.
+      const auto want_between = [&](std::size_t lo, std::size_t hi) {
+        if (args.size() < lo || args.size() > hi) {
+          parse_fail(lineno, "'" + name + "' takes " + std::to_string(lo) +
+                                 " or " + std::to_string(hi) + " operand(s)");
+        }
+      };
       const auto tag16 = [&](std::uint32_t v) -> std::uint16_t {
         if (v > 0xFFFF) {
           parse_fail(lineno, "tag " + std::to_string(v) + " exceeds 16 bits");
         }
         return static_cast<std::uint16_t>(v);
       };
+      const auto elems_arg = [&](std::size_t i) -> std::uint32_t {
+        if (args.size() <= i) {
+          return kDefaultElems;
+        }
+        if (args[i] == 0) {
+          parse_fail(lineno, "payload size must be at least 1 element");
+        }
+        return args[i];
+      };
       try {
         if (name == "send") {
-          want(2);
-          seq.send(args[0], tag16(args[1]));
+          want_between(2, 3);
+          seq.send(args[0], tag16(args[1]), elems_arg(2));
         } else if (name == "recv") {
-          want(2);
-          seq.recv(args[0], tag16(args[1]));
+          want_between(2, 3);
+          seq.recv(args[0], tag16(args[1]), elems_arg(2));
         } else if (name == "recvany") {
           want(1);
           seq.recv_any(tag16(args[0]));
@@ -225,6 +262,7 @@ CommSpec parse_comm_spec(const std::string& text) {
         } else {
           parse_fail(lineno, "unknown op '" + name + "'");
         }
+        spec->ops_[id].back().line = lineno;
       } catch (const CommSpecError& e) {
         const std::string what = e.what();
         if (what.rfind("line ", 0) == 0) {

@@ -16,17 +16,22 @@
 //
 //   # one line per node; ops separated by ';'
 //   dim 2
+//   budget 4096          # optional: per-cube-edge wire-byte budget
 //   0: send 1 7 ; recv 1 7 ; barrier
-//   1: recv 0 7 ; send 0 7 ; barrier
+//   1: recv 0 7 16 ; send 0 7 ; barrier
 //   2: barrier
 //   3: barrier
 //
-// Ops: send <dst> <tag> | recv <src> <tag> | recvany <tag> | barrier |
-//      bcast <root> | reduce <root> | allreduce. Unlisted nodes run an
+// Ops: send <dst> <tag> [elems] | recv <src> <tag> [elems] |
+//      recvany <tag> | barrier | bcast <root> | reduce <root> | allreduce.
+//      `elems` is the payload size in 64-bit elements (default 1); it
+//      feeds the static per-edge volume analysis (check/comm_volume.hpp)
+//      and the send/recv payload-consistency check. Unlisted nodes run an
 //      empty body.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -45,10 +50,16 @@ enum class CommKind : std::uint8_t {
   kAllreduce,
 };
 
+/// Payload size (64-bit elements) assumed when an op does not declare one:
+/// one double, matching the scalar exchanges the collectives perform.
+inline constexpr std::uint32_t kDefaultElems = 1;
+
 struct CommOp {
   CommKind kind;
   net::NodeId peer = 0;    ///< dst (send), src (recv), root (collectives)
   std::uint16_t tag = 0;   ///< user tag; unused for collectives
+  std::uint32_t elems = kDefaultElems;  ///< payload, 64-bit elements
+  std::size_t line = 0;    ///< 1-based `.comm` source line (0 = built in C++)
 };
 
 /// Human-readable form, e.g. "send(dst=1, tag=7)" or "barrier".
@@ -67,8 +78,10 @@ class CommSpec {
   /// Builder handle for one node's sequence; methods mirror occam::Ctx.
   class NodeSeq {
    public:
-    NodeSeq& send(net::NodeId dst, std::uint16_t tag);
-    NodeSeq& recv(net::NodeId src, std::uint16_t tag);
+    NodeSeq& send(net::NodeId dst, std::uint16_t tag,
+                  std::uint32_t elems = kDefaultElems);
+    NodeSeq& recv(net::NodeId src, std::uint16_t tag,
+                  std::uint32_t elems = kDefaultElems);
     NodeSeq& recv_any(std::uint16_t tag);
     NodeSeq& barrier();
     NodeSeq& broadcast(net::NodeId root);
@@ -90,16 +103,25 @@ class CommSpec {
     return ops_.at(id);
   }
 
+  /// Optional per-cube-edge wire-byte budget (the `budget` directive);
+  /// enforced by check/comm_volume.hpp when set.
+  std::optional<std::uint64_t> edge_budget() const { return edge_budget_; }
+  void set_edge_budget(std::uint64_t bytes) { edge_budget_ = bytes; }
+
  private:
+  friend CommSpec parse_comm_spec(const std::string& text);
   void append(net::NodeId id, CommOp op);
   void check_node(net::NodeId id) const;
 
   int dim_;
   std::vector<std::vector<CommOp>> ops_;
+  std::optional<std::uint64_t> edge_budget_;
 };
 
 /// Parse the `.comm` text format (see file header). Throws CommSpecError
-/// with a line-numbered message on malformed input.
+/// with a line-numbered message on malformed input. Every parsed op
+/// records its 1-based source line so downstream analyses can report
+/// file:line diagnostics.
 CommSpec parse_comm_spec(const std::string& text);
 
 }  // namespace fpst::occam

@@ -286,6 +286,19 @@ MessageReport analyze_messages(const Dump& dump) {
   return r;
 }
 
+json::Value edges_to_json(const std::vector<EdgeLoad>& edges) {
+  json::Value arr = json::Value::array();
+  for (const EdgeLoad& e : edges) {
+    json::Value v = json::Value::object();
+    v["a"] = json::Value::integer(e.a);
+    v["b"] = json::Value::integer(e.b);
+    v["crossings"] =
+        json::Value::integer(static_cast<std::int64_t>(e.crossings));
+    arr.append(std::move(v));
+  }
+  return arr;
+}
+
 json::Value messages_to_json(const MessageReport& r) {
   json::Value doc = json::Value::object();
   doc["messages"] =
@@ -302,16 +315,7 @@ json::Value messages_to_json(const MessageReport& r) {
   doc["queue_ps"] = r.queue_ps.to_json();
   doc["transfer_ps"] = r.transfer_ps.to_json();
 
-  json::Value edges = json::Value::array();
-  for (const EdgeLoad& e : r.edges) {
-    json::Value v = json::Value::object();
-    v["a"] = json::Value::integer(e.a);
-    v["b"] = json::Value::integer(e.b);
-    v["crossings"] =
-        json::Value::integer(static_cast<std::int64_t>(e.crossings));
-    edges.append(std::move(v));
-  }
-  doc["edges"] = std::move(edges);
+  doc["edges"] = edges_to_json(r.edges);
 
   json::Value per_node = json::Value::array();
   for (const NodeMsgStats& n : r.per_node) {

@@ -119,6 +119,11 @@ MessageReport analyze_messages(const Dump& dump);
 /// the schema is documented in DESIGN.md section 4.3.
 json::Value messages_to_json(const MessageReport& r);
 
+/// Serialise an edge-load table as the `edges` array of that schema
+/// ([{a, b, crossings}, ...]). Shared by tools/tscope and tools/tcheck so
+/// the static prediction and the measurement diff structurally.
+json::Value edges_to_json(const std::vector<EdgeLoad>& edges);
+
 /// Human-readable report: counts, latency percentiles, queueing vs wire
 /// breakdown, the paper's Figure 2/3 constants next to the measurements,
 /// and the critical path.

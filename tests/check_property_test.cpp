@@ -1,0 +1,250 @@
+// Property tests for the abstract-interpretation lattice exported by
+// check/tisa_verify.hpp (DESIGN.md §6.1): the verifier's and the cost
+// model's soundness rests on abs_join being a least upper bound, abs_leq
+// being a partial order consistent with it, abs_step being monotone, and
+// the lattice having finite height so fixpoint iteration terminates.
+// Randomised over a seeded generator, so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "check/tisa_verify.hpp"
+#include "cp/isa.hpp"
+
+namespace fpst::check {
+namespace {
+
+constexpr int kTrials = 5000;
+
+// mt19937::result_type is uint_fast32_t (64-bit here); narrow explicitly.
+std::uint32_t draw(std::mt19937& rng) {
+  return static_cast<std::uint32_t>(rng() & 0xFFFFFFFFu);
+}
+
+// Small value domain so equal-known joins actually occur; a uniform
+// 32-bit draw would almost never collide and the `keep equal constants`
+// branch of abs_join would go untested.
+AbsVal random_val(std::mt19937& rng) {
+  switch (draw(rng) % 4u) {
+    case 0:
+      return abs_unknown();
+    case 1:
+      return abs_const(draw(rng) % 3u);
+    default:
+      return abs_const(draw(rng));
+  }
+}
+
+AbsStack random_stack(std::mt19937& rng) {
+  AbsStack st;
+  st.depth = static_cast<int>(draw(rng) % 5u) - 1;  // -1 (top) .. 3
+  st.a = random_val(rng);
+  st.b = random_val(rng);
+  st.c = random_val(rng);
+  return st;
+}
+
+AbsStack joined(const AbsStack& x, const AbsStack& y) {
+  AbsStack t = x;
+  abs_join(t, y);
+  return t;
+}
+
+// Widen a copy of `x` field-by-field: the result is ⊒ x by construction.
+AbsStack widen(const AbsStack& x, std::mt19937& rng) {
+  AbsStack y = x;
+  if (draw(rng) % 2u == 0) {
+    y.depth = -1;
+  }
+  for (AbsVal* r : {&y.a, &y.b, &y.c}) {
+    if (draw(rng) % 2u == 0) {
+      *r = abs_unknown();
+    }
+  }
+  return y;
+}
+
+// ------------------------------------------------------------ join laws --
+
+TEST(LatticeProperty, JoinIsIdempotent) {
+  std::mt19937 rng{1};
+  for (int i = 0; i < kTrials; ++i) {
+    const AbsStack x = random_stack(rng);
+    AbsStack t = x;
+    EXPECT_FALSE(abs_join(t, x));  // no change reported...
+    EXPECT_EQ(t, x);               // ...and none made
+  }
+}
+
+TEST(LatticeProperty, JoinIsCommutative) {
+  std::mt19937 rng{2};
+  for (int i = 0; i < kTrials; ++i) {
+    const AbsStack x = random_stack(rng);
+    const AbsStack y = random_stack(rng);
+    EXPECT_EQ(joined(x, y), joined(y, x));
+  }
+}
+
+TEST(LatticeProperty, JoinIsAssociative) {
+  std::mt19937 rng{3};
+  for (int i = 0; i < kTrials; ++i) {
+    const AbsStack x = random_stack(rng);
+    const AbsStack y = random_stack(rng);
+    const AbsStack z = random_stack(rng);
+    EXPECT_EQ(joined(joined(x, y), z), joined(x, joined(y, z)));
+  }
+}
+
+TEST(LatticeProperty, JoinIsAnUpperBound) {
+  std::mt19937 rng{4};
+  for (int i = 0; i < kTrials; ++i) {
+    const AbsStack x = random_stack(rng);
+    const AbsStack y = random_stack(rng);
+    const AbsStack j = joined(x, y);
+    EXPECT_TRUE(abs_leq(x, j));
+    EXPECT_TRUE(abs_leq(y, j));
+  }
+}
+
+TEST(LatticeProperty, JoinIsTheLeastUpperBound) {
+  // Any common upper bound z of {x, y} is above their join. Random triples
+  // rarely satisfy the premise, so count hits to keep the test honest.
+  std::mt19937 rng{5};
+  int hits = 0;
+  for (int i = 0; i < kTrials * 4; ++i) {
+    const AbsStack x = random_stack(rng);
+    const AbsStack y = random_stack(rng);
+    const AbsStack z = random_stack(rng);
+    if (abs_leq(x, z) && abs_leq(y, z)) {
+      ++hits;
+      EXPECT_TRUE(abs_leq(joined(x, y), z));
+    }
+  }
+  EXPECT_GT(hits, 50) << "premise never fired; the test is vacuous";
+}
+
+TEST(LatticeProperty, JoinCharacterisesTheOrder) {
+  // x ⊑ y  ⇔  y absorbs x (joining x into y changes nothing).
+  std::mt19937 rng{6};
+  for (int i = 0; i < kTrials; ++i) {
+    const AbsStack x = random_stack(rng);
+    const AbsStack y = random_stack(rng);
+    EXPECT_EQ(abs_leq(x, y), joined(y, x) == y);
+  }
+}
+
+// ---------------------------------------------------------- order laws --
+
+TEST(LatticeProperty, LeqIsReflexive) {
+  std::mt19937 rng{7};
+  for (int i = 0; i < kTrials; ++i) {
+    const AbsStack x = random_stack(rng);
+    EXPECT_TRUE(abs_leq(x, x));
+  }
+}
+
+TEST(LatticeProperty, LeqIsAntisymmetric) {
+  std::mt19937 rng{8};
+  for (int i = 0; i < kTrials; ++i) {
+    const AbsStack x = random_stack(rng);
+    const AbsStack y = random_stack(rng);
+    if (abs_leq(x, y) && abs_leq(y, x)) {
+      EXPECT_EQ(x, y);
+    }
+  }
+}
+
+TEST(LatticeProperty, LeqIsTransitiveAlongWideningChains) {
+  std::mt19937 rng{9};
+  for (int i = 0; i < kTrials; ++i) {
+    const AbsStack x = random_stack(rng);
+    const AbsStack y = widen(x, rng);
+    const AbsStack z = widen(y, rng);
+    EXPECT_TRUE(abs_leq(x, y));
+    EXPECT_TRUE(abs_leq(y, z));
+    EXPECT_TRUE(abs_leq(x, z));
+  }
+}
+
+// ---------------------------------------------------- finite height ------
+
+TEST(LatticeProperty, AccumulatorStrictlyIncreasesAtMostFourTimes) {
+  // The fixpoint loop terminates because each of the 4 fields (depth and
+  // three registers) can only widen once: a join accumulator reports
+  // `changed` at most 4 times no matter how many states flow into it.
+  std::mt19937 rng{10};
+  for (int i = 0; i < 200; ++i) {
+    AbsStack acc = random_stack(rng);
+    int changes = 0;
+    for (int k = 0; k < 64; ++k) {
+      if (abs_join(acc, random_stack(rng))) {
+        ++changes;
+      }
+    }
+    EXPECT_LE(changes, 4);
+  }
+}
+
+// ------------------------------------------------- transfer monotonicity --
+
+Insn make_insn(cp::Op op, std::int32_t operand) {
+  Insn in;
+  in.addr = 0x40;
+  in.d.op = op;
+  in.d.operand = operand;
+  in.d.size = 1;
+  return in;
+}
+
+Insn random_insn(std::mt19937& rng) {
+  // Every opcode the decoder can produce; abs_step is total over all of
+  // them (cj/call stack effects are per-edge and excluded by contract).
+  static constexpr cp::Op kPrimaries[] = {
+      cp::Op::j,    cp::Op::ldlp, cp::Op::pfix, cp::Op::ldnl,
+      cp::Op::ldc,  cp::Op::ldnlp, cp::Op::nfix, cp::Op::ldl,
+      cp::Op::adc,  cp::Op::call, cp::Op::cj,   cp::Op::ajw,
+      cp::Op::eqc,  cp::Op::stl,  cp::Op::stnl,
+  };
+  if (draw(rng) % 2u == 0) {
+    const cp::Op op = kPrimaries[draw(rng) % std::size(kPrimaries)];
+    return make_insn(op, static_cast<std::int32_t>(draw(rng) % 16u));
+  }
+  const auto sec = static_cast<std::int32_t>(
+      draw(rng) % (static_cast<std::uint32_t>(cp::SecOp::testerr) + 1u));
+  return make_insn(cp::Op::opr, sec);
+}
+
+TEST(LatticeProperty, TransferIsMonotone) {
+  // x ⊑ y  ⟹  step(x) ⊑ step(y): widening the input can only widen the
+  // output, so fixpoint iteration over joined block states is sound.
+  std::mt19937 rng{11};
+  for (int i = 0; i < kTrials; ++i) {
+    const Insn in = random_insn(rng);
+    const AbsStack x = random_stack(rng);
+    const AbsStack y = widen(x, rng);
+    AbsStack sx = x;
+    AbsStack sy = y;
+    abs_step(in, sx);
+    abs_step(in, sy);
+    EXPECT_TRUE(abs_leq(sx, sy))
+        << "op " << static_cast<int>(in.d.op) << " operand " << in.d.operand;
+  }
+}
+
+TEST(LatticeProperty, TransferAgreesWithItselfOnEqualInputs) {
+  // abs_step is a pure function of (insn, state) — no hidden global state.
+  std::mt19937 rng{12};
+  for (int i = 0; i < kTrials; ++i) {
+    const Insn in = random_insn(rng);
+    const AbsStack x = random_stack(rng);
+    AbsStack s1 = x;
+    AbsStack s2 = x;
+    abs_step(in, s1);
+    abs_step(in, s2);
+    EXPECT_EQ(s1, s2);
+  }
+}
+
+}  // namespace
+}  // namespace fpst::check

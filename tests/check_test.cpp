@@ -1,17 +1,23 @@
 // Tests for the static-analysis subsystem (src/check): CFG recovery,
-// the TISA abstract-stack verifier, the channel-graph deadlock checker,
-// the .comm parser, and the on-disk corpus of deliberately-broken
-// programs that tools/tcheck and ci.sh gate on.
+// the TISA abstract-stack verifier, the cycle-cost model and its
+// prediction-vs-measurement cross-validation, the channel-graph deadlock
+// checker, the static volume analyzer, the .comm parser, and the on-disk
+// corpus of deliberately-broken programs that tools/tcheck and ci.sh
+// gate on.
 #include <gtest/gtest.h>
 
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "check/chan_graph.hpp"
+#include "check/comm_volume.hpp"
+#include "check/cost_model.hpp"
 #include "check/tisa_verify.hpp"
 #include "core/machine.hpp"
 #include "cp/assembler.hpp"
+#include "node/node.hpp"
 #include "occam/commspec.hpp"
 #include "occam/occam.hpp"
 
@@ -20,6 +26,34 @@ namespace {
 
 VerifyResult verify_src(const std::string& src) {
   return verify(cp::assemble(src));
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Run `p` to completion on a real simulated node, exactly as tools and
+// examples do, so cost-model tests can assert prediction == measurement.
+struct Measured {
+  std::uint64_t instructions = 0;
+  sim::SimTime elapsed{};
+};
+
+Measured run_on_node(const cp::Program& p) {
+  sim::Simulator sim;
+  node::Node nd{sim, 0};
+  nd.cpu().load(p);
+  const auto it = p.symbols.find("main");
+  const std::uint32_t entry =
+      it != p.symbols.end() ? it->second : p.entry();
+  nd.cpu().start_process(entry, 0x8000, 1);
+  sim.spawn(nd.cpu().run());
+  sim.run();
+  return Measured{nd.cpu().instructions_executed(), sim.now()};
 }
 
 // ---------------------------------------------------------------- CFG --
@@ -237,6 +271,126 @@ TEST(TisaVerify, ZeroPaddingAndLabelledDataAreNotUnreachable) {
   EXPECT_FALSE(res.report.has_errors());
 }
 
+// ------------------------------------------------------------ cost model --
+
+TEST(CostModel, StraightLinePredictionIsBitExact) {
+  const cp::Program p = cp::assemble(R"(
+   main:
+      ldc 7
+      ldc 0x2000
+      stnl 0
+      ldc 0x2000
+      ldnl 0
+      adc 35
+      stl 1
+      halt
+  )");
+  const CostPrediction pred = predict_cost(p);
+  EXPECT_TRUE(pred.complete) << pred.stop_reason;
+  EXPECT_FALSE(pred.report.has_errors()) << pred.report.to_string("test");
+  const Measured m = run_on_node(p);
+  EXPECT_EQ(pred.instructions, m.instructions);
+  EXPECT_EQ(pred.elapsed.ps(), m.elapsed.ps());
+}
+
+TEST(CostModel, CountedLoopIsBoundedAndBitExact) {
+  const cp::Program p = cp::assemble(R"(
+   main:
+      ldc 10
+      stl 0
+   loop:
+      ldl 0
+      adc -1
+      stl 0
+      ldl 0
+      cj done
+      j loop
+   done:
+      halt
+  )");
+  const CostPrediction pred = predict_cost(p);
+  EXPECT_TRUE(pred.complete) << pred.stop_reason;
+  ASSERT_EQ(pred.loops.size(), 1u);
+  EXPECT_EQ(pred.loops[0].verdict, LoopVerdict::kBounded);
+  EXPECT_EQ(pred.loops[0].iterations, 10u);
+  const Measured m = run_on_node(p);
+  EXPECT_EQ(pred.instructions, m.instructions);
+  EXPECT_EQ(pred.elapsed.ps(), m.elapsed.ps());
+}
+
+TEST(CostModel, VformSaxpyExamplePredictsTheSimulatorBitExact) {
+  // The same cross-validation ci.sh gates on: the shipped vform program's
+  // static prediction must equal the tisa_traced measurement.
+  const std::string text = read_file(std::string(FPST_SOURCE_DIR) +
+                                     "/examples/tisa/vform_saxpy.tisa");
+  const cp::Program p = cp::assemble(text);
+  const CostPrediction pred = predict_cost(p);
+  EXPECT_TRUE(pred.complete) << pred.stop_reason;
+  EXPECT_GT(pred.vforms, 0u);
+  EXPECT_GT(pred.flops, 0u);
+  const Measured m = run_on_node(p);
+  EXPECT_EQ(pred.instructions, m.instructions);
+  EXPECT_EQ(pred.elapsed.ps(), m.elapsed.ps());
+}
+
+TEST(CostModel, UnknownBranchInHotLoopIsUnboundedAndFlagged) {
+  // The cj condition comes through a hard-channel `in`, so it can never be
+  // a compile-time constant: the model must stop honestly, not guess.
+  const cp::Program p = cp::assemble(R"(
+   main:
+   loop:
+      ldlp 4
+      ldc 0xF0000001
+      ldc 4
+      in
+      ldl 4
+      cj done
+      j loop
+   done:
+      halt
+  )");
+  const CostPrediction pred = predict_cost(p);
+  EXPECT_FALSE(pred.complete);
+  EXPECT_TRUE(pred.report.has("unbounded-hot-loop"))
+      << pred.report.to_string("test");
+  ASSERT_EQ(pred.loops.size(), 1u);
+  EXPECT_EQ(pred.loops[0].verdict, LoopVerdict::kUnbounded);
+  EXPECT_TRUE(pred.loops[0].hot);
+}
+
+TEST(CostModel, StepBudgetExhaustionRaisesCostOverflow) {
+  const cp::Program p = cp::assemble(R"(
+   main:
+      ldc 100000
+      stl 0
+   loop:
+      ldl 0
+      adc -1
+      stl 0
+      ldl 0
+      cj done
+      j loop
+   done:
+      halt
+  )");
+  CostOptions opts;
+  opts.max_steps = 100;
+  const CostPrediction pred = predict_cost(p, opts);
+  EXPECT_FALSE(pred.complete);
+  EXPECT_TRUE(pred.report.has("cost-overflow"))
+      << pred.report.to_string("test");
+}
+
+TEST(CostModel, ConstantOversizedVformIsAPerformanceError) {
+  const std::string text = read_file(std::string(FPST_SOURCE_DIR) +
+                                     "/tests/corpus/vform_overrun.tisa");
+  const CostPrediction pred = predict_cost(cp::assemble(text));
+  EXPECT_TRUE(pred.report.has("vform-overrun"))
+      << pred.report.to_string("test");
+  EXPECT_GE(pred.report.count(Severity::kError, DiagClass::kPerformance), 1u);
+  EXPECT_EQ(pred.report.count(Severity::kError, DiagClass::kValidity), 0u);
+}
+
 // ------------------------------------------------- channel-graph checker --
 
 TEST(ChanGraph, RingOfBufferedSendsIsClean) {
@@ -318,6 +472,92 @@ TEST(ChanGraph, UnconsumedMessageIsWarnedNotFatal) {
   EXPECT_TRUE(a.report.has("unconsumed-message"));
 }
 
+// ------------------------------------------------ static volume analyzer --
+
+occam::CommSpec alltoall_spec() {
+  // Static twin of examples/alltoall_traced.cpp (and of
+  // examples/comm/alltoall.comm): 16 nodes, each sends 16 doubles to every
+  // other node and drains 15 matching receives.
+  occam::CommSpec spec{4};
+  for (net::NodeId i = 0; i < 16; ++i) {
+    for (net::NodeId k = 1; k < 16; ++k) {
+      spec.node(i).send((i + k) % 16, 7, 16);
+    }
+    for (int k = 0; k < 15; ++k) {
+      spec.node(i).recv_any(7);
+    }
+  }
+  return spec;
+}
+
+TEST(CommVolume, AllToAllMatchesThePaperGroundTruth) {
+  const VolumeAnalysis v = analyze_volume(alltoall_spec());
+  EXPECT_FALSE(v.report.has_errors()) << v.report.to_string("alltoall");
+  EXPECT_EQ(v.dimension, 4);
+  EXPECT_EQ(v.messages, 240u);
+  EXPECT_EQ(v.payload_bytes, 240u * 16 * 8);
+  EXPECT_EQ(v.total_hops, 512u);
+  // Perfectly balanced: all 32 edges of the 4-cube carry exactly 16
+  // crossings of 128 payload bytes each.
+  ASSERT_EQ(v.edges.size(), 32u);
+  for (const net::EdgeTraffic& e : v.edges) {
+    EXPECT_EQ(e.crossings, 16u);
+    EXPECT_EQ(e.bytes, 16u * 16 * 8);
+  }
+  EXPECT_EQ(v.max_edge_crossings, 16u);
+}
+
+TEST(CommVolume, PerSourceArityMismatchIsValidityError) {
+  occam::CommSpec spec{1};
+  spec.node(0).send(1, 5).send(1, 5);
+  spec.node(1).recv(0, 5);
+  const VolumeAnalysis v = analyze_volume(spec);
+  EXPECT_TRUE(v.report.has("chan-arity")) << v.report.to_string("spec");
+  EXPECT_GE(v.report.count(Severity::kError, DiagClass::kValidity), 1u);
+}
+
+TEST(CommVolume, RecvAnyBalancesTotalsAcrossSources) {
+  // Two senders, two recvany: arities balance in total even though no
+  // per-source pairing exists — must not be flagged.
+  occam::CommSpec spec{1};
+  spec.node(0).send(1, 5);
+  spec.node(1).recv_any(5).recv_any(5);
+  spec.node(0).send(1, 5);
+  const VolumeAnalysis v = analyze_volume(spec);
+  EXPECT_FALSE(v.report.has("chan-arity")) << v.report.to_string("spec");
+}
+
+TEST(CommVolume, PayloadDisagreementIsFlagged) {
+  occam::CommSpec spec{1};
+  spec.node(0).send(1, 3, 8);
+  spec.node(1).recv(0, 3, 4);
+  const VolumeAnalysis v = analyze_volume(spec);
+  EXPECT_TRUE(v.report.has("payload-mismatch")) << v.report.to_string("spec");
+  EXPECT_GE(v.report.count(Severity::kError, DiagClass::kValidity), 1u);
+}
+
+TEST(CommVolume, EdgeBudgetOverflowIsPerformanceClass) {
+  occam::CommSpec spec{1};
+  spec.set_edge_budget(256);
+  spec.node(0).send(1, 2, 64);  // 512 payload bytes over edge 0-1
+  spec.node(1).recv(0, 2, 64);
+  const VolumeAnalysis v = analyze_volume(spec);
+  EXPECT_TRUE(v.report.has("edge-overload")) << v.report.to_string("spec");
+  EXPECT_GE(v.report.count(Severity::kError, DiagClass::kPerformance), 1u);
+  EXPECT_EQ(v.report.count(Severity::kError, DiagClass::kValidity), 0u);
+}
+
+TEST(CommVolume, CollectiveLoweringContributesVolume) {
+  occam::CommSpec spec{2};
+  for (net::NodeId id = 0; id < spec.size(); ++id) {
+    spec.node(id).barrier();
+  }
+  const VolumeAnalysis v = analyze_volume(spec);
+  EXPECT_FALSE(v.report.has_errors()) << v.report.to_string("spec");
+  EXPECT_GT(v.messages, 0u);
+  EXPECT_GT(v.total_hops, 0u);
+}
+
 // --------------------------------------------------------- .comm parser --
 
 TEST(CommParse, RoundTripsOpsAndCollectives) {
@@ -393,14 +633,6 @@ TEST(ChanGraphVsRuntime, StaticCleanRingRunsDynamically) {
 
 // ------------------------------------------------------- on-disk corpus --
 
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  EXPECT_TRUE(in) << "cannot open " << path;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
 struct CorpusCase {
   const char* file;
   const char* expected_code;
@@ -413,16 +645,28 @@ TEST_P(CorpusTest, ProducesExpectedDiagnostic) {
   const std::string path =
       std::string(FPST_SOURCE_DIR) + "/tests/corpus/" + c.file;
   const std::string text = read_file(path);
-  Report rep;
+  // Run every analysis tcheck runs for the file kind; the expected code
+  // may come from any of them.
+  std::vector<Report> reports;
   const std::string name{c.file};
   if (name.size() > 5 && name.substr(name.size() - 5) == ".comm") {
-    rep = analyze_comm(occam::parse_comm_spec(text)).report;
+    const occam::CommSpec spec = occam::parse_comm_spec(text);
+    reports.push_back(analyze_comm(spec).report);
+    reports.push_back(analyze_volume(spec).report);
   } else {
-    rep = verify(cp::assemble(text)).report;
+    const cp::Program prog = cp::assemble(text);
+    reports.push_back(verify(prog).report);
+    reports.push_back(predict_cost(prog).report);
   }
-  EXPECT_TRUE(rep.has(c.expected_code))
+  bool found = false;
+  std::string all;
+  for (const Report& rep : reports) {
+    found = found || rep.has(c.expected_code);
+    all += rep.to_string(c.file);
+  }
+  EXPECT_TRUE(found)
       << c.file << " should produce [" << c.expected_code << "]; got:\n"
-      << rep.to_string(c.file);
+      << all;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -436,7 +680,14 @@ INSTANTIATE_TEST_SUITE_P(
                       CorpusCase{"bad_hardchan.tisa", "bad-hard-chan"},
                       CorpusCase{"unreachable.tisa", "unreachable-code"},
                       CorpusCase{"deadlock_pair.comm", "deadlock"},
-                      CorpusCase{"mismatched_barrier.comm", "stuck-recv"}),
+                      CorpusCase{"mismatched_barrier.comm", "stuck-recv"},
+                      CorpusCase{"unbounded_hot_loop.tisa",
+                                 "unbounded-hot-loop"},
+                      CorpusCase{"cost_overflow.tisa", "cost-overflow"},
+                      CorpusCase{"vform_overrun.tisa", "vform-overrun"},
+                      CorpusCase{"chan_arity.comm", "chan-arity"},
+                      CorpusCase{"payload_mismatch.comm", "payload-mismatch"},
+                      CorpusCase{"edge_overload.comm", "edge-overload"}),
     [](const ::testing::TestParamInfo<CorpusCase>& param) {
       std::string n = param.param.file;
       for (char& ch : n) {
@@ -452,22 +703,50 @@ TEST(Examples, AllShippedProgramsVerifyClean) {
       {"examples/tisa/hello.tisa", ""},
       {"examples/tisa/soft_channel.tisa", ""},
       {"examples/tisa/hardchan_echo.tisa", ""},
+      {"examples/tisa/vform_saxpy.tisa", ""},
   };
   for (const CorpusCase& c : clean) {
     const std::string text =
         read_file(std::string(FPST_SOURCE_DIR) + "/" + c.file);
-    const auto res = verify(cp::assemble(text));
+    const cp::Program prog = cp::assemble(text);
+    const auto res = verify(prog);
     EXPECT_FALSE(res.report.has_errors())
         << c.file << ":\n" << res.report.to_string(c.file);
+    // The cost model must not raise performance errors on shipped code
+    // either (tcheck exits 0 over every example).
+    const CostPrediction pred = predict_cost(prog);
+    EXPECT_FALSE(pred.report.has_errors())
+        << c.file << ":\n" << pred.report.to_string(c.file);
   }
   const char* comms[] = {"examples/comm/ring.comm",
-                         "examples/comm/collectives.comm"};
+                         "examples/comm/collectives.comm",
+                         "examples/comm/alltoall.comm"};
   for (const char* f : comms) {
     const std::string text =
         read_file(std::string(FPST_SOURCE_DIR) + "/" + f);
-    const CommAnalysis a = analyze_comm(occam::parse_comm_spec(text));
+    const occam::CommSpec spec = occam::parse_comm_spec(text);
+    const CommAnalysis a = analyze_comm(spec);
     EXPECT_FALSE(a.report.has_errors())
         << f << ":\n" << a.report.to_string(f);
+    const VolumeAnalysis v = analyze_volume(spec);
+    EXPECT_FALSE(v.report.has_errors())
+        << f << ":\n" << v.report.to_string(f);
+  }
+}
+
+TEST(Examples, AllToAllCommFileMatchesTheBuiltSpec) {
+  // The on-disk .comm twin and the C++-built spec predict the same volume.
+  const std::string text = read_file(std::string(FPST_SOURCE_DIR) +
+                                     "/examples/comm/alltoall.comm");
+  const VolumeAnalysis file = analyze_volume(occam::parse_comm_spec(text));
+  const VolumeAnalysis built = analyze_volume(alltoall_spec());
+  EXPECT_EQ(file.messages, built.messages);
+  EXPECT_EQ(file.payload_bytes, built.payload_bytes);
+  EXPECT_EQ(file.total_hops, built.total_hops);
+  ASSERT_EQ(file.edges.size(), built.edges.size());
+  for (std::size_t i = 0; i < file.edges.size(); ++i) {
+    EXPECT_EQ(file.edges[i].crossings, built.edges[i].crossings);
+    EXPECT_EQ(file.edges[i].bytes, built.edges[i].bytes);
   }
 }
 

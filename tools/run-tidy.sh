@@ -24,14 +24,26 @@ if [ ! -f "$build_dir/compile_commands.json" ]; then
 fi
 
 # First-party translation units only: everything the compile database knows
-# about under src/, tools/ and tests/ (skips _deps and generated files).
+# about under src/, tools/, tests/ and bench/ (skips _deps and generated
+# files).
 files=$(sed -n 's/^ *"file": "\(.*\)",*$/\1/p' \
           "$build_dir/compile_commands.json" \
-        | grep -E "^$repo_root/(src|tools|tests)/" | sort -u)
+        | grep -E "^$repo_root/(src|tools|tests|bench)/" | sort -u)
 
 if [ -z "$files" ]; then
   echo "run-tidy: no first-party files in compile database" >&2
   exit 1
+fi
+
+# The static-analysis subsystem polices the rest of the tree, so it is held
+# to the strictest bar: any clang-tidy finding in src/check is a hard
+# failure, not just a report.
+check_files=$(echo "$files" | grep -E "^$repo_root/src/check/" || true)
+if [ -n "$check_files" ]; then
+  echo "run-tidy: src/check blocking pass" \
+       "($(echo "$check_files" | wc -l) translation units)"
+  # shellcheck disable=SC2086 — word-splitting of $check_files is intended.
+  "$tidy" -p "$build_dir" --quiet --warnings-as-errors='*' $check_files
 fi
 
 echo "run-tidy: $(echo "$files" | wc -l) translation units"

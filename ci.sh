@@ -34,7 +34,15 @@
 #      (sanitized CI runs are never compared against the release baseline
 #      committed as BENCH_simcore.json). bench_parallel_scaling records
 #      the parallel engine's host-thread scaling alongside it
-#   8. clang-tidy over all first-party translation units (skipped when the
+#   8. serve storm: bench_serve drives an open-loop mixed request storm
+#      through the in-process job service — completion must be >= 99%,
+#      cached results byte-identical with zero simulated events, the
+#      mixed-storm cache hit rate >= 30%, the duplicate-heavy storm >= 5x
+#      the jobs/sec of its cache-disabled twin, and mixed-storm jobs/sec
+#      must not undercut the lowest same-flavour record by more than 30%
+#      (flavour-tagged run-over-run like stage 7; the release baseline is
+#      committed as BENCH_serve.json)
+#   9. clang-tidy over all first-party translation units (skipped when the
 #      toolchain image has no clang-tidy); src/check findings are blocking
 #
 # usage: ./ci.sh [options] [build-dir]        (default build dir: build-ci)
@@ -65,7 +73,8 @@ ci.sh stages:
      --threads determinism sweep
   6  tcheck --predict: static cost/volume prediction vs measurement
   7  bench_simcore throughput gate + bench_parallel_scaling record
-  8  clang-tidy (src/check findings blocking)
+  8  bench_serve storm: completion/hit-rate/cache-speedup/jobs-per-sec gates
+  9  clang-tidy (src/check findings blocking)
 EOF
 }
 
@@ -109,7 +118,7 @@ want_stage() {
 stages_ran=""
 begin_stage() {
   stages_ran="$stages_ran${stages_ran:+,}$1"
-  echo "== [$1/8] $2 =="
+  echo "== [$1/9] $2 =="
 }
 
 # determinism_sweep <example-bin> <serial-dump> <out-prefix> [extra args...]:
@@ -327,7 +336,65 @@ if want_stage 7; then
 fi
 
 if want_stage 8; then
-  begin_stage 8 "clang-tidy"
+  begin_stage 8 "bench_serve: job-service storm gates"
+  bserve="$build_dir/bench/bench_serve"
+  serve_fresh="$build_dir/BENCH_serve.json"
+  serve_prev="$build_dir/BENCH_serve.prev.json"
+  "$bserve" --json "$serve_fresh" > /dev/null
+  completion=$("$bserve" --metric completion_frac "$serve_fresh")
+  hit_rate=$("$bserve" --metric hit_rate "$serve_fresh")
+  speedup=$("$bserve" --metric cache_speedup "$serve_fresh")
+  identical=$("$bserve" --metric byte_identical "$serve_fresh")
+  fresh_jps=$("$bserve" --metric jobs_per_sec "$serve_fresh")
+  serve_flavour=$("$bserve" --metric build "$serve_fresh")
+  echo "ci: bench_serve completion=$completion hit_rate=$hit_rate" \
+       "cache_speedup=$speedup byte_identical=$identical" \
+       "jobs_per_sec=$fresh_jps build=$serve_flavour"
+  # Correctness gates — flavour-independent.
+  [ "$identical" = "true" ] || {
+    echo "ci: cached results were not byte-identical to simulation" >&2
+    exit 1
+  }
+  awk -v c="$completion" 'BEGIN { exit !(c >= 0.99) }' || {
+    echo "ci: storm completion $completion below 0.99" >&2
+    exit 1
+  }
+  awk -v h="$hit_rate" 'BEGIN { exit !(h >= 0.30) }' || {
+    echo "ci: mixed-storm cache hit rate $hit_rate below 0.30" >&2
+    exit 1
+  }
+  # A cache hit skips simulation entirely, so the duplicate-heavy storm
+  # must beat its cache-disabled twin by >= 5x on every flavour.
+  awk -v s="$speedup" 'BEGIN { exit !(s >= 5.0) }' || {
+    echo "ci: cache speedup ${speedup}x below the 5x gate" >&2
+    exit 1
+  }
+  # Throughput trajectory, flavour-tagged run-over-run like stage 7. The
+  # tolerance is wider (30%): service-level jobs/sec rides on OS thread
+  # scheduling, not just the event loop, and single-core hosts are noisy.
+  gate_jps=""
+  for record in "$serve_prev" "$repo_root/BENCH_serve.json"; do
+    [ -f "$record" ] || continue
+    rec_flavour=$("$bserve" --metric build "$record")
+    [ "$serve_flavour" = "$rec_flavour" ] || continue
+    rec_jps=$("$bserve" --metric jobs_per_sec "$record")
+    echo "ci: recorded $record jobs_per_sec=$rec_jps"
+    if [ -z "$gate_jps" ] ||
+       awk -v a="$rec_jps" -v b="$gate_jps" 'BEGIN { exit !(a < b) }'; then
+      gate_jps="$rec_jps"
+    fi
+  done
+  if [ -n "$gate_jps" ]; then
+    awk -v f="$fresh_jps" -v b="$gate_jps" 'BEGIN { exit !(f >= 0.7 * b) }' || {
+      echo "ci: bench_serve regressed >30%: $fresh_jps vs recorded $gate_jps" >&2
+      exit 1
+    }
+  fi
+  cp "$serve_fresh" "$serve_prev"
+fi
+
+if want_stage 9; then
+  begin_stage 9 "clang-tidy"
   "$repo_root"/tools/run-tidy.sh "$build_dir"
 fi
 

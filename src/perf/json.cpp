@@ -260,7 +260,8 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_{text} {}
+  explicit Parser(std::string_view text, bool reject_duplicate_keys = false)
+      : text_{text}, reject_duplicate_keys_{reject_duplicate_keys} {}
 
   Value parse_document() {
     Value v = parse_value();
@@ -343,6 +344,9 @@ class Parser {
       std::string key = parse_string();
       skip_ws();
       expect(':');
+      if (reject_duplicate_keys_ && v.as_object().count(key) != 0) {
+        fail("duplicate object key \"" + key + "\"");
+      }
       v.as_object().emplace(std::move(key), parse_value());
       skip_ws();
       const char c = peek();
@@ -480,12 +484,17 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  bool reject_duplicate_keys_ = false;
 };
 
 }  // namespace
 
 Value Value::parse(std::string_view text) {
   return Parser{text}.parse_document();
+}
+
+Value Value::parse_strict(std::string_view text) {
+  return Parser{text, /*reject_duplicate_keys=*/true}.parse_document();
 }
 
 }  // namespace fpst::perf::json

@@ -1,0 +1,76 @@
+#include "serve/job_queue.hpp"
+
+namespace fpst::serve {
+
+bool JobQueue::push_locked(std::unique_lock<std::mutex>& lock,
+                           const std::string& tenant, std::uint64_t job) {
+  (void)lock;  // caller holds mu_
+  if (closed_) {
+    return false;
+  }
+  lanes_[tenant].push_back(job);
+  ++size_;
+  not_empty_.notify_one();
+  return true;
+}
+
+bool JobQueue::push(const std::string& tenant, std::uint64_t job) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] { return size_ < capacity_ || closed_; });
+  return push_locked(lock, tenant, job);
+}
+
+bool JobQueue::try_push(const std::string& tenant, std::uint64_t job) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (size_ >= capacity_) {
+    return false;
+  }
+  return push_locked(lock, tenant, job);
+}
+
+std::optional<std::uint64_t> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+  if (size_ == 0) {
+    return std::nullopt;  // closed and drained
+  }
+  // Round-robin: first non-empty lane strictly after the cursor, wrapping.
+  auto it = lanes_.upper_bound(cursor_);
+  for (std::size_t scanned = 0; scanned <= lanes_.size(); ++scanned) {
+    if (it == lanes_.end()) {
+      it = lanes_.begin();
+    }
+    if (!it->second.empty()) {
+      break;
+    }
+    ++it;
+  }
+  const std::uint64_t job = it->second.front();
+  it->second.pop_front();
+  cursor_ = it->first;
+  if (it->second.empty()) {
+    lanes_.erase(it);  // cursor_ still orders correctly via upper_bound
+  }
+  --size_;
+  not_full_.notify_one();
+  return job;
+}
+
+void JobQueue::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace fpst::serve

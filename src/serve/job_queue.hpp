@@ -1,0 +1,69 @@
+// Bounded MPMC job queue with per-tenant fairness.
+//
+// The service is multi-tenant: one tenant submitting a thousand jobs must
+// not starve another tenant's single job for the whole backlog. Jobs are
+// therefore held in one FIFO lane per tenant, and consumers drain lanes
+// round-robin — a tenant's next job waits behind at most one job from
+// every *other* active tenant, regardless of backlog shape. Within a
+// tenant, order stays strict FIFO.
+//
+// The queue is bounded: push() blocks while `capacity` jobs are pending
+// (backpressure, the submit side of an open-loop storm feels it) and
+// try_push() refuses instead. close() wakes everyone; consumers drain the
+// remaining jobs and then see end-of-stream.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace fpst::serve {
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : capacity_{capacity} {}
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueue `job` for `tenant`; blocks while the queue is full. Returns
+  /// false (without enqueueing) once the queue is closed.
+  bool push(const std::string& tenant, std::uint64_t job);
+
+  /// Non-blocking push: false when full or closed.
+  bool try_push(const std::string& tenant, std::uint64_t job);
+
+  /// Dequeue the next job in round-robin tenant order; blocks while the
+  /// queue is empty. Returns nullopt once closed *and* drained.
+  std::optional<std::uint64_t> pop();
+
+  /// Stop accepting pushes and wake all waiters. Pending jobs remain
+  /// poppable.
+  void close();
+
+  std::size_t depth() const;
+  bool closed() const;
+
+ private:
+  bool push_locked(std::unique_lock<std::mutex>& lock,
+                   const std::string& tenant, std::uint64_t job);
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+  /// std::map keeps tenant iteration order deterministic (lexicographic),
+  /// so a given submission interleaving always drains identically.
+  std::map<std::string, std::deque<std::uint64_t>> lanes_;
+  /// Round-robin cursor: the tenant *after* this one (cyclically) is
+  /// served next. Empty means "start from the first lane".
+  std::string cursor_;
+};
+
+}  // namespace fpst::serve

@@ -1,0 +1,148 @@
+#include "serve/job_spec.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace fpst::serve {
+
+namespace {
+
+namespace json = perf::json;
+
+bool known_program(const std::string& p) {
+  return p == "allreduce" || p == "saxpy" || p == "ring";
+}
+
+void require_range(const char* field, std::int64_t v, std::int64_t lo,
+                   std::int64_t hi) {
+  if (v < lo || v > hi) {
+    throw SpecError("out-of-range",
+                    std::string("field '") + field + "' = " +
+                        std::to_string(v) + " outside [" +
+                        std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+}
+
+/// A numeric spec field must be a finite integral JSON number. The JSON
+/// grammar cannot spell NaN, but documents built through the Value API (or
+/// oversized literals that parse to +/-inf) can carry one — hash nothing
+/// that is not exactly representable.
+std::int64_t integral_field(const char* field, const json::Value& v) {
+  if (v.kind() == json::Value::Kind::integer) {
+    return v.as_int();
+  }
+  if (v.kind() == json::Value::Kind::number) {
+    const double d = v.as_double();
+    if (!std::isfinite(d)) {
+      throw SpecError("not-finite", std::string("field '") + field +
+                                        "' is NaN or infinite");
+    }
+    if (d != std::floor(d) || d < -9.0e18 || d > 9.0e18) {
+      throw SpecError("not-integral", std::string("field '") + field +
+                                          "' is not an integer");
+    }
+    return static_cast<std::int64_t>(d);
+  }
+  throw SpecError("bad-type",
+                  std::string("field '") + field + "' must be a number");
+}
+
+}  // namespace
+
+void validate(const JobSpec& spec) {
+  if (!known_program(spec.program)) {
+    throw SpecError("bad-program",
+                    "unknown program '" + spec.program +
+                        "' (expected allreduce | saxpy | ring)");
+  }
+  require_range("dimension", spec.dimension, 0, 10);
+  require_range("threads", spec.threads, 1, 64);
+  require_range("rounds", spec.rounds, 1, 100000);
+  require_range("elems", spec.elems, 1, 128);
+}
+
+json::Value spec_to_json(const JobSpec& spec) {
+  json::Value doc = json::Value::object();
+  doc["program"] = json::Value::string(spec.program);
+  doc["dimension"] = json::Value::integer(spec.dimension);
+  doc["threads"] = json::Value::integer(spec.threads);
+  doc["rounds"] = json::Value::integer(spec.rounds);
+  doc["elems"] = json::Value::integer(spec.elems);
+  doc["seed"] = json::Value::integer(static_cast<std::int64_t>(spec.seed));
+  return doc;
+}
+
+JobSpec spec_from_json(const json::Value& doc) {
+  if (!doc.is_object()) {
+    throw SpecError("bad-type", "spec must be a JSON object");
+  }
+  static const std::set<std::string> kFields{"program", "dimension",
+                                            "threads", "rounds",
+                                            "elems",   "seed"};
+  for (const auto& [key, value] : doc.as_object()) {
+    (void)value;
+    if (kFields.count(key) == 0) {
+      throw SpecError("unknown-field", "unknown field '" + key + "'");
+    }
+  }
+  JobSpec spec;
+  if (const json::Value* v = doc.find("program")) {
+    if (!v->is_string()) {
+      throw SpecError("bad-type", "field 'program' must be a string");
+    }
+    spec.program = v->as_string();
+  }
+  if (const json::Value* v = doc.find("dimension")) {
+    spec.dimension = static_cast<int>(integral_field("dimension", *v));
+  }
+  if (const json::Value* v = doc.find("threads")) {
+    spec.threads = static_cast<int>(integral_field("threads", *v));
+  }
+  if (const json::Value* v = doc.find("rounds")) {
+    spec.rounds = static_cast<int>(integral_field("rounds", *v));
+  }
+  if (const json::Value* v = doc.find("elems")) {
+    spec.elems = static_cast<int>(integral_field("elems", *v));
+  }
+  if (const json::Value* v = doc.find("seed")) {
+    spec.seed = static_cast<std::uint64_t>(integral_field("seed", *v));
+  }
+  validate(spec);
+  return spec;
+}
+
+JobSpec parse_spec(std::string_view text) {
+  json::Value doc;
+  try {
+    doc = json::Value::parse_strict(text);
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    throw SpecError(
+        what.find("duplicate object key") != std::string::npos
+            ? "duplicate-key"
+            : "parse-error",
+        what);
+  }
+  return spec_from_json(doc);
+}
+
+std::string canonical_spec(const JobSpec& spec) {
+  return spec_to_json(spec).dump(-1);
+}
+
+std::string content_address(const JobSpec& spec) {
+  const std::string canon = canonical_spec(spec);
+  // FNV-1a 64-bit over the canonical bytes.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : canon) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "ca-%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace fpst::serve

@@ -1,0 +1,61 @@
+#include "serve/result_cache.hpp"
+
+namespace fpst::serve {
+
+std::shared_ptr<const std::string> ResultCache::lookup(
+    const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(address);
+  if (it == map_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.bytes;
+}
+
+void ResultCache::insert(const std::string& address,
+                         std::shared_ptr<const std::string> bytes) {
+  if (!bytes) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t size = bytes->size();
+  if (size > budget_) {
+    ++counters_.oversize_rejects;
+    return;
+  }
+  if (const auto it = map_.find(address); it != map_.end()) {
+    bytes_ -= it->second.bytes->size();
+    lru_.erase(it->second.lru_pos);
+    map_.erase(it);
+  }
+  evict_until_fits(size);
+  lru_.push_front(address);
+  map_.emplace(address, Entry{std::move(bytes), lru_.begin()});
+  bytes_ += size;
+  ++counters_.insertions;
+}
+
+void ResultCache::evict_until_fits(std::size_t incoming) {
+  while (!lru_.empty() && bytes_ + incoming > budget_) {
+    const std::string& victim = lru_.back();
+    const auto it = map_.find(victim);
+    bytes_ -= it->second.bytes->size();
+    map_.erase(it);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counters_;
+  s.entries = map_.size();
+  s.bytes = bytes_;
+  s.byte_budget = budget_;
+  return s;
+}
+
+}  // namespace fpst::serve

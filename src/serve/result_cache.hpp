@@ -1,0 +1,71 @@
+// Content-addressed result store with an LRU byte budget.
+//
+// Key: a JobSpec content address (serve/job_spec.hpp). Value: the job's
+// complete tperf/tscope dump bytes. The determinism gates make the bytes a
+// pure function of the spec, so a hit can be returned verbatim — the
+// cached dump is exactly what re-simulating would produce.
+//
+// Values are shared_ptr<const string> so a hit handed to a client stays
+// valid after the entry is evicted; eviction only drops the cache's
+// reference.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace fpst::serve {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t oversize_rejects = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+    std::size_t byte_budget = 0;
+  };
+
+  /// `byte_budget` bounds the sum of stored value sizes. A budget of 0
+  /// disables storage entirely (every lookup is a miss).
+  explicit ResultCache(std::size_t byte_budget) : budget_{byte_budget} {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached bytes and freshens the entry's LRU position, or
+  /// nullptr on a miss. Thread-safe.
+  std::shared_ptr<const std::string> lookup(const std::string& address);
+
+  /// Stores `bytes` under `address`, evicting least-recently-used entries
+  /// until the budget holds. A value larger than the whole budget is not
+  /// stored (counted in oversize_rejects). Re-inserting an existing
+  /// address replaces the value. Thread-safe.
+  void insert(const std::string& address,
+              std::shared_ptr<const std::string> bytes);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const std::string> bytes;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  void evict_until_fits(std::size_t incoming);  // requires mu_ held
+
+  mutable std::mutex mu_;
+  std::size_t budget_;
+  std::size_t bytes_ = 0;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, Entry> map_;
+  Stats counters_{};
+};
+
+}  // namespace fpst::serve

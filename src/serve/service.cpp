@@ -1,0 +1,254 @@
+#include "serve/service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fpst::serve {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+Service::Service(Options opts)
+    : opts_{opts},
+      cache_{opts.cache_enabled ? opts.cache_bytes : 0},
+      queue_{opts.queue_capacity} {
+  if (opts_.workers < 1) {
+    throw std::invalid_argument("Service: workers must be >= 1");
+  }
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() { shutdown(); }
+
+JobId Service::submit(const std::string& tenant, const JobSpec& spec) {
+  validate(spec);
+  JobId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) {
+      throw std::runtime_error("Service: submit after shutdown");
+    }
+    id = jobs_.size();
+    auto rec = std::make_unique<JobRecord>();
+    rec->spec = spec;
+    rec->tenant = tenant;
+    rec->address = content_address(spec);
+    rec->submitted = std::chrono::steady_clock::now();
+    jobs_.push_back(std::move(rec));
+  }
+  // Enqueue outside the service mutex: push() blocks under backpressure
+  // and status()/workers must keep moving while a submitter waits.
+  if (!queue_.push(tenant, id)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    JobRecord& rec = *jobs_[id];
+    rec.state = JobState::kFailed;
+    rec.error = "service shut down before the job could be queued";
+    rec.finished = std::chrono::steady_clock::now();
+    ++failed_;
+    done_cv_.notify_all();
+    throw std::runtime_error("Service: submit after shutdown");
+  }
+  return id;
+}
+
+bool Service::try_submit(const std::string& tenant, const JobSpec& spec,
+                         JobId* out) {
+  validate(spec);
+  JobId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) {
+      throw std::runtime_error("Service: submit after shutdown");
+    }
+    id = jobs_.size();
+    auto rec = std::make_unique<JobRecord>();
+    rec->spec = spec;
+    rec->tenant = tenant;
+    rec->address = content_address(spec);
+    rec->submitted = std::chrono::steady_clock::now();
+    jobs_.push_back(std::move(rec));
+  }
+  if (!queue_.try_push(tenant, id)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    JobRecord& rec = *jobs_[id];
+    rec.state = JobState::kFailed;
+    rec.error = "queue full (backpressure)";
+    rec.finished = std::chrono::steady_clock::now();
+    ++failed_;
+    done_cv_.notify_all();
+    if (out != nullptr) {
+      *out = id;
+    }
+    return false;
+  }
+  if (out != nullptr) {
+    *out = id;
+  }
+  return true;
+}
+
+JobStatus Service::snapshot_locked(JobId id, const JobRecord& rec) const {
+  JobStatus st;
+  st.id = id;
+  st.state = rec.state;
+  st.cache_hit = rec.cache_hit;
+  st.tenant = rec.tenant;
+  st.address = rec.address;
+  st.error = rec.error;
+  st.result = rec.result;
+  const auto now = std::chrono::steady_clock::now();
+  switch (rec.state) {
+    case JobState::kQueued:
+      st.queue_ms = ms_between(rec.submitted, now);
+      break;
+    case JobState::kRunning:
+      st.queue_ms = ms_between(rec.submitted, rec.started);
+      st.run_ms = ms_between(rec.started, now);
+      // Live progress: the run object is alive for as long as
+      // rec.running is non-null, which only flips under mu_.
+      st.events = rec.running != nullptr ? rec.running->progress() : 0;
+      break;
+    case JobState::kDone:
+    case JobState::kFailed:
+      st.queue_ms = ms_between(rec.submitted, rec.started);
+      st.run_ms = ms_between(rec.started, rec.finished);
+      st.events = rec.final_events;
+      break;
+  }
+  return st;
+}
+
+JobStatus Service::status(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= jobs_.size()) {
+    throw std::out_of_range("Service: unknown job id " + std::to_string(id));
+  }
+  return snapshot_locked(id, *jobs_[id]);
+}
+
+JobStatus Service::wait(JobId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (id >= jobs_.size()) {
+    throw std::out_of_range("Service: unknown job id " + std::to_string(id));
+  }
+  done_cv_.wait(lock, [&] {
+    const JobState s = jobs_[id]->state;
+    return s == JobState::kDone || s == JobState::kFailed;
+  });
+  return snapshot_locked(id, *jobs_[id]);
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.submitted = jobs_.size();
+    s.completed = completed_;
+    s.failed = failed_;
+    s.cache_hits = cache_hits_;
+  }
+  s.queue_depth = queue_.depth();
+  s.workers = opts_.workers;
+  s.cache = cache_.stats();
+  return s;
+}
+
+void Service::worker_loop() {
+  while (auto job = queue_.pop()) {
+    JobRecord* rec = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      rec = jobs_[*job].get();
+      rec->state = JobState::kRunning;
+      rec->started = std::chrono::steady_clock::now();
+    }
+    run_job(*rec);
+    done_cv_.notify_all();
+  }
+}
+
+void Service::run_job(JobRecord& rec) {
+  // Cache first: a hit completes the job without building an engine.
+  if (opts_.cache_enabled) {
+    if (std::shared_ptr<const std::string> hit = cache_.lookup(rec.address)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      rec.result = std::move(hit);
+      rec.cache_hit = true;
+      rec.final_events = 0;
+      rec.state = JobState::kDone;
+      rec.finished = std::chrono::steady_clock::now();
+      ++completed_;
+      ++cache_hits_;
+      return;
+    }
+  }
+  std::unique_ptr<JobRun> run;
+  try {
+    run = std::make_unique<JobRun>(rec.spec);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      rec.running = run.get();
+    }
+    RunOutcome out = run->execute();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      rec.running = nullptr;  // before `run` dies below
+      rec.result = out.dump;
+      rec.final_events = out.events;
+      rec.state = JobState::kDone;
+      rec.finished = std::chrono::steady_clock::now();
+      ++completed_;
+    }
+    if (opts_.cache_enabled) {
+      cache_.insert(rec.address, std::move(out.dump));
+    }
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rec.running = nullptr;
+    rec.state = JobState::kFailed;
+    rec.error = e.what();
+    rec.finished = std::chrono::steady_clock::now();
+    ++failed_;
+  }
+}
+
+void Service::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) {
+      return;
+    }
+    shut_down_ = true;
+  }
+  queue_.close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+}  // namespace fpst::serve

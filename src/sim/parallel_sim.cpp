@@ -266,4 +266,12 @@ std::uint64_t ParallelSim::events_processed() const {
   return total;
 }
 
+std::uint64_t ParallelSim::progress() const {
+  std::uint64_t total = 0;
+  for (const auto& sim : sims_) {
+    total += sim->progress();
+  }
+  return total;
+}
+
 }  // namespace fpst::sim

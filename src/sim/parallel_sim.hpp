@@ -154,8 +154,16 @@ class ParallelSim {
   /// completion time after run(); epoch padding is excluded).
   SimTime now() const;
 
-  /// Total events executed across all shards since construction.
+  /// Total events executed across all shards since construction. Intended
+  /// for the driving thread between runs; during a run prefer progress().
   std::uint64_t events_processed() const;
+
+  /// Live machine-wide event-count snapshot, safe from any thread while
+  /// the workers run: the sum of every shard's Simulator::progress(). The
+  /// per-shard counters are single-writer relaxed atomics, so the sum is
+  /// monotonically nondecreasing but carries no synchronizes-with edge —
+  /// see Simulator::progress() for the full memory-order contract.
+  std::uint64_t progress() const;
 
  private:
   struct Mail {

@@ -50,7 +50,11 @@ bool Simulator::step() {
   } else {
     queue_.take_slot(ev.slot)();
   }
-  ++events_processed_;
+  // Single-writer counter: a relaxed load+store (not fetch_add) avoids the
+  // locked RMW in the hot loop while staying exact, since only this thread
+  // writes. Cross-thread readers go through progress().
+  events_processed_.store(events_processed_.load(std::memory_order_relaxed) + 1,
+                          std::memory_order_relaxed);
   if (finished_roots_ > 0) {
     reap_finished_roots();
   }

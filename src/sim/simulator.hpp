@@ -8,6 +8,7 @@
 // the host machine.
 #pragma once
 
+#include <atomic>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
@@ -89,7 +90,25 @@ class Simulator {
   SimTime last_event_time() const { return last_event_; }
 
   /// Total events executed since construction (for the engine bench).
-  std::uint64_t events_processed() const { return events_processed_; }
+  std::uint64_t events_processed() const {
+    return events_processed_.load(std::memory_order_relaxed);
+  }
+
+  /// Live event-count snapshot, safe to call from *any* thread while a
+  /// different thread drives run()/step() — the serve layer's status
+  /// streaming reads it while a worker executes the job.
+  ///
+  /// Memory-order contract: the counter is written only by the driving
+  /// thread (step() is single-threaded by construction) with a relaxed
+  /// store, and read here with a relaxed load. A reader therefore gets a
+  /// monotonically nondecreasing value that is never ahead of the true
+  /// count, but the read does not *synchronize-with* the simulation: it
+  /// orders with no other simulator state. Any inference about model state
+  /// (results, queues, roots) must go through an external acquire/release
+  /// edge such as joining the driving thread or a mutex handoff.
+  std::uint64_t progress() const {
+    return events_processed_.load(std::memory_order_relaxed);
+  }
 
   /// Root processes whose coroutine frames are still owned by the
   /// simulator (finished roots are reaped as the run proceeds).
@@ -108,7 +127,11 @@ class Simulator {
 
   SimTime now_{};
   SimTime last_event_{};
-  std::uint64_t events_processed_ = 0;
+  /// Single writer (the thread inside step()); see progress() for the
+  /// cross-thread read contract. Relaxed load+store keeps the hot event
+  /// loop at plain-move cost — no lock prefix — because there is exactly
+  /// one writer.
+  std::atomic<std::uint64_t> events_processed_{0};
   std::size_t finished_roots_ = 0;
   EventQueue queue_;
   std::vector<Proc> roots_;

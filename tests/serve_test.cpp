@@ -1,0 +1,474 @@
+// Tests for the serving layer (src/serve): canonical JobSpec
+// serialization + typed bad-request rejection, the content-addressed LRU
+// result cache, the per-tenant fair bounded queue, deterministic job
+// execution, and the end-to-end Service cache-hit contract (identical
+// spec -> byte-identical result with zero simulation events).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "perf/json.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/job_spec.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/runner.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace fpst;
+using serve::JobSpec;
+
+/// The SpecError code thrown by `fn`, or "" when nothing was thrown.
+std::string error_code(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const serve::SpecError& e) {
+    return e.code();
+  }
+  return "";
+}
+
+std::shared_ptr<const std::string> bytes(const std::string& s) {
+  return std::make_shared<const std::string>(s);
+}
+
+// ------------------------------------------------------------ JobSpec
+
+TEST(JobSpecTest, CanonicalSerializationIsCompactAndSorted) {
+  const JobSpec spec;  // defaults
+  EXPECT_EQ(serve::canonical_spec(spec),
+            "{\"dimension\":2,\"elems\":16,\"program\":\"allreduce\","
+            "\"rounds\":1,\"seed\":0,\"threads\":1}");
+}
+
+TEST(JobSpecTest, ContentAddressShapeAndSensitivity) {
+  JobSpec spec;
+  const std::string base = serve::content_address(spec);
+  ASSERT_EQ(base.size(), 19u);
+  EXPECT_EQ(base.substr(0, 3), "ca-");
+  EXPECT_EQ(base.find_first_not_of("0123456789abcdef", 3), std::string::npos);
+
+  // Equal specs hash equally; every field participates in the address —
+  // notably threads, which never changes the simulated *result*, but
+  // changes the engine partition recorded in the dump.
+  JobSpec same;
+  EXPECT_EQ(serve::content_address(same), base);
+  JobSpec seed = spec;
+  seed.seed = 1;
+  JobSpec threads = spec;
+  threads.threads = 2;
+  EXPECT_NE(serve::content_address(seed), base);
+  EXPECT_NE(serve::content_address(threads), base);
+  EXPECT_NE(serve::content_address(seed), serve::content_address(threads));
+}
+
+TEST(JobSpecTest, ParseRoundTripsCanonicalForm) {
+  JobSpec spec;
+  spec.program = "ring";
+  spec.dimension = 3;
+  spec.threads = 4;
+  spec.rounds = 7;
+  spec.elems = 9;
+  spec.seed = 123456789ULL;
+  EXPECT_EQ(serve::parse_spec(serve::canonical_spec(spec)), spec);
+}
+
+TEST(JobSpecTest, BadRequestCorpusYieldsTypedErrors) {
+  const struct {
+    const char* text;
+    const char* code;
+  } kCorpus[] = {
+      {"{\"program\":\"fizzbuzz\"}", "bad-program"},
+      {"{\"dimension\":11}", "out-of-range"},
+      {"{\"dimension\":-1}", "out-of-range"},
+      {"{\"threads\":0}", "out-of-range"},
+      {"{\"threads\":65}", "out-of-range"},
+      {"{\"rounds\":0}", "out-of-range"},
+      {"{\"elems\":129}", "out-of-range"},
+      {"{\"rounds\":1.5}", "not-integral"},
+      {"{\"program\":3}", "bad-type"},
+      {"{\"seed\":\"zero\"}", "bad-type"},
+      {"[1,2,3]", "bad-type"},
+      {"{\"bogus\":1}", "unknown-field"},
+      {"{\"Program\":\"ring\"}", "unknown-field"},  // case-sensitive
+      {"{\"seed\":1,\"seed\":2}", "duplicate-key"},
+      {"{\"seed\":1,\"elems\":4,\"elems\":4}", "duplicate-key"},
+      {"not json at all", "parse-error"},
+      {"{\"seed\":1", "parse-error"},
+  };
+  for (const auto& c : kCorpus) {
+    EXPECT_EQ(error_code([&] { (void)serve::parse_spec(c.text); }), c.code)
+        << "input: " << c.text;
+  }
+}
+
+TEST(JobSpecTest, NonFiniteNumbersAreRejected) {
+  // JSON text cannot spell NaN, but a Value built through the API can
+  // carry one; spec_from_json sits behind both paths.
+  namespace json = perf::json;
+  json::Value doc = json::Value::object();
+  doc["rounds"] = json::Value::number(std::nan(""));
+  EXPECT_EQ(error_code([&] { (void)serve::spec_from_json(doc); }),
+            "not-finite");
+  doc["rounds"] = json::Value::number(HUGE_VAL);
+  EXPECT_EQ(error_code([&] { (void)serve::spec_from_json(doc); }),
+            "not-finite");
+}
+
+TEST(JobSpecTest, StrictParseRejectsWhatLenientParseCollapses) {
+  namespace json = perf::json;
+  const char* dup = "{\"a\":1,\"a\":2}";
+  // The lenient parser keeps the first occurrence silently...
+  EXPECT_EQ(json::Value::parse(dup).find("a")->as_int(), 1);
+  // ...the strict parser refuses.
+  EXPECT_THROW((void)json::Value::parse_strict(dup), std::runtime_error);
+}
+
+// ------------------------------------------------------------ ResultCache
+
+TEST(ResultCacheTest, MissThenHitReturnsSameBytes) {
+  serve::ResultCache cache{1024};
+  EXPECT_EQ(cache.lookup("ca-a"), nullptr);
+  cache.insert("ca-a", bytes("payload"));
+  const auto hit = cache.lookup("ca-a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "payload");
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_EQ(st.bytes, 7u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  serve::ResultCache cache{100};
+  cache.insert("ca-a", bytes(std::string(40, 'a')));
+  cache.insert("ca-b", bytes(std::string(40, 'b')));
+  // Freshen a so b is the LRU entry when c arrives.
+  ASSERT_NE(cache.lookup("ca-a"), nullptr);
+  cache.insert("ca-c", bytes(std::string(40, 'c')));
+  EXPECT_NE(cache.lookup("ca-a"), nullptr);
+  EXPECT_EQ(cache.lookup("ca-b"), nullptr);  // evicted
+  EXPECT_NE(cache.lookup("ca-c"), nullptr);
+  const auto st = cache.stats();
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.entries, 2u);
+  EXPECT_EQ(st.bytes, 80u);
+  EXPECT_LE(st.bytes, st.byte_budget);
+}
+
+TEST(ResultCacheTest, EvictedBytesStayValidForHolders) {
+  serve::ResultCache cache{10};
+  cache.insert("ca-a", bytes("0123456789"));
+  const auto held = cache.lookup("ca-a");
+  ASSERT_NE(held, nullptr);
+  cache.insert("ca-b", bytes("9876543210"));  // evicts a entirely
+  EXPECT_EQ(cache.lookup("ca-a"), nullptr);
+  EXPECT_EQ(*held, "0123456789");  // the client's copy is untouched
+}
+
+TEST(ResultCacheTest, OversizeValueIsNotStored) {
+  serve::ResultCache cache{8};
+  cache.insert("ca-big", bytes("far too large for the budget"));
+  EXPECT_EQ(cache.lookup("ca-big"), nullptr);
+  const auto st = cache.stats();
+  EXPECT_EQ(st.oversize_rejects, 1u);
+  EXPECT_EQ(st.entries, 0u);
+  EXPECT_EQ(st.bytes, 0u);
+}
+
+TEST(ResultCacheTest, ZeroBudgetDisablesStorage) {
+  serve::ResultCache cache{0};
+  cache.insert("ca-a", bytes("x"));
+  EXPECT_EQ(cache.lookup("ca-a"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, ReinsertReplacesValueAndAccounting) {
+  serve::ResultCache cache{100};
+  cache.insert("ca-a", bytes("old-bytes"));
+  cache.insert("ca-a", bytes("new"));
+  const auto hit = cache.lookup("ca-a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "new");
+  const auto st = cache.stats();
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_EQ(st.bytes, 3u);
+}
+
+// ------------------------------------------------------------ JobQueue
+
+TEST(JobQueueTest, FifoWithinOneTenant) {
+  serve::JobQueue q{8};
+  ASSERT_TRUE(q.push("t", 1));
+  ASSERT_TRUE(q.push("t", 2));
+  ASSERT_TRUE(q.push("t", 3));
+  EXPECT_EQ(q.pop(), std::optional<std::uint64_t>{1});
+  EXPECT_EQ(q.pop(), std::optional<std::uint64_t>{2});
+  EXPECT_EQ(q.pop(), std::optional<std::uint64_t>{3});
+}
+
+TEST(JobQueueTest, RoundRobinKeepsSmallTenantAheadOfBacklog) {
+  serve::JobQueue q{32};
+  // Tenant a floods ten jobs before tenant b submits one.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.push("a", i));
+  }
+  ASSERT_TRUE(q.push("b", 100));
+  // b's job pops second — behind exactly one of a's, not all ten.
+  EXPECT_EQ(q.pop(), std::optional<std::uint64_t>{0});
+  EXPECT_EQ(q.pop(), std::optional<std::uint64_t>{100});
+  EXPECT_EQ(q.pop(), std::optional<std::uint64_t>{1});
+}
+
+TEST(JobQueueTest, TryPushRefusesWhenFull) {
+  serve::JobQueue q{2};
+  EXPECT_TRUE(q.try_push("t", 1));
+  EXPECT_TRUE(q.try_push("u", 2));
+  EXPECT_FALSE(q.try_push("t", 3));
+  (void)q.pop();
+  EXPECT_TRUE(q.try_push("t", 3));
+}
+
+TEST(JobQueueTest, CloseDrainsPendingThenEndsStream) {
+  serve::JobQueue q{8};
+  ASSERT_TRUE(q.push("t", 1));
+  ASSERT_TRUE(q.push("t", 2));
+  q.close();
+  EXPECT_FALSE(q.push("t", 3));
+  EXPECT_FALSE(q.try_push("t", 3));
+  EXPECT_EQ(q.pop(), std::optional<std::uint64_t>{1});
+  EXPECT_EQ(q.pop(), std::optional<std::uint64_t>{2});
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+// ------------------------------------------------------------ runner
+
+TEST(RunnerTest, ShardPartitionDerivesFromSpecOnly) {
+  JobSpec spec;
+  spec.dimension = 3;  // 8 nodes
+  spec.threads = 1;
+  EXPECT_EQ(serve::shards_for(spec), 1);
+  spec.threads = 4;
+  EXPECT_EQ(serve::shards_for(spec), 4);
+  spec.threads = 3;  // rounds down to a power of two
+  EXPECT_EQ(serve::shards_for(spec), 2);
+  spec.threads = 64;  // capped by the node count
+  EXPECT_EQ(serve::shards_for(spec), 8);
+  spec.dimension = 0;  // a single node is always one shard
+  EXPECT_EQ(serve::shards_for(spec), 1);
+}
+
+TEST(RunnerTest, SameSpecProducesByteIdenticalDumps) {
+  JobSpec spec;
+  spec.program = "ring";
+  spec.dimension = 2;
+  spec.rounds = 2;
+  spec.elems = 8;
+  spec.seed = 11;
+  serve::JobRun run_a{spec};
+  serve::JobRun run_b{spec};
+  const serve::RunOutcome a = run_a.execute();
+  const serve::RunOutcome b = run_b.execute();
+  ASSERT_NE(a.dump, nullptr);
+  ASSERT_NE(b.dump, nullptr);
+  EXPECT_EQ(*a.dump, *b.dump);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_GT(a.events, 0u);
+}
+
+TEST(RunnerTest, DifferentSeedProducesDifferentDumps) {
+  JobSpec spec;
+  spec.program = "allreduce";
+  spec.dimension = 2;
+  spec.rounds = 1;
+  spec.elems = 4;
+  spec.seed = 1;
+  serve::JobRun run_a{spec};
+  spec.seed = 2;
+  serve::JobRun run_b{spec};
+  EXPECT_NE(*run_a.execute().dump, *run_b.execute().dump);
+}
+
+TEST(RunnerTest, ProgressSettlesAtFinalEventCount) {
+  JobSpec spec;
+  spec.program = "saxpy";
+  spec.dimension = 1;
+  spec.rounds = 3;
+  spec.elems = 8;
+  serve::JobRun run{spec};
+  EXPECT_EQ(run.progress(), 0u);
+  const serve::RunOutcome out = run.execute();
+  EXPECT_EQ(run.progress(), out.events);
+  EXPECT_GT(out.events, 0u);
+}
+
+// ------------------------------------------------------------ Service
+
+JobSpec small_spec(std::uint64_t seed) {
+  JobSpec spec;
+  spec.program = "allreduce";
+  spec.dimension = 2;
+  spec.rounds = 2;
+  spec.elems = 8;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(ServiceTest, IdenticalSpecHitsCacheWithZeroEventsAndSameBytes) {
+  serve::Service::Options opts;
+  opts.workers = 1;  // serialise: the second job runs after the insert
+  serve::Service service{opts};
+  const serve::JobId a = service.submit("ana", small_spec(5));
+  const serve::JobStatus first = service.wait(a);
+  ASSERT_EQ(first.state, serve::JobState::kDone) << first.error;
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_GT(first.events, 0u);
+  ASSERT_NE(first.result, nullptr);
+
+  const serve::JobId b = service.submit("bob", small_spec(5));
+  const serve::JobStatus second = service.wait(b);
+  ASSERT_EQ(second.state, serve::JobState::kDone) << second.error;
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.events, 0u);  // nothing was simulated
+  ASSERT_NE(second.result, nullptr);
+  EXPECT_EQ(*first.result, *second.result);  // byte-identical
+  EXPECT_EQ(first.address, second.address);
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(ServiceTest, DifferentSeedOrThreadsMissesCache) {
+  serve::Service::Options opts;
+  opts.workers = 1;
+  serve::Service service{opts};
+  const serve::JobStatus base = service.wait(service.submit("t", small_spec(1)));
+  JobSpec other_seed = small_spec(2);
+  JobSpec other_threads = small_spec(1);
+  other_threads.threads = 2;
+  const serve::JobStatus st_seed =
+      service.wait(service.submit("t", other_seed));
+  const serve::JobStatus st_threads =
+      service.wait(service.submit("t", other_threads));
+  EXPECT_FALSE(st_seed.cache_hit);
+  EXPECT_FALSE(st_threads.cache_hit);
+  EXPECT_NE(st_seed.address, base.address);
+  EXPECT_NE(st_threads.address, base.address);
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+}
+
+TEST(ServiceTest, TinyBudgetEvictionRerunsByteIdentically) {
+  serve::Service::Options opts;
+  opts.workers = 1;
+  // Big enough for roughly one dump: inserting the second spec's result
+  // evicts the first, so resubmitting the first re-simulates.
+  opts.cache_bytes = 40 << 10;
+  serve::Service service{opts};
+  const serve::JobStatus first = service.wait(service.submit("t", small_spec(1)));
+  ASSERT_EQ(first.state, serve::JobState::kDone) << first.error;
+  (void)service.wait(service.submit("t", small_spec(2)));
+  const serve::JobStatus again = service.wait(service.submit("t", small_spec(1)));
+  ASSERT_EQ(again.state, serve::JobState::kDone) << again.error;
+  EXPECT_FALSE(again.cache_hit);  // was evicted
+  EXPECT_GT(again.events, 0u);    // really re-ran
+  ASSERT_NE(again.result, nullptr);
+  EXPECT_EQ(*first.result, *again.result);  // determinism held
+  EXPECT_GE(service.stats().cache.evictions, 1u);
+}
+
+TEST(ServiceTest, ProgressIsMonotonicWhileObservedMidRun) {
+  serve::Service::Options opts;
+  opts.workers = 1;
+  serve::Service service{opts};
+  JobSpec spec = small_spec(3);
+  spec.rounds = 2000;  // long enough that polling overlaps the run
+  const serve::JobId id = service.submit("t", spec);
+  std::vector<std::uint64_t> observed;
+  for (;;) {
+    const serve::JobStatus st = service.status(id);
+    observed.push_back(st.events);
+    if (st.state == serve::JobState::kDone ||
+        st.state == serve::JobState::kFailed) {
+      break;
+    }
+  }
+  for (std::size_t i = 1; i < observed.size(); ++i) {
+    EXPECT_GE(observed[i], observed[i - 1]) << "at sample " << i;
+  }
+  const serve::JobStatus final_st = service.status(id);
+  ASSERT_EQ(final_st.state, serve::JobState::kDone) << final_st.error;
+  EXPECT_GT(final_st.events, 0u);
+}
+
+TEST(ServiceTest, TrySubmitReportsBackpressureAsFailedRecord) {
+  serve::Service::Options opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  serve::Service service{opts};
+  JobSpec slow = small_spec(1);
+  slow.rounds = 5000;  // keep the single worker busy well past the pushes
+  const serve::JobId running = service.submit("t", slow);  // worker takes it
+  const serve::JobId queued = service.submit("t", small_spec(2));
+  serve::JobId refused = 0;
+  ASSERT_FALSE(service.try_submit("t", small_spec(3), &refused));
+  const serve::JobStatus st = service.status(refused);
+  EXPECT_EQ(st.state, serve::JobState::kFailed);
+  EXPECT_NE(st.error.find("backpressure"), std::string::npos);
+  // wait() resolves immediately for the refused record, and the accepted
+  // jobs still complete.
+  EXPECT_EQ(service.wait(refused).state, serve::JobState::kFailed);
+  EXPECT_EQ(service.wait(running).state, serve::JobState::kDone);
+  EXPECT_EQ(service.wait(queued).state, serve::JobState::kDone);
+  EXPECT_EQ(service.stats().failed, 1u);
+}
+
+TEST(ServiceTest, UnknownIdThrows) {
+  serve::Service::Options opts;
+  opts.workers = 1;
+  serve::Service service{opts};
+  EXPECT_THROW((void)service.status(99), std::out_of_range);
+  EXPECT_THROW((void)service.wait(99), std::out_of_range);
+}
+
+TEST(ServiceTest, InvalidSpecIsRejectedAtSubmit) {
+  serve::Service::Options opts;
+  opts.workers = 1;
+  serve::Service service{opts};
+  JobSpec bad;
+  bad.program = "fizzbuzz";
+  EXPECT_THROW((void)service.submit("t", bad), serve::SpecError);
+  EXPECT_EQ(service.stats().submitted, 0u);
+}
+
+TEST(ServiceTest, SubmitAfterShutdownThrows) {
+  serve::Service::Options opts;
+  opts.workers = 1;
+  serve::Service service{opts};
+  service.shutdown();
+  EXPECT_THROW((void)service.submit("t", small_spec(1)), std::runtime_error);
+}
+
+TEST(ServiceTest, CacheDisabledNeverHits) {
+  serve::Service::Options opts;
+  opts.workers = 1;
+  opts.cache_enabled = false;
+  serve::Service service{opts};
+  (void)service.wait(service.submit("t", small_spec(1)));
+  const serve::JobStatus second =
+      service.wait(service.submit("t", small_spec(1)));
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_GT(second.events, 0u);
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+}
+
+}  // namespace

@@ -27,10 +27,8 @@
 // model violations (performance-class errors, or --against divergence).
 #include <cmath>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <sstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,6 +40,7 @@
 #include "occam/commspec.hpp"
 #include "perf/chrome_trace.hpp"
 #include "perf/tscope.hpp"
+#include "tool_util.hpp"
 
 namespace {
 
@@ -64,27 +63,6 @@ int usage() {
                "              [--against DUMP] [--tolerance X] "
                "<file.tisa | file.comm>...\n";
   return 2;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-/// Returns false on I/O failure.
-bool slurp(const std::string& path, std::string* out) {
-  std::error_code ec;
-  if (!std::filesystem::is_regular_file(path, ec)) {
-    return false;  // directories read as empty streams otherwise
-  }
-  std::ifstream in(path);
-  if (!in) {
-    return false;
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  *out = ss.str();
-  return true;
 }
 
 const char* verdict_name(check::LoopVerdict v) {
@@ -218,13 +196,12 @@ bool validate_tisa(const check::CostPrediction& pred, const std::string& path,
 /// message counts, total hops, and every per-edge crossing count, exactly.
 bool validate_comm(const check::VolumeAnalysis& vol, const std::string& path,
                    const std::string& dump_path) {
-  perf::MessageReport observed;
-  try {
-    observed = perf::analyze_messages(perf::load_file(dump_path));
-  } catch (const std::exception& e) {
-    std::cerr << dump_path << ": " << e.what() << "\n";
+  const std::optional<perf::Dump> dump =
+      fpst::tools::load_dump("tcheck", dump_path);
+  if (!dump) {
     return false;
   }
+  const perf::MessageReport observed = perf::analyze_messages(*dump);
   bool ok = true;
   if (observed.flights.size() != vol.messages) {
     std::printf("%s: message count diverges: predicted %llu, observed %zu\n",
@@ -290,7 +267,7 @@ FileVerdict check_one(const Options& opts, const std::string& path,
                       perf::json::Value* json_docs) {
   FileVerdict v;
   std::string text;
-  if (!slurp(path, &text)) {
+  if (!fpst::tools::slurp(path, &text)) {
     std::cerr << path << ": cannot read file\n";
     v.io_failed = true;
     return v;
@@ -298,7 +275,7 @@ FileVerdict check_one(const Options& opts, const std::string& path,
 
   check::Report rep;
   perf::json::Value pred_json;
-  if (ends_with(path, ".comm")) {
+  if (path.ends_with(".comm")) {
     try {
       const occam::CommSpec spec = occam::parse_comm_spec(text);
       rep = check::analyze_comm(spec).report;
@@ -372,21 +349,12 @@ FileVerdict check_one(const Options& opts, const std::string& path,
           pred_json = prediction_to_json(pred);
         }
         if (!opts.against.empty()) {
-          std::string dump_text;
-          if (!slurp(opts.against, &dump_text)) {
-            std::cerr << opts.against << ": cannot read dump\n";
+          const std::optional<perf::json::Value> dump =
+              fpst::tools::load_json("tcheck", opts.against);
+          if (!dump) {
             v.io_failed = true;
-          } else {
-            try {
-              const perf::json::Value dump =
-                  perf::json::Value::parse(dump_text);
-              if (!validate_tisa(pred, path, dump, opts.tolerance)) {
-                v.diverged = true;
-              }
-            } catch (const std::exception& e) {
-              std::cerr << opts.against << ": " << e.what() << "\n";
-              v.io_failed = true;
-            }
+          } else if (!validate_tisa(pred, path, *dump, opts.tolerance)) {
+            v.diverged = true;
           }
         }
       }
@@ -399,7 +367,7 @@ FileVerdict check_one(const Options& opts, const std::string& path,
     perf::json::Value entry = perf::json::Value::object();
     entry["file"] = perf::json::Value::string(path);
     entry["kind"] = perf::json::Value::string(
-        ends_with(path, ".comm") ? "comm" : "tisa");
+        path.ends_with(".comm") ? "comm" : "tisa");
     entry["prediction"] = std::move(pred_json);
     json_docs->append(std::move(entry));
   }

@@ -1,0 +1,130 @@
+// Shared plumbing for the CLI tools (ttrace, tscope, tcheck, tsim).
+//
+// Every tool used to re-implement the same three fragments — slurp a file,
+// load-and-diagnose a tperf dump, and a `--metric NAME` switch printing one
+// value — and the copies had already drifted apart in error wording by the
+// third tool. This header is the single implementation; tools include it
+// directly (the tools are leaf binaries, so a header-only helper keeps the
+// build graph flat).
+//
+// Conventions the helpers encode:
+//   * diagnostics go to stderr as "<tool>: <message>";
+//   * exit code 2 means usage / unreadable input, and the helpers return 2
+//     (never exit()) so each tool keeps control of its own exit paths;
+//   * metric values print one per line, machine-consumable (ci.sh awk).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "perf/chrome_trace.hpp"
+#include "perf/json.hpp"
+
+namespace fpst::tools {
+
+/// Read a whole regular file. Returns false on any I/O failure (including
+/// `path` being a directory, which an ifstream would read as empty).
+inline bool slurp(const std::string& path, std::string* out) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) {
+    return false;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Slurp + parse a JSON document, with "<tool>: ..." diagnostics on
+/// stderr. nullopt on failure.
+inline std::optional<perf::json::Value> load_json(const char* tool,
+                                                  const std::string& path) {
+  std::string text;
+  if (!slurp(path, &text)) {
+    std::fprintf(stderr, "%s: cannot read %s\n", tool, path.c_str());
+    return std::nullopt;
+  }
+  try {
+    return perf::json::Value::parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s: %s\n", tool, path.c_str(), e.what());
+    return std::nullopt;
+  }
+}
+
+/// Load a tperf dump, with diagnostics. nullopt on failure.
+inline std::optional<perf::Dump> load_dump(const char* tool,
+                                           const std::string& path) {
+  try {
+    return perf::load_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", tool, e.what());
+    return std::nullopt;
+  }
+}
+
+// ---- value formatting for --metric output ----
+
+inline std::string fmt_f6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+inline std::string fmt_u64(std::uint64_t v) {
+  return std::to_string(v);
+}
+
+/// `--metric NAME` dispatch table: registration order is the order the
+/// usage text lists. Getters are lazy, so registering a metric costs
+/// nothing unless it is asked for.
+class MetricTable {
+ public:
+  void add(std::string name, std::function<std::string()> fn) {
+    metrics_.emplace_back(std::move(name), std::move(fn));
+  }
+
+  /// Print the metric's value (one line) and return 0, or complain on
+  /// stderr and return 2 for an unknown name.
+  int print(const char* tool, const std::string& name) const {
+    for (const auto& [n, fn] : metrics_) {
+      if (n == name) {
+        std::printf("%s\n", fn().c_str());
+        return 0;
+      }
+    }
+    std::fprintf(stderr, "%s: unknown metric %s (have: %s)\n", tool,
+                 name.c_str(), names().c_str());
+    return 2;
+  }
+
+  /// "a | b | c" — for usage strings.
+  std::string names() const {
+    std::string out;
+    for (const auto& [n, fn] : metrics_) {
+      (void)fn;
+      if (!out.empty()) {
+        out += " | ";
+      }
+      out += n;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::function<std::string()>>> metrics_;
+};
+
+}  // namespace fpst::tools

@@ -13,8 +13,8 @@
 // Exit codes: 0 report printed, 1 --check-ecube violation, 2 usage or
 // unreadable dump.
 #include <cstdio>
-#include <exception>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,6 +22,7 @@
 #include "net/hypercube.hpp"
 #include "perf/chrome_trace.hpp"
 #include "perf/tscope.hpp"
+#include "tool_util.hpp"
 
 namespace {
 
@@ -156,30 +157,27 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  fpst::perf::MessageReport report;
-  try {
-    report = fpst::perf::analyze_messages(fpst::perf::load_file(path));
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "tscope: %s\n", e.what());
+  const std::optional<fpst::perf::Dump> dump =
+      fpst::tools::load_dump("tscope", path);
+  if (!dump) {
     return 2;
   }
+  const fpst::perf::MessageReport report = fpst::perf::analyze_messages(*dump);
 
   if (!metric.empty()) {
-    if (metric == "messages") {
-      std::printf("%zu\n", report.flights.size());
-    } else if (metric == "max_hops") {
-      std::printf("%d\n", report.max_hops);
-    } else if (metric == "p50_us") {
-      std::printf("%.6f\n", report.latency_ps.quantile(0.50) * 1e-6);
-    } else if (metric == "p99_us") {
-      std::printf("%.6f\n", report.latency_ps.quantile(0.99) * 1e-6);
-    } else if (metric == "critical_path_frac") {
-      std::printf("%.6f\n", report.critical.wall_fraction);
-    } else {
-      std::fprintf(stderr, "tscope: unknown metric %s\n", metric.c_str());
-      return 2;
-    }
-    return 0;
+    fpst::tools::MetricTable table;
+    table.add("messages",
+              [&] { return fpst::tools::fmt_u64(report.flights.size()); });
+    table.add("max_hops", [&] { return std::to_string(report.max_hops); });
+    table.add("p50_us", [&] {
+      return fpst::tools::fmt_f6(report.latency_ps.quantile(0.50) * 1e-6);
+    });
+    table.add("p99_us", [&] {
+      return fpst::tools::fmt_f6(report.latency_ps.quantile(0.99) * 1e-6);
+    });
+    table.add("critical_path_frac",
+              [&] { return fpst::tools::fmt_f6(report.critical.wall_fraction); });
+    return table.print("tscope", metric);
   }
   if (check) {
     return check_ecube(report);

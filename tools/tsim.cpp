@@ -1,0 +1,1055 @@
+// tsim — the simulation job service CLI (README "Serving", DESIGN.md §7).
+//
+// One binary, both sides of the wire:
+//
+//   tsim run-server --socket PATH [--workers N] [--queue N] [--cache-mb N]
+//                   [--no-cache]
+//       host a serve::Service on a Unix stream socket
+//   tsim submit     --socket PATH [spec flags] [--tenant T] [--wait]
+//                   [--out FILE]
+//       submit one job; --wait streams live status lines until completion
+//   tsim status     --socket PATH --id N [--watch]
+//   tsim stats      --socket PATH
+//   tsim shutdown   --socket PATH
+//   tsim hash       [spec flags | --spec FILE]
+//       print a spec's canonical serialization + content address (offline)
+//   tsim selftest
+//       end-to-end smoke: in-process server on a temp socket, submit the
+//       same spec twice over the wire, assert the second is a cache hit
+//       with byte-identical dump bytes (registered as a tier-1 ctest)
+//
+// Wire protocol: newline-delimited JSON, one request object per line, one
+// response object per line — except `watch`, which streams a status line
+// per poll tick and marks the last one with "final": true. Responses carry
+// "ok": true, or "ok": false with "error" (human text) and "code" (the
+// SpecError slug, or "bad-request" / "unknown-op" / "unknown-id").
+//
+// Spec flags (submit / hash): --program allreduce|saxpy|ring, --dim D,
+// --threads N, --rounds R, --elems E, --seed S, or --spec FILE to load a
+// JSON spec document through the strict parser (duplicate keys rejected).
+//
+// Exit codes: 0 success, 1 job failed / selftest assertion, 2 usage or
+// I/O / protocol error.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "perf/json.hpp"
+#include "serve/service.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+using fpst::perf::json::Value;
+using namespace fpst::serve;
+
+// ------------------------------------------------------------ line framing
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) {
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_line(int fd, const Value& v) {
+  return send_all(fd, v.dump() + "\n");
+}
+
+/// Buffered newline-delimited reader over a socket fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_{fd} {}
+
+  /// False on EOF or error. The returned line excludes the newline.
+  bool read_line(std::string* out) {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        *out = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n <= 0) {
+        return false;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+
+// -------------------------------------------------------------- socket ops
+
+bool fill_addr(const std::string& path, sockaddr_un* addr) {
+  if (path.size() >= sizeof addr->sun_path) {
+    std::fprintf(stderr, "tsim: socket path too long (%zu bytes, max %zu)\n",
+                 path.size(), sizeof addr->sun_path - 1);
+    return false;
+  }
+  std::memset(addr, 0, sizeof *addr);
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+int connect_unix(const std::string& path, bool quiet = false) {
+  sockaddr_un addr;
+  if (!fill_addr(path, &addr)) {
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("tsim: socket");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    if (!quiet) {
+      std::fprintf(stderr, "tsim: cannot connect to %s: %s\n", path.c_str(),
+                   std::strerror(errno));
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int listen_unix(const std::string& path) {
+  sockaddr_un addr;
+  if (!fill_addr(path, &addr)) {
+    return -1;
+  }
+  ::unlink(path.c_str());  // clear a stale socket from a dead server
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("tsim: socket");
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    std::fprintf(stderr, "tsim: cannot bind %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) != 0) {
+    std::perror("tsim: listen");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// ----------------------------------------------------------- JSON shaping
+
+Value status_to_json(const JobStatus& st) {
+  Value v = Value::object();
+  v["id"] = Value::integer(static_cast<std::int64_t>(st.id));
+  v["state"] = Value::string(to_string(st.state));
+  v["cache_hit"] = Value::boolean(st.cache_hit);
+  v["events"] = Value::integer(static_cast<std::int64_t>(st.events));
+  v["tenant"] = Value::string(st.tenant);
+  v["address"] = Value::string(st.address);
+  if (!st.error.empty()) {
+    v["error"] = Value::string(st.error);
+  }
+  v["queue_ms"] = Value::number(st.queue_ms);
+  v["run_ms"] = Value::number(st.run_ms);
+  v["result_bytes"] = Value::integer(
+      static_cast<std::int64_t>(st.result ? st.result->size() : 0));
+  return v;
+}
+
+Value stats_to_json(const ServiceStats& s) {
+  Value v = Value::object();
+  v["submitted"] = Value::integer(static_cast<std::int64_t>(s.submitted));
+  v["completed"] = Value::integer(static_cast<std::int64_t>(s.completed));
+  v["failed"] = Value::integer(static_cast<std::int64_t>(s.failed));
+  v["cache_hits"] = Value::integer(static_cast<std::int64_t>(s.cache_hits));
+  v["queue_depth"] = Value::integer(static_cast<std::int64_t>(s.queue_depth));
+  v["workers"] = Value::integer(s.workers);
+  Value c = Value::object();
+  c["hits"] = Value::integer(static_cast<std::int64_t>(s.cache.hits));
+  c["misses"] = Value::integer(static_cast<std::int64_t>(s.cache.misses));
+  c["insertions"] =
+      Value::integer(static_cast<std::int64_t>(s.cache.insertions));
+  c["evictions"] = Value::integer(static_cast<std::int64_t>(s.cache.evictions));
+  c["entries"] = Value::integer(static_cast<std::int64_t>(s.cache.entries));
+  c["bytes"] = Value::integer(static_cast<std::int64_t>(s.cache.bytes));
+  c["byte_budget"] =
+      Value::integer(static_cast<std::int64_t>(s.cache.byte_budget));
+  v["cache"] = std::move(c);
+  return v;
+}
+
+Value error_reply(const std::string& code, const std::string& what) {
+  Value v = Value::object();
+  v["ok"] = Value::boolean(false);
+  v["code"] = Value::string(code);
+  v["error"] = Value::string(what);
+  return v;
+}
+
+Value ok_reply() {
+  Value v = Value::object();
+  v["ok"] = Value::boolean(true);
+  return v;
+}
+
+// ----------------------------------------------------------------- server
+
+struct Server {
+  Service service;
+  std::atomic<bool> stop{false};
+  int listen_fd = -1;
+  /// Live connection fds, so shutdown can unblock threads parked in read().
+  std::mutex conn_mu;
+  std::vector<int> conn_fds;
+
+  explicit Server(Service::Options opts) : service{std::move(opts)} {}
+
+  void track(int fd) {
+    std::lock_guard<std::mutex> lk{conn_mu};
+    conn_fds.push_back(fd);
+  }
+
+  void untrack(int fd) {
+    std::lock_guard<std::mutex> lk{conn_mu};
+    std::erase(conn_fds, fd);
+  }
+
+  /// Half-close every live connection; blocked read()s return 0.
+  void kick_connections() {
+    std::lock_guard<std::mutex> lk{conn_mu};
+    for (const int fd : conn_fds) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+};
+
+/// One request line -> zero or more response lines on `fd`. Returns false
+/// when the connection should close.
+bool handle_request(Server& srv, int fd, const std::string& line) {
+  Value req;
+  try {
+    req = Value::parse_strict(line);
+  } catch (const std::exception& e) {
+    return send_line(fd, error_reply("bad-request", e.what()));
+  }
+  if (!req.is_object() || req.find("op") == nullptr ||
+      !req.find("op")->is_string()) {
+    return send_line(fd, error_reply("bad-request", "missing string \"op\""));
+  }
+  const std::string& op = req.find("op")->as_string();
+
+  const auto job_id = [&req]() -> std::optional<JobId> {
+    const Value* id = req.find("id");
+    if (id == nullptr || !id->is_number() || id->as_int() < 0) {
+      return std::nullopt;
+    }
+    return static_cast<JobId>(id->as_int());
+  };
+
+  try {
+    if (op == "ping") {
+      return send_line(fd, ok_reply());
+    }
+    if (op == "submit") {
+      const Value* spec_doc = req.find("spec");
+      if (spec_doc == nullptr) {
+        return send_line(fd, error_reply("bad-request", "missing \"spec\""));
+      }
+      const JobSpec spec = spec_from_json(*spec_doc);
+      const Value* tenant = req.find("tenant");
+      const std::string tenant_name =
+          tenant != nullptr && tenant->is_string() ? tenant->as_string()
+                                                   : "default";
+      const JobId id = srv.service.submit(tenant_name, spec);
+      Value v = ok_reply();
+      v["id"] = Value::integer(static_cast<std::int64_t>(id));
+      v["address"] = Value::string(content_address(spec));
+      return send_line(fd, v);
+    }
+    if (op == "status" || op == "wait") {
+      const std::optional<JobId> id = job_id();
+      if (!id) {
+        return send_line(fd, error_reply("bad-request", "missing \"id\""));
+      }
+      const JobStatus st =
+          op == "wait" ? srv.service.wait(*id) : srv.service.status(*id);
+      Value v = ok_reply();
+      v["status"] = status_to_json(st);
+      return send_line(fd, v);
+    }
+    if (op == "watch") {
+      const std::optional<JobId> id = job_id();
+      if (!id) {
+        return send_line(fd, error_reply("bad-request", "missing \"id\""));
+      }
+      // Stream a status line per tick until the job settles; the final
+      // line is tagged so the client knows the stream is over.
+      for (;;) {
+        const JobStatus st = srv.service.status(*id);
+        const bool final_tick =
+            st.state == JobState::kDone || st.state == JobState::kFailed;
+        Value v = ok_reply();
+        v["status"] = status_to_json(st);
+        v["final"] = Value::boolean(final_tick);
+        if (!send_line(fd, v) || final_tick) {
+          return final_tick;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    if (op == "result") {
+      const std::optional<JobId> id = job_id();
+      if (!id) {
+        return send_line(fd, error_reply("bad-request", "missing \"id\""));
+      }
+      const JobStatus st = srv.service.status(*id);
+      if (st.state != JobState::kDone || !st.result) {
+        return send_line(
+            fd, error_reply("no-result",
+                            "job " + std::to_string(*id) + " is " +
+                                to_string(st.state) + ", no result bytes"));
+      }
+      Value v = ok_reply();
+      v["dump"] = Value::string(*st.result);
+      return send_line(fd, v);
+    }
+    if (op == "stats") {
+      Value v = ok_reply();
+      v["stats"] = stats_to_json(srv.service.stats());
+      return send_line(fd, v);
+    }
+    if (op == "shutdown") {
+      srv.stop.store(true);
+      // Wake the accept loop (half-close the listening socket) and every
+      // connection thread parked in read() on an idle client.
+      ::shutdown(srv.listen_fd, SHUT_RDWR);
+      send_line(fd, ok_reply());
+      srv.kick_connections();
+      return false;
+    }
+    return send_line(fd, error_reply("unknown-op", "unknown op " + op));
+  } catch (const SpecError& e) {
+    return send_line(fd, error_reply(e.code(), e.what()));
+  } catch (const std::out_of_range& e) {
+    return send_line(fd, error_reply("unknown-id", e.what()));
+  } catch (const std::exception& e) {
+    return send_line(fd, error_reply("internal", e.what()));
+  }
+}
+
+void serve_connection(Server& srv, int fd) {
+  LineReader reader{fd};
+  std::string line;
+  while (!srv.stop.load() && reader.read_line(&line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (!handle_request(srv, fd, line)) {
+      break;
+    }
+  }
+  srv.untrack(fd);
+  ::close(fd);
+}
+
+int run_server(const std::string& socket_path, Service::Options opts,
+               std::atomic<bool>* ready) {
+  // A client that disconnects mid-watch must not kill the server with
+  // SIGPIPE; send_all sees the write error instead.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Server srv{opts};
+  srv.listen_fd = listen_unix(socket_path);
+  if (srv.listen_fd < 0) {
+    return 2;
+  }
+  if (ready != nullptr) {
+    ready->store(true);
+  }
+
+  std::vector<std::thread> conns;
+  while (!srv.stop.load()) {
+    const int fd = ::accept(srv.listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (srv.stop.load()) {
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      std::perror("tsim: accept");
+      break;
+    }
+    srv.track(fd);
+    conns.emplace_back([&srv, fd] { serve_connection(srv, fd); });
+  }
+  for (std::thread& t : conns) {
+    t.join();
+  }
+  ::close(srv.listen_fd);
+  ::unlink(socket_path.c_str());
+  srv.service.shutdown();
+  return 0;
+}
+
+// ----------------------------------------------------------------- client
+
+/// A client connection: the fd plus its persistent line reader (a reply
+/// must never be split across two throw-away readers' buffers).
+class Conn {
+ public:
+  explicit Conn(int fd) : fd_{fd}, reader_{fd} {}
+  ~Conn() { ::close(fd_); }
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  int fd() const { return fd_; }
+  bool read_line(std::string* out) { return reader_.read_line(out); }
+
+ private:
+  int fd_;
+  LineReader reader_;
+};
+
+/// Send one request, read one reply. nullopt on transport failure (a
+/// message was already printed).
+std::optional<Value> roundtrip(Conn& conn, const Value& req) {
+  if (!send_line(conn.fd(), req)) {
+    std::fprintf(stderr, "tsim: connection lost while sending\n");
+    return std::nullopt;
+  }
+  std::string line;
+  if (!conn.read_line(&line)) {
+    std::fprintf(stderr, "tsim: connection closed before reply\n");
+    return std::nullopt;
+  }
+  try {
+    return Value::parse(line);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tsim: malformed reply: %s\n", e.what());
+    return std::nullopt;
+  }
+}
+
+bool reply_ok(const Value& reply) {
+  const Value* ok = reply.find("ok");
+  return ok != nullptr && ok->as_bool();
+}
+
+void print_reply_error(const Value& reply) {
+  const Value* code = reply.find("code");
+  const Value* err = reply.find("error");
+  std::fprintf(stderr, "tsim: %s: %s\n",
+               code != nullptr && code->is_string() ? code->as_string().c_str()
+                                                    : "error",
+               err != nullptr && err->is_string() ? err->as_string().c_str()
+                                                  : "(no detail)");
+}
+
+/// Watch a job to completion on an already-open connection, printing one
+/// progress line per state change to stderr. Returns the final status
+/// object, or nullopt on transport failure.
+std::optional<Value> watch_job(Conn& conn, JobId id, bool verbose) {
+  Value req = Value::object();
+  req["op"] = Value::string("watch");
+  req["id"] = Value::integer(static_cast<std::int64_t>(id));
+  if (!send_line(conn.fd(), req)) {
+    std::fprintf(stderr, "tsim: connection lost while sending\n");
+    return std::nullopt;
+  }
+  std::string line;
+  std::string last_printed;
+  while (conn.read_line(&line)) {
+    Value reply;
+    try {
+      reply = Value::parse(line);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tsim: malformed watch line: %s\n", e.what());
+      return std::nullopt;
+    }
+    if (!reply_ok(reply)) {
+      print_reply_error(reply);
+      return std::nullopt;
+    }
+    const Value* st = reply.find("status");
+    const Value* final_tick = reply.find("final");
+    if (st == nullptr || final_tick == nullptr) {
+      std::fprintf(stderr, "tsim: malformed watch line\n");
+      return std::nullopt;
+    }
+    if (verbose) {
+      const std::string tick = st->find("state")->as_string() + " events=" +
+                               std::to_string(st->find("events")->as_int());
+      if (tick != last_printed) {
+        std::fprintf(stderr, "tsim: %s\n", tick.c_str());
+        last_printed = tick;
+      }
+    }
+    if (final_tick->as_bool()) {
+      return *st;
+    }
+  }
+  std::fprintf(stderr, "tsim: connection closed mid-watch\n");
+  return std::nullopt;
+}
+
+// ------------------------------------------------------------ CLI parsing
+
+struct SpecFlags {
+  JobSpec spec;
+  std::string spec_file;  ///< --spec FILE overrides the field flags
+};
+
+/// Consume a spec flag at argv[i] (advancing i past its value). Returns
+/// 1 when consumed, 0 when not a spec flag, -1 on a usage error.
+int eat_spec_flag(int argc, char** argv, int& i, SpecFlags* out) {
+  const std::string arg = argv[i];
+  const auto need_value = [&]() -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "tsim: %s needs a value\n", arg.c_str());
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  const auto as_intval = [&](int* dst) {
+    const char* v = need_value();
+    if (v == nullptr) {
+      return -1;
+    }
+    *dst = std::atoi(v);
+    return 1;
+  };
+  if (arg == "--program") {
+    const char* v = need_value();
+    if (v == nullptr) {
+      return -1;
+    }
+    out->spec.program = v;
+    return 1;
+  }
+  if (arg == "--dim") {
+    return as_intval(&out->spec.dimension);
+  }
+  if (arg == "--threads") {
+    return as_intval(&out->spec.threads);
+  }
+  if (arg == "--rounds") {
+    return as_intval(&out->spec.rounds);
+  }
+  if (arg == "--elems") {
+    return as_intval(&out->spec.elems);
+  }
+  if (arg == "--seed") {
+    const char* v = need_value();
+    if (v == nullptr) {
+      return -1;
+    }
+    out->spec.seed = std::strtoull(v, nullptr, 0);
+    return 1;
+  }
+  if (arg == "--spec") {
+    const char* v = need_value();
+    if (v == nullptr) {
+      return -1;
+    }
+    out->spec_file = v;
+    return 1;
+  }
+  return 0;
+}
+
+/// Resolve --spec FILE (strict parse) or the accumulated field flags into
+/// a validated JobSpec. False on failure (diagnostic printed).
+bool resolve_spec(const SpecFlags& flags, JobSpec* out) {
+  try {
+    if (!flags.spec_file.empty()) {
+      std::string text;
+      if (!fpst::tools::slurp(flags.spec_file, &text)) {
+        std::fprintf(stderr, "tsim: cannot read %s\n",
+                     flags.spec_file.c_str());
+        return false;
+      }
+      *out = parse_spec(text);
+    } else {
+      validate(flags.spec);
+      *out = flags.spec;
+    }
+    return true;
+  } catch (const SpecError& e) {
+    std::fprintf(stderr, "tsim: %s: %s\n", e.code().c_str(), e.what());
+    return false;
+  }
+}
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: tsim <command> [options]\n"
+      "\n"
+      "  run-server --socket PATH [--workers N] [--queue N]\n"
+      "             [--cache-mb N] [--no-cache]\n"
+      "  submit     --socket PATH [spec flags] [--tenant T] [--wait]\n"
+      "             [--out FILE]\n"
+      "  status     --socket PATH --id N [--watch]\n"
+      "  stats      --socket PATH\n"
+      "  shutdown   --socket PATH\n"
+      "  hash       [spec flags | --spec FILE]\n"
+      "  selftest\n"
+      "\n"
+      "spec flags: --program allreduce|saxpy|ring  --dim D  --threads N\n"
+      "            --rounds R  --elems E  --seed S  --spec FILE\n");
+}
+
+// ------------------------------------------------------------- subcommands
+
+int cmd_run_server(int argc, char** argv) {
+  std::string socket_path;
+  Service::Options opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tsim: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      const char* v = value();
+      if (v == nullptr) {
+        return 2;
+      }
+      socket_path = v;
+    } else if (arg == "--workers") {
+      const char* v = value();
+      if (v == nullptr) {
+        return 2;
+      }
+      opts.workers = std::atoi(v);
+    } else if (arg == "--queue") {
+      const char* v = value();
+      if (v == nullptr) {
+        return 2;
+      }
+      opts.queue_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--cache-mb") {
+      const char* v = value();
+      if (v == nullptr) {
+        return 2;
+      }
+      opts.cache_bytes = static_cast<std::size_t>(std::atoll(v)) << 20;
+    } else if (arg == "--no-cache") {
+      opts.cache_enabled = false;
+    } else {
+      std::fprintf(stderr, "tsim: unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "tsim: run-server needs --socket PATH\n");
+    return 2;
+  }
+  std::fprintf(stderr, "tsim: serving on %s (%d workers)\n",
+               socket_path.c_str(), opts.workers);
+  return run_server(socket_path, opts, nullptr);
+}
+
+int cmd_submit(int argc, char** argv) {
+  std::string socket_path;
+  std::string tenant = "default";
+  std::string out_file;
+  bool wait = false;
+  SpecFlags flags;
+  for (int i = 2; i < argc; ++i) {
+    const int ate = eat_spec_flag(argc, argv, i, &flags);
+    if (ate == -1) {
+      return 2;
+    }
+    if (ate == 1) {
+      continue;
+    }
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tsim: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      const char* v = value();
+      if (v == nullptr) {
+        return 2;
+      }
+      socket_path = v;
+    } else if (arg == "--tenant") {
+      const char* v = value();
+      if (v == nullptr) {
+        return 2;
+      }
+      tenant = v;
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) {
+        return 2;
+      }
+      out_file = v;
+      wait = true;  // the result only exists once the job is done
+    } else if (arg == "--wait") {
+      wait = true;
+    } else {
+      std::fprintf(stderr, "tsim: unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "tsim: submit needs --socket PATH\n");
+    return 2;
+  }
+  JobSpec spec;
+  if (!resolve_spec(flags, &spec)) {
+    return 2;
+  }
+
+  const int fd = connect_unix(socket_path);
+  if (fd < 0) {
+    return 2;
+  }
+  Conn conn{fd};
+  Value req = Value::object();
+  req["op"] = Value::string("submit");
+  req["tenant"] = Value::string(tenant);
+  req["spec"] = spec_to_json(spec);
+  const std::optional<Value> reply = roundtrip(conn, req);
+  if (!reply) {
+    return 2;
+  }
+  if (!reply_ok(*reply)) {
+    print_reply_error(*reply);
+    return 2;
+  }
+  const JobId id = static_cast<JobId>(reply->find("id")->as_int());
+  if (!wait) {
+    std::printf("%s\n", reply->dump().c_str());
+    return 0;
+  }
+
+  const std::optional<Value> final_status = watch_job(conn, id, true);
+  if (!final_status) {
+    return 2;
+  }
+  std::printf("%s\n", final_status->dump().c_str());
+  const bool failed = final_status->find("state")->as_string() == "failed";
+  if (!failed && !out_file.empty()) {
+    Value rreq = Value::object();
+    rreq["op"] = Value::string("result");
+    rreq["id"] = Value::integer(static_cast<std::int64_t>(id));
+    const std::optional<Value> rreply = roundtrip(conn, rreq);
+    if (!rreply || !reply_ok(*rreply)) {
+      if (rreply) {
+        print_reply_error(*rreply);
+      }
+      return 2;
+    }
+    const std::string& dump = rreply->find("dump")->as_string();
+    std::FILE* f = std::fopen(out_file.c_str(), "wb");
+    if (f == nullptr || std::fwrite(dump.data(), 1, dump.size(), f) !=
+                            dump.size()) {
+      std::fprintf(stderr, "tsim: cannot write %s\n", out_file.c_str());
+      if (f != nullptr) {
+        std::fclose(f);
+      }
+      return 2;
+    }
+    std::fclose(f);
+    std::fprintf(stderr, "tsim: wrote %zu bytes to %s\n", dump.size(),
+                 out_file.c_str());
+  }
+  return failed ? 1 : 0;
+}
+
+/// status / stats / shutdown share the one-request shape.
+int cmd_simple(int argc, char** argv, const std::string& op) {
+  std::string socket_path;
+  std::int64_t id = -1;
+  bool watch = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--id" && i + 1 < argc) {
+      id = std::atoll(argv[++i]);
+    } else if (arg == "--watch" && op == "status") {
+      watch = true;
+    } else {
+      std::fprintf(stderr, "tsim: unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "tsim: %s needs --socket PATH\n", op.c_str());
+    return 2;
+  }
+  if (op == "status" && id < 0) {
+    std::fprintf(stderr, "tsim: status needs --id N\n");
+    return 2;
+  }
+  const int fd = connect_unix(socket_path);
+  if (fd < 0) {
+    return 2;
+  }
+  Conn conn{fd};
+  if (watch) {
+    const std::optional<Value> final_status =
+        watch_job(conn, static_cast<JobId>(id), true);
+    if (!final_status) {
+      return 2;
+    }
+    std::printf("%s\n", final_status->dump().c_str());
+    return final_status->find("state")->as_string() == "failed" ? 1 : 0;
+  }
+  Value req = Value::object();
+  req["op"] = Value::string(op);
+  if (id >= 0) {
+    req["id"] = Value::integer(id);
+  }
+  const std::optional<Value> reply = roundtrip(conn, req);
+  if (!reply) {
+    return 2;
+  }
+  if (!reply_ok(*reply)) {
+    print_reply_error(*reply);
+    return 2;
+  }
+  std::printf("%s\n", reply->dump(2).c_str());
+  return 0;
+}
+
+int cmd_hash(int argc, char** argv) {
+  SpecFlags flags;
+  for (int i = 2; i < argc; ++i) {
+    const int ate = eat_spec_flag(argc, argv, i, &flags);
+    if (ate == -1) {
+      return 2;
+    }
+    if (ate == 0) {
+      std::fprintf(stderr, "tsim: unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  JobSpec spec;
+  if (!resolve_spec(flags, &spec)) {
+    return 2;
+  }
+  std::printf("%s\n%s\n", canonical_spec(spec).c_str(),
+              content_address(spec).c_str());
+  return 0;
+}
+
+// --------------------------------------------------------------- selftest
+
+#define SELF_CHECK(cond, what)                                      \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      std::fprintf(stderr, "tsim selftest: FAIL %s (%s:%d)\n", what, \
+                   __FILE__, __LINE__);                             \
+      return false;                                                 \
+    }                                                               \
+  } while (0)
+
+bool selftest_body(const std::string& socket_path) {
+  // Wait for the server thread to bind, then for connects to succeed.
+  int fd = -1;
+  for (int tries = 0; tries < 200 && fd < 0; ++tries) {
+    fd = connect_unix(socket_path, /*quiet=*/true);
+    if (fd < 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  SELF_CHECK(fd >= 0, "connect to in-process server");
+  Conn conn{fd};
+
+  const auto submit_and_wait = [&](std::uint64_t seed,
+                                   Value* out) -> bool {
+    JobSpec spec;
+    spec.program = "allreduce";
+    spec.dimension = 2;
+    spec.rounds = 2;
+    spec.elems = 8;
+    spec.seed = seed;
+    Value req = Value::object();
+    req["op"] = Value::string("submit");
+    req["tenant"] = Value::string("selftest");
+    req["spec"] = spec_to_json(spec);
+    const std::optional<Value> reply = roundtrip(conn, req);
+    if (!reply || !reply_ok(*reply)) {
+      return false;
+    }
+    const JobId id = static_cast<JobId>(reply->find("id")->as_int());
+    const std::optional<Value> st = watch_job(conn, id, false);
+    if (!st) {
+      return false;
+    }
+    *out = *st;
+    (*out)["id"] = Value::integer(reply->find("id")->as_int());
+    return true;
+  };
+
+  const auto fetch_dump = [&](std::int64_t id, std::string* out) -> bool {
+    Value req = Value::object();
+    req["op"] = Value::string("result");
+    req["id"] = Value::integer(id);
+    const std::optional<Value> reply = roundtrip(conn, req);
+    if (!reply || !reply_ok(*reply)) {
+      return false;
+    }
+    *out = reply->find("dump")->as_string();
+    return true;
+  };
+
+  // Same spec twice: the second run must be a cache hit with zero
+  // simulation events and byte-identical dump bytes over the wire.
+  Value first;
+  Value second;
+  SELF_CHECK(submit_and_wait(7, &first), "first submit");
+  SELF_CHECK(submit_and_wait(7, &second), "second submit");
+  SELF_CHECK(first.find("state")->as_string() == "done", "first done");
+  SELF_CHECK(second.find("state")->as_string() == "done", "second done");
+  SELF_CHECK(!first.find("cache_hit")->as_bool(), "first is a miss");
+  SELF_CHECK(second.find("cache_hit")->as_bool(), "second is a hit");
+  SELF_CHECK(second.find("events")->as_int() == 0, "hit simulated nothing");
+  SELF_CHECK(first.find("events")->as_int() > 0, "miss simulated something");
+  std::string dump_a;
+  std::string dump_b;
+  SELF_CHECK(fetch_dump(first.find("id")->as_int(), &dump_a), "result A");
+  SELF_CHECK(fetch_dump(second.find("id")->as_int(), &dump_b), "result B");
+  SELF_CHECK(!dump_a.empty(), "dump bytes non-empty");
+  SELF_CHECK(dump_a == dump_b, "cache hit is byte-identical");
+
+  // A different seed is a different address: must miss.
+  Value third;
+  SELF_CHECK(submit_and_wait(8, &third), "third submit");
+  SELF_CHECK(!third.find("cache_hit")->as_bool(), "new seed misses");
+  SELF_CHECK(third.find("address")->as_string() !=
+                 first.find("address")->as_string(),
+             "new seed has a new address");
+
+  // Typed bad-request over the wire: unknown program.
+  {
+    Value req = Value::object();
+    req["op"] = Value::string("submit");
+    Value bad = Value::object();
+    bad["program"] = Value::string("fizzbuzz");
+    req["spec"] = bad;
+    const std::optional<Value> reply = roundtrip(conn, req);
+    SELF_CHECK(reply.has_value(), "bad-spec reply arrives");
+    SELF_CHECK(!reply_ok(*reply), "bad spec is rejected");
+    SELF_CHECK(reply->find("code")->as_string() == "bad-program",
+               "typed error code");
+  }
+
+  // Stats reflect the hit.
+  {
+    Value req = Value::object();
+    req["op"] = Value::string("stats");
+    const std::optional<Value> reply = roundtrip(conn, req);
+    SELF_CHECK(reply.has_value() && reply_ok(*reply), "stats reply");
+    const Value* stats = reply->find("stats");
+    SELF_CHECK(stats != nullptr, "stats body");
+    SELF_CHECK(stats->find("cache_hits")->as_int() == 1, "one cache hit");
+    SELF_CHECK(stats->find("completed")->as_int() == 3, "three completions");
+  }
+
+  // Shut the server down over the wire.
+  {
+    Value req = Value::object();
+    req["op"] = Value::string("shutdown");
+    const std::optional<Value> reply = roundtrip(conn, req);
+    SELF_CHECK(reply.has_value() && reply_ok(*reply), "shutdown ack");
+  }
+  return true;
+}
+
+int cmd_selftest() {
+  const std::string socket_path =
+      "/tmp/tsim-selftest-" + std::to_string(::getpid()) + ".sock";
+  Service::Options opts;
+  opts.workers = 2;
+  opts.queue_capacity = 16;
+  std::atomic<bool> ready{false};
+  std::thread server([&] { run_server(socket_path, opts, &ready); });
+  const bool ok = selftest_body(socket_path);
+  if (!ok) {
+    // The server may still be accepting; stop it so join() returns.
+    const int fd = connect_unix(socket_path);
+    if (fd >= 0) {
+      Value req = Value::object();
+      req["op"] = Value::string("shutdown");
+      send_line(fd, req);
+      ::close(fd);
+    }
+  }
+  server.join();
+  ::unlink(socket_path.c_str());
+  std::printf("tsim selftest: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(stderr);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "-h" || cmd == "--help") {
+    usage(stdout);
+    return 0;
+  }
+  if (cmd == "run-server") {
+    return cmd_run_server(argc, argv);
+  }
+  if (cmd == "submit") {
+    return cmd_submit(argc, argv);
+  }
+  if (cmd == "status" || cmd == "stats" || cmd == "shutdown") {
+    return cmd_simple(argc, argv, cmd);
+  }
+  if (cmd == "hash") {
+    return cmd_hash(argc, argv);
+  }
+  if (cmd == "selftest") {
+    return cmd_selftest();
+  }
+  std::fprintf(stderr, "tsim: unknown command %s\n", cmd.c_str());
+  usage(stderr);
+  return 2;
+}

@@ -12,12 +12,13 @@
 // violation with --fail-on-violation, 2 usage or unreadable dump.
 #include <cstdio>
 #include <cstring>
-#include <exception>
+#include <optional>
 #include <string>
 
 #include "perf/chrome_trace.hpp"
 #include "perf/report.hpp"
 #include "perf/tscope.hpp"
+#include "tool_util.hpp"
 
 namespace {
 
@@ -79,13 +80,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  fpst::perf::Dump dump;
-  try {
-    dump = fpst::perf::load_file(path);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "ttrace: %s\n", e.what());
+  const std::optional<fpst::perf::Dump> loaded =
+      fpst::tools::load_dump("ttrace", path);
+  if (!loaded) {
     return 2;
   }
+  const fpst::perf::Dump& dump = *loaded;
   if (dump.spans_dropped > 0) {
     std::fprintf(stderr,
                  "ttrace: warning: %llu timeline spans were dropped (ring "
@@ -108,20 +108,15 @@ int main(int argc, char** argv) {
   const fpst::perf::MachineReport report = fpst::perf::analyze(dump);
 
   if (!metric.empty()) {
-    if (metric == "active_mflops") {
-      std::printf("%.6f\n", report.active_mflops);
-    } else if (metric == "aggregate_mflops") {
-      std::printf("%.6f\n", report.aggregate_mflops);
-    } else if (metric == "total_flops") {
-      std::printf("%llu\n",
-                  static_cast<unsigned long long>(report.total_flops));
-    } else if (metric == "wall_us") {
-      std::printf("%.6f\n", report.wall.us());
-    } else {
-      std::fprintf(stderr, "ttrace: unknown metric %s\n", metric.c_str());
-      return 2;
-    }
-    return 0;
+    fpst::tools::MetricTable table;
+    table.add("active_mflops",
+              [&] { return fpst::tools::fmt_f6(report.active_mflops); });
+    table.add("aggregate_mflops",
+              [&] { return fpst::tools::fmt_f6(report.aggregate_mflops); });
+    table.add("total_flops",
+              [&] { return fpst::tools::fmt_u64(report.total_flops); });
+    table.add("wall_us", [&] { return fpst::tools::fmt_f6(report.wall.us()); });
+    return table.print("ttrace", metric);
   }
 
   std::fputs(fpst::perf::render(report).c_str(), stdout);

@@ -1,0 +1,364 @@
+// Host-FP fast path for the T Series softfloat model.
+//
+// The softfloat module (softfloat.cpp) is the oracle: bit-exact integer
+// arithmetic, round-to-nearest-even, flush-to-zero. It is also ~20-50ns per
+// operation, which makes large application runs oracle-bound rather than
+// machine-bound. This header provides drop-in replacements for the hot
+// operations (add/sub/mul in both widths, narrow, compare) that compute the
+// same bit pattern *and the same IEEE flags* using the host FPU, falling
+// back to the softfloat oracle for the inputs where host semantics and the
+// machine's FTZ semantics can legitimately differ.
+//
+// The contract of every function here: for all raw operand bit patterns,
+// the returned bits and the flags merged into `fl` are identical to the
+// corresponding fp::detail operation. The fast path is a *proof-carrying
+// optimisation* — each branch below is annotated with why host IEEE
+// arithmetic cannot diverge from the oracle on that branch, and anything
+// unproven routes to the oracle. The VPU `checked` mode and the
+// cross-validation fuzzer (tests/vpu_batch_test.cpp) enforce the contract
+// at runtime.
+//
+// Divergence classes handled:
+//   * NaNs: the machine returns one canonical quiet NaN and never
+//     propagates payloads; the host propagates operand payloads. Any NaN in
+//     or out routes to the oracle.
+//   * Gradual underflow: the host rounds into the denormal range; the
+//     machine rounds at full precision and then flushes. For *addition*
+//     this cannot cause a divergent rounding at the smallest-normal
+//     boundary (exact sums of FTZ'd operands are representable below the
+//     boundary: they are multiples of the smallest denormal step), so host
+//     results that land exactly on the boundary are trusted. For
+//     *multiplication* and *narrowing* the exact result can fall in the
+//     half-ulp window just under the smallest normal where the host's
+//     denormal-grained rounding and the machine's full-precision rounding
+//     disagree about crossing the boundary — results that land exactly on
+//     the smallest normal route to the oracle.
+//   * Inexact detection: binary32 operations are computed exactly in
+//     binary64 and rounded once, so inexactness is a plain comparison.
+//     binary64 addition uses Fast2Sum (valid under round-to-nearest for
+//     any exponent ordering of the operands, which the magnitude swap
+//     establishes); binary64 multiplication uses an FMA residual, which is
+//     only exactly representable when the product is well above the
+//     denormal range — smaller products route to the oracle.
+//
+// Assumptions (checked where the language lets us): IEC 559 doubles,
+// round-to-nearest-even, no fast-math reassociation, no x87 excess
+// precision. The repo builds with default rounding and strict FP; the
+// fuzzer would fail loudly on any toolchain that violates this.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "fp/softfloat.hpp"
+
+namespace fpst::fp::host {
+
+static_assert(std::numeric_limits<double>::is_iec559,
+              "host bridge requires IEEE-754 doubles");
+static_assert(std::numeric_limits<float>::is_iec559,
+              "host bridge requires IEEE-754 floats");
+
+inline constexpr std::uint64_t kSign64 = 0x8000000000000000ULL;
+inline constexpr std::uint64_t kExp64 = 0x7ff0000000000000ULL;
+inline constexpr std::uint64_t kMant64 = 0x000fffffffffffffULL;
+inline constexpr std::uint32_t kSign32 = 0x80000000U;
+inline constexpr std::uint32_t kExp32 = 0x7f800000U;
+inline constexpr std::uint32_t kMant32 = 0x007fffffU;
+
+/// Read-side FTZ on raw bits: a zero exponent field means zero or denormal,
+/// and both read as signed zero on the machine.
+inline std::uint64_t ftz64(std::uint64_t b) {
+  return (b & kExp64) == 0 ? (b & kSign64) : b;
+}
+inline std::uint32_t ftz32(std::uint32_t b) {
+  return (b & kExp32) == 0 ? (b & kSign32) : b;
+}
+
+inline bool nan64(std::uint64_t b) {
+  return (b & kExp64) == kExp64 && (b & kMant64) != 0;
+}
+inline bool nan32(std::uint32_t b) {
+  return (b & kExp32) == kExp32 && (b & kMant32) != 0;
+}
+
+/// z = a + b in binary64 FTZ semantics, bit- and flag-exact vs detail::add.
+inline std::uint64_t add64(std::uint64_t ra, std::uint64_t rb, Flags& fl) {
+  if (nan64(ra) || nan64(rb)) {
+    // Machine NaN policy: canonical quiet NaN, invalid iff signalling.
+    return detail::add(kBinary64, ra, rb, fl);
+  }
+  const double a = std::bit_cast<double>(ftz64(ra));
+  const double b = std::bit_cast<double>(ftz64(rb));
+  const double s = a + b;
+  if (std::isnan(s)) {
+    return detail::add(kBinary64, ra, rb, fl);  // inf + (-inf): invalid
+  }
+  if (std::isinf(s)) {
+    if (!std::isinf(a) && !std::isinf(b)) {
+      fl.overflow = true;
+      fl.inexact = true;
+    }
+    return std::bit_cast<std::uint64_t>(s);
+  }
+  if (std::fabs(s) < std::numeric_limits<double>::min()) {
+    if (s == 0.0) {
+      // Exact zero: both operands zero (machine sign rule: negative only
+      // when both are) or exact cancellation (+0 under RNE) — host IEEE
+      // produces the identical sign in both cases, and no flags.
+      return std::bit_cast<std::uint64_t>(s);
+    }
+    // Denormal host result. The exact sum of two FTZ'd doubles is a
+    // multiple of 2^-1074, so the host value *is* the exact sum here and
+    // the machine's full-precision rounding would reach the same value
+    // before flushing it. Flush, with the machine's unconditional
+    // underflow+inexact on any flushed result.
+    fl.underflow = true;
+    fl.inexact = true;
+    return std::bit_cast<std::uint64_t>(s) & kSign64;
+  }
+  // Normal result: host RNE == machine RNE (same precision, no flush).
+  // A host result exactly at the smallest normal is also safe: no exact
+  // sum lies strictly inside the divergence half-ulp under the boundary
+  // (multiples of 2^-1074 cannot). Inexact via Fast2Sum: with
+  // |big| >= |small| and RNE, (s - big) and small - (s - big) are exact,
+  // and the residual is zero iff the sum was exact.
+  double big = a;
+  double small = b;
+  if (std::fabs(big) < std::fabs(small)) {
+    const double t = big;
+    big = small;
+    small = t;
+  }
+  if (small - (s - big) != 0.0) {
+    fl.inexact = true;
+  }
+  return std::bit_cast<std::uint64_t>(s);
+}
+
+/// z = a - b: the machine implements subtract as add(a, -b) after the NaN
+/// check; negating the raw bits first is equivalent (sign flip does not
+/// change NaN-ness or quietness).
+inline std::uint64_t sub64(std::uint64_t ra, std::uint64_t rb, Flags& fl) {
+  return add64(ra, rb ^ kSign64, fl);
+}
+
+/// z = a * b in binary64 FTZ semantics, bit- and flag-exact vs detail::mul.
+inline std::uint64_t mul64(std::uint64_t ra, std::uint64_t rb, Flags& fl) {
+  if (nan64(ra) || nan64(rb)) {
+    return detail::mul(kBinary64, ra, rb, fl);
+  }
+  const double a = std::bit_cast<double>(ftz64(ra));
+  const double b = std::bit_cast<double>(ftz64(rb));
+  const double p = a * b;
+  if (std::isnan(p)) {
+    return detail::mul(kBinary64, ra, rb, fl);  // 0 * inf: invalid
+  }
+  if (std::isinf(p)) {
+    if (!std::isinf(a) && !std::isinf(b)) {
+      fl.overflow = true;
+      fl.inexact = true;
+    }
+    return std::bit_cast<std::uint64_t>(p);
+  }
+  const double mag = std::fabs(p);
+  if (mag < std::numeric_limits<double>::min()) {
+    if (p == 0.0 && (a == 0.0 || b == 0.0)) {
+      return std::bit_cast<std::uint64_t>(p);  // exact signed zero (XOR)
+    }
+    // Host rounded into the denormal range (or all the way to zero), so
+    // the exact product is below the machine's round-up-to-normal
+    // threshold too: both sides flush. Sign is the XOR the host computed.
+    fl.underflow = true;
+    fl.inexact = true;
+    return std::bit_cast<std::uint64_t>(p) & kSign64;
+  }
+  if (mag < 0x1p-968) {
+    // Two reasons to distrust the host this close to the flush boundary:
+    // a result exactly at the smallest normal may be the host rounding
+    // *up* across the boundary where the machine rounds at full precision
+    // and flushes (the half-ulp divergence window), and further up the
+    // FMA residual below can itself fall outside the representable range
+    // (|a*b - p| <= ulp(p)/2 needs p >= 2^-968 to be a representable
+    // denormal in the worst case). Rare and cold: route to the oracle.
+    return detail::mul(kBinary64, ra, rb, fl);
+  }
+  if (std::fma(a, b, -p) != 0.0) {
+    fl.inexact = true;
+  }
+  return std::bit_cast<std::uint64_t>(p);
+}
+
+/// Binary32 operations are computed in binary64 and rounded once to
+/// binary32. Products of 24-bit operands fit in 48 bits, so the double
+/// product is the exact product. Sums do NOT always fit (the operands'
+/// exponents can differ by more than 53), so the double sum can itself be
+/// rounded — but 53 >= 2*24 + 2, so by the innocuous-double-rounding bound
+/// binary64-then-binary32 rounding still yields the machine's correctly
+/// rounded binary32 result; only the inexact flag needs the Fast2Sum
+/// residual of the binary64 addition.
+inline std::uint32_t add32(std::uint32_t ra, std::uint32_t rb, Flags& fl) {
+  if (nan32(ra) || nan32(rb)) {
+    return static_cast<std::uint32_t>(detail::add(kBinary32, ra, rb, fl));
+  }
+  const float a = std::bit_cast<float>(ftz32(ra));
+  const float b = std::bit_cast<float>(ftz32(rb));
+  double big = static_cast<double>(a);
+  double small = static_cast<double>(b);
+  if (std::fabs(big) < std::fabs(small)) {
+    const double t = big;
+    big = small;
+    small = t;
+  }
+  const double s = big + small;
+  // Exact residual of the binary64 addition (Fast2Sum, |big| >= |small|):
+  // zero iff s is the exact sum. Finite always — |s| <= ~2^129.
+  const double err = small - (s - big);
+  const float r = static_cast<float>(s);
+  if (std::isnan(r)) {
+    return static_cast<std::uint32_t>(detail::add(kBinary32, ra, rb, fl));
+  }
+  if (std::isinf(r)) {
+    if (!std::isinf(a) && !std::isinf(b)) {
+      fl.overflow = true;
+      fl.inexact = true;
+    }
+    return std::bit_cast<std::uint32_t>(r);
+  }
+  if (std::fabs(r) < std::numeric_limits<float>::min()) {
+    if (s == 0.0) {
+      // s == 0 forces err == 0 (cancellation of equal doubles is exact):
+      // exact zero, host sign rule.
+      return std::bit_cast<std::uint32_t>(r);
+    }
+    fl.underflow = true;
+    fl.inexact = true;
+    return std::bit_cast<std::uint32_t>(r) & kSign32;
+  }
+  // As with add64, a result exactly at the smallest normal is safe for
+  // addition: near the boundary the operand exponents are within 53 of
+  // each other, so the double sum is the exact sum (err == 0), exact sums
+  // are multiples of the smallest denormal step, and at the boundary tie
+  // the host rounds to even (up, across) exactly where the machine's
+  // full-precision rounding also reaches the normal value.
+  //
+  // Inexact iff r differs from the exact sum s + err. If err != 0 the
+  // exact sum cannot be a binary32 value (it would have been an exact
+  // binary64 sum), so either condition suffices.
+  if (static_cast<double>(r) != s || err != 0.0) {
+    fl.inexact = true;
+  }
+  return std::bit_cast<std::uint32_t>(r);
+}
+
+inline std::uint32_t sub32(std::uint32_t ra, std::uint32_t rb, Flags& fl) {
+  return add32(ra, rb ^ kSign32, fl);
+}
+
+inline std::uint32_t mul32(std::uint32_t ra, std::uint32_t rb, Flags& fl) {
+  if (nan32(ra) || nan32(rb)) {
+    return static_cast<std::uint32_t>(detail::mul(kBinary32, ra, rb, fl));
+  }
+  const float a = std::bit_cast<float>(ftz32(ra));
+  const float b = std::bit_cast<float>(ftz32(rb));
+  const double p = static_cast<double>(a) * static_cast<double>(b);  // exact
+  const float r = static_cast<float>(p);
+  if (std::isnan(r)) {
+    return static_cast<std::uint32_t>(detail::mul(kBinary32, ra, rb, fl));
+  }
+  if (std::isinf(r)) {
+    if (!std::isinf(a) && !std::isinf(b)) {
+      fl.overflow = true;
+      fl.inexact = true;
+    }
+    return std::bit_cast<std::uint32_t>(r);
+  }
+  const float magr = std::fabs(r);
+  if (magr < std::numeric_limits<float>::min()) {
+    if (p == 0.0 && (a == 0.0F || b == 0.0F)) {
+      return std::bit_cast<std::uint32_t>(r);  // exact signed zero
+    }
+    fl.underflow = true;
+    fl.inexact = true;
+    return std::bit_cast<std::uint32_t>(r) & kSign32;
+  }
+  if (magr == std::numeric_limits<float>::min()) {
+    // The half-ulp window under the smallest normal: an exact product of
+    // 2^-126 - 2^-150 is a host round-to-even tie that crosses the
+    // boundary, while the machine represents it exactly at full precision
+    // and flushes it. Products (unlike sums) do land there: oracle.
+    return static_cast<std::uint32_t>(detail::mul(kBinary32, ra, rb, fl));
+  }
+  if (static_cast<double>(r) != p) {
+    fl.inexact = true;
+  }
+  return std::bit_cast<std::uint32_t>(r);
+}
+
+/// binary64 -> binary32 conversion (VCVTN), bit- and flag-exact vs
+/// detail::narrow. The host conversion is a single rounding of the exact
+/// input, like the machine's — only NaNs and the flush boundary differ.
+inline std::uint32_t narrow(std::uint64_t ra, Flags& fl) {
+  if (nan64(ra)) {
+    return static_cast<std::uint32_t>(detail::narrow(ra, fl));
+  }
+  const double d = std::bit_cast<double>(ftz64(ra));
+  const float r = static_cast<float>(d);
+  if (std::isinf(r)) {
+    if (!std::isinf(d)) {
+      fl.overflow = true;
+      fl.inexact = true;
+    }
+    return std::bit_cast<std::uint32_t>(r);
+  }
+  const float magr = std::fabs(r);
+  if (magr < std::numeric_limits<float>::min()) {
+    if (d == 0.0) {
+      return std::bit_cast<std::uint32_t>(r);  // exact signed zero
+    }
+    fl.underflow = true;
+    fl.inexact = true;
+    return std::bit_cast<std::uint32_t>(r) & kSign32;
+  }
+  if (magr == std::numeric_limits<float>::min()) {
+    // Same boundary tie as mul32: a double exactly equal to
+    // 2^-126 - 2^-150 narrows across the boundary on the host but is
+    // flushed by the machine.
+    return static_cast<std::uint32_t>(detail::narrow(ra, fl));
+  }
+  if (static_cast<double>(r) != d) {
+    fl.inexact = true;
+  }
+  return std::bit_cast<std::uint32_t>(r);
+}
+
+/// IEEE comparison with machine semantics (FTZ inputs, -0 == +0, invalid
+/// only for signalling NaN operands). Host comparison agrees on every
+/// non-NaN pair after FTZ; NaNs take the oracle for the flag policy.
+inline Ordering compare64(std::uint64_t ra, std::uint64_t rb, Flags& fl) {
+  if (nan64(ra) || nan64(rb)) {
+    return detail::compare(kBinary64, ra, rb, fl);
+  }
+  const double a = std::bit_cast<double>(ftz64(ra));
+  const double b = std::bit_cast<double>(ftz64(rb));
+  if (a < b) {
+    return Ordering::less;
+  }
+  return a > b ? Ordering::greater : Ordering::equal;
+}
+
+inline Ordering compare32(std::uint32_t ra, std::uint32_t rb, Flags& fl) {
+  if (nan32(ra) || nan32(rb)) {
+    return detail::compare(kBinary32, ra, rb, fl);
+  }
+  const float a = std::bit_cast<float>(ftz32(ra));
+  const float b = std::bit_cast<float>(ftz32(rb));
+  if (a < b) {
+    return Ordering::less;
+  }
+  return a > b ? Ordering::greater : Ordering::equal;
+}
+
+}  // namespace fpst::fp::host

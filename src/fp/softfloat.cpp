@@ -385,6 +385,16 @@ u64 widen(u64 a32) {
          (m << (d.mant_bits - s.mant_bits));
 }
 
+u64 widen(u64 a32, Flags& flags) {
+  // Conversion of a signalling NaN is an invalid operation (the narrow
+  // direction already raised it; this direction was silently quiet before
+  // the batch-arm cross-validation fuzzer caught the asymmetry).
+  if (is_nan(kBinary32, a32) && !quiet_bit_set(kBinary32, a32)) {
+    flags.invalid = true;
+  }
+  return widen(a32);
+}
+
 u64 narrow(u64 a64, Flags& flags) {
   const Format& s = kBinary64;
   const Format& d = kBinary32;

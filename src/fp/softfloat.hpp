@@ -85,6 +85,11 @@ std::uint64_t abs(const Format& f, std::uint64_t a);
 std::uint64_t from_int32(const Format& f, std::int32_t v, Flags& flags);
 std::int32_t to_int32(const Format& f, std::uint64_t a, Flags& flags);
 std::uint64_t widen(std::uint64_t a32);                  // binary32→binary64
+/// Widening as the adder pipeline performs it: like widen(), but raises
+/// `invalid` for a signalling NaN input (the payload is still preserved and
+/// quieted). The flagless overload exists for value plumbing (reduction
+/// results crossing to T64) where no conversion instruction executes.
+std::uint64_t widen(std::uint64_t a32, Flags& flags);
 std::uint64_t narrow(std::uint64_t a64, Flags& flags);   // binary64→binary32
 /// Flush denormal input to signed zero (the read-side FTZ rule).
 std::uint64_t ftz_input(const Format& f, std::uint64_t a);
@@ -176,8 +181,13 @@ class T32 {
 
   friend constexpr bool operator==(T32 a, T32 b) { return a.bits_ == b.bits_; }
 
-  /// Data conversions performed by the adder pipeline.
+  /// Data conversions performed by the adder pipeline. The Flags overload
+  /// is the VCVTW instruction semantics (invalid on signalling NaN); the
+  /// flagless one is value plumbing that raises nothing.
   T64 widened() const { return T64::from_bits(detail::widen(bits_)); }
+  T64 widened(Flags& fl) const {
+    return T64::from_bits(detail::widen(bits_, fl));
+  }
   static T32 narrowed(T64 v, Flags& fl) {
     return T32{static_cast<std::uint32_t>(detail::narrow(v.bits(), fl))};
   }

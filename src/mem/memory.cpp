@@ -1,6 +1,5 @@
 #include "mem/memory.hpp"
 
-#include <bit>
 #include <cassert>
 #include <cstring>
 
@@ -30,31 +29,42 @@ void VectorRegister::set_u64(std::size_t i, std::uint64_t v) {
   std::memcpy(bytes_.data() + i * 8, &v, sizeof v);
 }
 
-NodeMemory::NodeMemory()
-    : data_(MemParams::kBytes, 0), parity_(MemParams::kBytes, false) {
-  // All-zero bytes have even parity; the stored parity bit is their parity,
-  // so a fresh array is consistent.
-}
-
-bool NodeMemory::parity_of(std::uint8_t byte) {
-  return (std::popcount(static_cast<unsigned>(byte)) & 1) != 0;
+NodeMemory::NodeMemory() : data_(MemParams::kBytes, 0) {
+  // A fresh array is consistent: the stored parity bit of every byte
+  // matches its data, so the mismatch set starts empty.
 }
 
 void NodeMemory::check_parity(std::uint32_t addr) {
-  if (parity_[addr] != parity_of(data_[addr])) {
-    pending_error_ = ParityError{addr};
-    ++parity_error_count_;
-    // Repair so one fault is reported once, as the system board would after
-    // logging and re-writing the word.
-    parity_[addr] = parity_of(data_[addr]);
+  // The mismatch set holds exactly the bytes whose stored parity bit
+  // disagrees with their data — the bytes corrupt_byte has flipped an odd
+  // number of times since they were last written. Representing only the
+  // disagreement keeps fault-free reads O(1) instead of re-deriving the
+  // parity of every byte touched; detection behaviour is identical.
+  const auto it = corrupted_.find(addr);
+  if (it == corrupted_.end()) {
+    return;
   }
+  pending_error_ = ParityError{addr};
+  ++parity_error_count_;
+  // Repair so one fault is reported once, as the system board would after
+  // logging and re-writing the word.
+  corrupted_.erase(it);
+}
+
+void NodeMemory::clear_corruption(std::uint32_t addr, std::uint32_t len) {
+  // Writing a byte recomputes its stored parity bit, so any outstanding
+  // mismatch in the written range vanishes undetected.
+  corrupted_.erase(corrupted_.lower_bound(addr),
+                   corrupted_.lower_bound(addr + len));
 }
 
 std::uint32_t NodeMemory::read_word(std::uint32_t addr) {
   addr &= ~3u;
   assert(addr + 3 < MemParams::kBytes);
-  for (std::uint32_t i = 0; i < 4; ++i) {
-    check_parity(addr + i);
+  if (!corrupted_.empty()) {
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      check_parity(addr + i);
+    }
   }
   std::uint32_t v;
   std::memcpy(&v, data_.data() + addr, sizeof v);
@@ -69,8 +79,8 @@ void NodeMemory::write_word(std::uint32_t addr, std::uint32_t v) {
   addr &= ~3u;
   assert(addr + 3 < MemParams::kBytes);
   std::memcpy(data_.data() + addr, &v, sizeof v);
-  for (std::uint32_t i = 0; i < 4; ++i) {
-    parity_[addr + i] = parity_of(data_[addr + i]);
+  if (!corrupted_.empty()) {
+    clear_corruption(addr, 4);
   }
   ++word_accesses_;
   if (sink_ != nullptr) {
@@ -80,7 +90,9 @@ void NodeMemory::write_word(std::uint32_t addr, std::uint32_t v) {
 
 std::uint8_t NodeMemory::read_byte(std::uint32_t addr) {
   assert(addr < MemParams::kBytes);
-  check_parity(addr);
+  if (!corrupted_.empty()) {
+    check_parity(addr);
+  }
   ++word_accesses_;
   if (sink_ != nullptr) {
     sink_->count("word_reads", 1);
@@ -91,7 +103,9 @@ std::uint8_t NodeMemory::read_byte(std::uint32_t addr) {
 void NodeMemory::write_byte(std::uint32_t addr, std::uint8_t v) {
   assert(addr < MemParams::kBytes);
   data_[addr] = v;
-  parity_[addr] = parity_of(v);
+  if (!corrupted_.empty()) {
+    clear_corruption(addr, 1);
+  }
   ++word_accesses_;
   if (sink_ != nullptr) {
     sink_->count("word_writes", 1);
@@ -101,8 +115,10 @@ void NodeMemory::write_byte(std::uint32_t addr, std::uint8_t v) {
 void NodeMemory::load_row(std::size_t row, VectorRegister& reg) {
   assert(row < MemParams::kRows);
   const std::size_t base = row * MemParams::kRowBytes;
-  for (std::size_t i = 0; i < MemParams::kRowBytes; ++i) {
-    check_parity(static_cast<std::uint32_t>(base + i));
+  if (!corrupted_.empty()) {
+    for (std::size_t i = 0; i < MemParams::kRowBytes; ++i) {
+      check_parity(static_cast<std::uint32_t>(base + i));
+    }
   }
   std::memcpy(reg.raw().data(), data_.data() + base, MemParams::kRowBytes);
   ++row_accesses_;
@@ -115,8 +131,8 @@ void NodeMemory::store_row(std::size_t row, const VectorRegister& reg) {
   assert(row < MemParams::kRows);
   const std::size_t base = row * MemParams::kRowBytes;
   std::memcpy(data_.data() + base, reg.raw().data(), MemParams::kRowBytes);
-  for (std::size_t i = 0; i < MemParams::kRowBytes; ++i) {
-    parity_[base + i] = parity_of(data_[base + i]);
+  if (!corrupted_.empty()) {
+    clear_corruption(static_cast<std::uint32_t>(base), MemParams::kRowBytes);
   }
   ++row_accesses_;
   if (sink_ != nullptr) {
@@ -128,6 +144,14 @@ void NodeMemory::corrupt_byte(std::uint32_t addr, int bit) {
   assert(addr < MemParams::kBytes);
   assert(bit >= 0 && bit < 8);
   data_[addr] = static_cast<std::uint8_t>(data_[addr] ^ (1u << bit));
+  // Each call flips exactly one data bit without touching the stored parity
+  // bit, so the byte's mismatch toggles: an even number of flipped bits per
+  // byte restores matching parity and goes undetected, exactly as one
+  // parity bit per byte would behave.
+  const auto [it, inserted] = corrupted_.insert(addr);
+  if (!inserted) {
+    corrupted_.erase(it);
+  }
 }
 
 std::optional<ParityError> NodeMemory::take_parity_error() {

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "fp/softfloat.hpp"
@@ -87,7 +88,9 @@ class VectorRegister {
   }
 
  private:
-  std::array<std::byte, MemParams::kRowBytes> bytes_;
+  /// Cache-line aligned so the batch arm's vectorised clean loops can run
+  /// aligned loads/stores straight over the register storage.
+  alignas(64) std::array<std::byte, MemParams::kRowBytes> bytes_;
 };
 
 /// Where a parity violation was detected.
@@ -127,7 +130,9 @@ class NodeMemory {
   std::uint8_t peek_byte(std::uint32_t addr) const { return data_[addr]; }
   void poke_byte(std::uint32_t addr, std::uint8_t v) {
     data_[addr] = v;
-    parity_[addr] = parity_of(v);
+    if (!corrupted_.empty()) {
+      clear_corruption(addr, 1);
+    }
   }
 
   // --- parity / fault injection ---
@@ -151,11 +156,16 @@ class NodeMemory {
 
  private:
   void check_parity(std::uint32_t addr);
-  static bool parity_of(std::uint8_t byte);
+  void clear_corruption(std::uint32_t addr, std::uint32_t len);
 
   perf::PerfSink* sink_ = nullptr;
   std::vector<std::uint8_t> data_;
-  std::vector<bool> parity_;
+  /// Bytes whose stored parity bit currently disagrees with their data:
+  /// exactly the bytes corrupt_byte has flipped an odd number of times
+  /// since their last write. The sparse representation makes fault-free
+  /// parity checking O(1) per access instead of O(bytes touched) while
+  /// preserving per-byte parity detection semantics bit for bit.
+  std::set<std::uint32_t> corrupted_;
   std::optional<ParityError> pending_error_{};
   std::uint64_t parity_error_count_ = 0;
   std::uint64_t word_accesses_ = 0;

@@ -21,7 +21,8 @@ Node::Node(sim::Simulator& sim, std::uint32_t id, NodeConfig cfg)
       id_{id},
       cfg_{cfg},
       memory_{},
-      vpu_{memory_, vpu::VectorUnit::Config{.dual_bank = cfg.dual_bank}},
+      vpu_{memory_, vpu::VectorUnit::Config{.dual_bank = cfg.dual_bank,
+                                            .mode = cfg.vpu_mode}},
       cpu_{sim, memory_, vpu_},
       links_{},
       vpu_sem_{sim, 1},
@@ -173,20 +174,17 @@ void Node::trace_span(const char* unit, sim::SimTime start,
   }
 }
 
-sim::Proc Node::run_op(vpu::VectorOp op, vpu::OpResult* out) {
-  co_await vpu_sem_.acquire();
-  if (!cfg_.overlap) {
-    // Ablation: no CP/VPU overlap — the controller stalls for the whole
-    // vector operation.
-    co_await cp_sem_.acquire();
-  }
+vpu::OpResult Node::issue_op(const vpu::VectorOp& op) {
   vpu::OpResult r = vpu_.execute(op);
   if (tracer_ != nullptr || perf_vpu_ != nullptr) {
     trace_span("vpu", sim_->now(), r.duration,
                std::string(vpu::to_string(op.form)) + " n=" +
                    std::to_string(op.n));
   }
-  co_await Delay{r.duration};
+  return r;
+}
+
+void Node::retire_op(const vpu::OpResult& r) {
   if (!cfg_.overlap) {
     cp_busy_ += r.duration;
     if (perf_cp_ != nullptr) {
@@ -196,6 +194,18 @@ sim::Proc Node::run_op(vpu::VectorOp op, vpu::OpResult* out) {
     cp_sem_.release();
   }
   vpu_sem_.release();
+}
+
+sim::Proc Node::run_op(vpu::VectorOp op, vpu::OpResult* out) {
+  co_await vpu_sem_.acquire();
+  if (!cfg_.overlap) {
+    // Ablation: no CP/VPU overlap — the controller stalls for the whole
+    // vector operation.
+    co_await cp_sem_.acquire();
+  }
+  const vpu::OpResult r = issue_op(op);
+  co_await Delay{r.duration};
+  retire_op(r);
   if (out != nullptr) {
     *out = r;
   }
@@ -218,8 +228,17 @@ sim::Proc Node::vbinary(vpu::VectorForm form, const Array64& x,
     op.row_x = x.first_row + row;
     op.row_y = y.first_row + row;
     op.row_z = z.first_row + row;
-    vpu::OpResult r;
-    co_await run_op(op, &r);
+    // run_op, inlined: the strip-mine loops are the simulator's hottest
+    // path, and awaiting a nested child coroutine would cost two extra
+    // event-queue round trips per stripe. Same acquire/delay/release
+    // sequence, so simulated timing is identical.
+    co_await vpu_sem_.acquire();
+    if (!cfg_.overlap) {
+      co_await cp_sem_.acquire();
+    }
+    const vpu::OpResult r = issue_op(op);
+    co_await Delay{r.duration};
+    retire_op(r);
     total.duration += r.duration;
     total.flops += r.flops;
     total.flags.merge(r.flags);
@@ -247,8 +266,17 @@ sim::Proc Node::vscalar(vpu::VectorForm form, double a, const Array64& x,
     op.row_y = y.first_row + row;
     op.row_z = z.first_row + row;
     op.scalar = fp::T64::from_double(a);
-    vpu::OpResult r;
-    co_await run_op(op, &r);
+    // run_op, inlined: the strip-mine loops are the simulator's hottest
+    // path, and awaiting a nested child coroutine would cost two extra
+    // event-queue round trips per stripe. Same acquire/delay/release
+    // sequence, so simulated timing is identical.
+    co_await vpu_sem_.acquire();
+    if (!cfg_.overlap) {
+      co_await cp_sem_.acquire();
+    }
+    const vpu::OpResult r = issue_op(op);
+    co_await Delay{r.duration};
+    retire_op(r);
     total.duration += r.duration;
     total.flops += r.flops;
     total.flags.merge(r.flags);
@@ -274,8 +302,17 @@ sim::Proc Node::vreduce(vpu::VectorForm form, const Array64& x,
     op.n = std::min(MemParams::kElems64, x.elems - done);
     op.row_x = x.first_row + row;
     op.row_y = y.first_row + row;
-    vpu::OpResult r;
-    co_await run_op(op, &r);
+    // run_op, inlined: the strip-mine loops are the simulator's hottest
+    // path, and awaiting a nested child coroutine would cost two extra
+    // event-queue round trips per stripe. Same acquire/delay/release
+    // sequence, so simulated timing is identical.
+    co_await vpu_sem_.acquire();
+    if (!cfg_.overlap) {
+      co_await cp_sem_.acquire();
+    }
+    const vpu::OpResult r = issue_op(op);
+    co_await Delay{r.duration};
+    retire_op(r);
     if (form == vpu::VectorForm::vmaxval) {
       if (first ||
           compare(r.scalar_result, best, fl) == fp::Ordering::greater) {
@@ -316,8 +353,17 @@ sim::Proc Node::vbinary32(vpu::VectorForm form, const Array32& x,
     op.row_x = x.first_row + row;
     op.row_y = y.first_row + row;
     op.row_z = z.first_row + row;
-    vpu::OpResult r;
-    co_await run_op(op, &r);
+    // run_op, inlined: the strip-mine loops are the simulator's hottest
+    // path, and awaiting a nested child coroutine would cost two extra
+    // event-queue round trips per stripe. Same acquire/delay/release
+    // sequence, so simulated timing is identical.
+    co_await vpu_sem_.acquire();
+    if (!cfg_.overlap) {
+      co_await cp_sem_.acquire();
+    }
+    const vpu::OpResult r = issue_op(op);
+    co_await Delay{r.duration};
+    retire_op(r);
     total.duration += r.duration;
     total.flops += r.flops;
     total.flags.merge(r.flags);
@@ -345,8 +391,17 @@ sim::Proc Node::vscalar32(vpu::VectorForm form, double a, const Array32& x,
     op.row_y = y.first_row + row;
     op.row_z = z.first_row + row;
     op.scalar = fp::T64::from_double(a);
-    vpu::OpResult r;
-    co_await run_op(op, &r);
+    // run_op, inlined: the strip-mine loops are the simulator's hottest
+    // path, and awaiting a nested child coroutine would cost two extra
+    // event-queue round trips per stripe. Same acquire/delay/release
+    // sequence, so simulated timing is identical.
+    co_await vpu_sem_.acquire();
+    if (!cfg_.overlap) {
+      co_await cp_sem_.acquire();
+    }
+    const vpu::OpResult r = issue_op(op);
+    co_await Delay{r.duration};
+    retire_op(r);
     total.duration += r.duration;
     total.flops += r.flops;
     total.flags.merge(r.flags);

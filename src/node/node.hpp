@@ -19,6 +19,7 @@
 #include "cp/cpu.hpp"
 #include "link/link.hpp"
 #include "mem/memory.hpp"
+#include "vpu/vpu.hpp"
 #include "perf/counters.hpp"
 #include "sim/proc.hpp"
 #include "sim/simulator.hpp"
@@ -53,6 +54,10 @@ struct NodeConfig {
   /// Disable CP/VPU overlap: vector ops then also hold the CP (ablation for
   /// the gather-overlap claim).
   bool overlap = true;
+  /// Which VPU arithmetic arm computes vector results (softfloat oracle,
+  /// host-FP batch fast path, or checked cross-validation). Results,
+  /// flags and timing are identical in every mode.
+  vpu::VpuMode vpu_mode = vpu::VpuMode::softfloat;
 };
 
 /// A vector operand resident in node memory: `rows` consecutive rows
@@ -174,6 +179,10 @@ class Node {
 
  private:
   sim::Proc run_op(vpu::VectorOp op, vpu::OpResult* out);
+  /// The non-suspending halves of run_op, for the strip-mine loops that
+  /// inline its acquire/delay/release sequence.
+  vpu::OpResult issue_op(const vpu::VectorOp& op);
+  void retire_op(const vpu::OpResult& r);
 
   sim::Simulator* sim_;
   std::uint32_t id_;

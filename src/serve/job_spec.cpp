@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <set>
 
+#include "vpu/vpu.hpp"
+
 namespace fpst::serve {
 
 namespace {
@@ -60,6 +62,11 @@ void validate(const JobSpec& spec) {
   require_range("threads", spec.threads, 1, 64);
   require_range("rounds", spec.rounds, 1, 100000);
   require_range("elems", spec.elems, 1, 128);
+  if (!vpu::parse_vpu_mode(spec.vpu_mode).has_value()) {
+    throw SpecError("bad-mode",
+                    "unknown vpu_mode '" + spec.vpu_mode +
+                        "' (expected softfloat | batch | checked)");
+  }
 }
 
 json::Value spec_to_json(const JobSpec& spec) {
@@ -70,6 +77,7 @@ json::Value spec_to_json(const JobSpec& spec) {
   doc["rounds"] = json::Value::integer(spec.rounds);
   doc["elems"] = json::Value::integer(spec.elems);
   doc["seed"] = json::Value::integer(static_cast<std::int64_t>(spec.seed));
+  doc["vpu_mode"] = json::Value::string(spec.vpu_mode);
   return doc;
 }
 
@@ -79,7 +87,8 @@ JobSpec spec_from_json(const json::Value& doc) {
   }
   static const std::set<std::string> kFields{"program", "dimension",
                                             "threads", "rounds",
-                                            "elems",   "seed"};
+                                            "elems",   "seed",
+                                            "vpu_mode"};
   for (const auto& [key, value] : doc.as_object()) {
     (void)value;
     if (kFields.count(key) == 0) {
@@ -107,6 +116,12 @@ JobSpec spec_from_json(const json::Value& doc) {
   }
   if (const json::Value* v = doc.find("seed")) {
     spec.seed = static_cast<std::uint64_t>(integral_field("seed", *v));
+  }
+  if (const json::Value* v = doc.find("vpu_mode")) {
+    if (!v->is_string()) {
+      throw SpecError("bad-type", "field 'vpu_mode' must be a string");
+    }
+    spec.vpu_mode = v->as_string();
   }
   validate(spec);
   return spec;

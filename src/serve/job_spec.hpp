@@ -58,6 +58,13 @@ struct JobSpec {
   int elems = 16;
   /// Data seed: initial per-node values are derived from (seed, node).
   std::uint64_t seed = 0;
+  /// VPU arithmetic arm: "softfloat" (oracle, default), "batch" (host-FP
+  /// fast path) or "checked" (both, abort on divergence). All three produce
+  /// byte-identical dumps — the batch arm is bit-exact by contract — but
+  /// the field is part of the canonical spec, so each mode hashes to its
+  /// own content address: a cached result always records which arm actually
+  /// produced it, and a checked re-run is never masked by a cache hit.
+  std::string vpu_mode = "softfloat";
 
   friend bool operator==(const JobSpec&, const JobSpec&) = default;
 };

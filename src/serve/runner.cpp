@@ -140,6 +140,9 @@ int shards_for(const JobSpec& spec) {
 
 JobRun::JobRun(JobSpec spec) : spec_{std::move(spec)} {
   validate(spec_);
+  // validate() guarantees the mode string parses.
+  node::NodeConfig ncfg;
+  ncfg.vpu_mode = *vpu::parse_vpu_mode(spec_.vpu_mode);
   const int shards = shards_for(spec_);
   if (shards > 1) {
     sim::ParallelSim::Options po;
@@ -147,10 +150,10 @@ JobRun::JobRun(JobSpec spec) : spec_{std::move(spec)} {
     po.threads = spec_.threads;
     po.lookahead = link::LinkParams::transfer_time(0);
     psim_ = std::make_unique<sim::ParallelSim>(po);
-    machine_ = std::make_unique<core::TSeries>(*psim_, spec_.dimension);
+    machine_ = std::make_unique<core::TSeries>(*psim_, spec_.dimension, ncfg);
   } else {
     sim_ = std::make_unique<sim::Simulator>();
-    machine_ = std::make_unique<core::TSeries>(*sim_, spec_.dimension);
+    machine_ = std::make_unique<core::TSeries>(*sim_, spec_.dimension, ncfg);
   }
   reg_ = std::make_unique<perf::CounterRegistry>();
   machine_->enable_perf(*reg_);

@@ -26,6 +26,69 @@
 
 namespace fpst::sim {
 
+namespace detail {
+
+/// Recycler for coroutine frames. Stripe-grained vector ops create and
+/// destroy one short-lived `Proc` frame per stripe, so the malloc/free pair
+/// is on the simulator's hottest path. Frames cluster into a handful of
+/// sizes (one per coroutine body), so a small per-thread, size-bucketed
+/// stack of freed frames absorbs almost every allocation. Thread-local
+/// because the parallel engine runs one simulator per shard thread; a frame
+/// freed on a different thread than it was allocated on simply migrates to
+/// the freeing thread's cache, which is harmless.
+inline constexpr std::size_t kFrameGrain = 64;
+inline constexpr std::size_t kFrameBuckets = 16;  // covers frames < 1 KiB
+inline constexpr std::size_t kFramesPerBucket = 8;
+
+struct FrameCache {
+  void* slot[kFrameBuckets][kFramesPerBucket];
+  std::size_t count[kFrameBuckets] = {};
+  ~FrameCache() {
+    for (std::size_t b = 0; b < kFrameBuckets; ++b) {
+      for (std::size_t i = 0; i < count[b]; ++i) {
+        ::operator delete(slot[b][i]);
+      }
+    }
+  }
+};
+
+inline FrameCache& frame_cache() {
+  thread_local FrameCache cache;
+  return cache;
+}
+
+/// Bucket index for a frame of `size` bytes; kFrameBuckets = too large.
+inline std::size_t frame_bucket(std::size_t size) {
+  return (size - 1) / kFrameGrain;
+}
+
+inline void* frame_alloc(std::size_t size) {
+  const std::size_t b = frame_bucket(size);
+  if (b < kFrameBuckets) {
+    FrameCache& c = frame_cache();
+    if (c.count[b] > 0) {
+      return c.slot[b][--c.count[b]];
+    }
+    // Allocate the full bucket width so any same-bucket frame can reuse it.
+    return ::operator new((b + 1) * kFrameGrain);
+  }
+  return ::operator new(size);
+}
+
+inline void frame_free(void* p, std::size_t size) {
+  const std::size_t b = frame_bucket(size);
+  if (b < kFrameBuckets) {
+    FrameCache& c = frame_cache();
+    if (c.count[b] < kFramesPerBucket) {
+      c.slot[b][c.count[b]++] = p;
+      return;
+    }
+  }
+  ::operator delete(p);
+}
+
+}  // namespace detail
+
 class Proc {
  public:
   struct promise_type {
@@ -72,6 +135,16 @@ class Proc {
 
     void return_void() {}
     void unhandled_exception() { exception = std::current_exception(); }
+
+    static void* operator new(std::size_t size) {
+      return detail::frame_alloc(size);
+    }
+    static void operator delete(void* p, std::size_t size) {
+      detail::frame_free(p, size);
+    }
+    /// Unsized fallback: legal because cached frames come from the global
+    /// heap; it just skips recycling.
+    static void operator delete(void* p) { ::operator delete(p); }
   };
 
   Proc() = default;

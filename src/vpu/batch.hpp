@@ -1,0 +1,28 @@
+// The VPU batch execution arm.
+//
+// Executes a whole vector form over pre-loaded operand registers using the
+// host-FP fast path (fp/host_bridge.hpp) instead of one softfloat call per
+// element. The contract is bit-for-bit equivalence with VectorUnit's
+// softfloat arm: same output register bytes, same OpResult flags / scalar
+// bits / reduction index / flops. Reduction forms replicate the machine's
+// six interleaved feedback partials and their pairwise collapse order
+// exactly. Timing is not computed here — the VectorUnit charges the same
+// duration_of() pipe model in every mode.
+#pragma once
+
+#include "mem/memory.hpp"
+#include "vpu/vpu.hpp"
+
+namespace fpst::vpu::batch {
+
+/// The 64-bit arm (also hosts the precision-crossing conversions, matching
+/// the softfloat dispatch). Reads x (and y for two-operand forms) from the
+/// registers; writes non-reduction results into vz.
+OpResult execute64(const VectorOp& op, const mem::VectorRegister& vx,
+                   const mem::VectorRegister& vy, mem::VectorRegister& vz);
+
+/// The 32-bit arm.
+OpResult execute32(const VectorOp& op, const mem::VectorRegister& vx,
+                   const mem::VectorRegister& vy, mem::VectorRegister& vz);
+
+}  // namespace fpst::vpu::batch

@@ -1,7 +1,10 @@
 #include "vpu/vpu.hpp"
 
 #include <array>
+#include <cstdio>
 #include <stdexcept>
+
+#include "vpu/batch.hpp"
 
 namespace fpst::vpu {
 
@@ -51,6 +54,67 @@ T32 collapse_partials32(const std::array<T32, VpuParams::kAdderStages>& p,
   return add(add(q0, q1, fl), q2, fl);
 }
 
+/// Checked-mode divergence report: throws naming the op and the first
+/// mismatching element / result field, with both arms' bit patterns.
+[[noreturn]] void report_divergence(const VectorOp& op, const char* what,
+                                    std::size_t index, std::uint64_t soft,
+                                    std::uint64_t batch) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "VectorUnit[checked]: %s %s n=%zu diverged at %s[%zu]: "
+                "softfloat=0x%016llx batch=0x%016llx",
+                to_string(op.form),
+                op.prec == Precision::f64 ? "f64" : "f32", op.n, what, index,
+                static_cast<unsigned long long>(soft),
+                static_cast<unsigned long long>(batch));
+  throw std::runtime_error(buf);
+}
+
+std::uint64_t flags_bits(const Flags& fl) {
+  return (fl.invalid ? 1U : 0U) | (fl.overflow ? 2U : 0U) |
+         (fl.underflow ? 4U : 0U) | (fl.inexact ? 8U : 0U);
+}
+
+/// Cross-validate the batch arm against the softfloat arm: output register
+/// bytes (non-reduction forms write the same element span and both scratch
+/// registers start zeroed, so whole-row comparison is exact), flags,
+/// scalar result bits, reduction index and flops accounting.
+void check_divergence(const VectorOp& op, const OpResult& soft,
+                      const mem::VectorRegister& soft_z, const OpResult& bat,
+                      const mem::VectorRegister& bat_z) {
+  if (!is_reduction(op.form)) {
+    if (op.form == VectorForm::vcvt_narrow ||
+        (op.prec == Precision::f32 && op.form != VectorForm::vcvt_widen)) {
+      for (std::size_t i = 0; i < mem::MemParams::kElems32; ++i) {
+        if (soft_z.u32(i) != bat_z.u32(i)) {
+          report_divergence(op, "z32", i, soft_z.u32(i), bat_z.u32(i));
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < mem::MemParams::kElems64; ++i) {
+        if (soft_z.u64(i) != bat_z.u64(i)) {
+          report_divergence(op, "z64", i, soft_z.u64(i), bat_z.u64(i));
+        }
+      }
+    }
+  }
+  if (soft.scalar_result.bits() != bat.scalar_result.bits()) {
+    report_divergence(op, "scalar", 0, soft.scalar_result.bits(),
+                      bat.scalar_result.bits());
+  }
+  if (soft.reduction_index != bat.reduction_index) {
+    report_divergence(op, "index", 0, soft.reduction_index,
+                      bat.reduction_index);
+  }
+  if (flags_bits(soft.flags) != flags_bits(bat.flags)) {
+    report_divergence(op, "flags", 0, flags_bits(soft.flags),
+                      flags_bits(bat.flags));
+  }
+  if (soft.flops != bat.flops) {
+    report_divergence(op, "flops", 0, soft.flops, bat.flops);
+  }
+}
+
 }  // namespace
 
 const char* to_string(VectorForm f) {
@@ -94,6 +158,33 @@ bool is_reduction(VectorForm f) {
 
 bool uses_both_pipes(VectorForm f) {
   return f == VectorForm::vsaxpy || f == VectorForm::vdot;
+}
+
+std::uint64_t flops_for(const VectorOp& op) {
+  return static_cast<std::uint64_t>(op.n) *
+         (uses_both_pipes(op.form) ? 2U : 1U);
+}
+
+const char* to_string(VpuMode m) {
+  switch (m) {
+    case VpuMode::softfloat: return "softfloat";
+    case VpuMode::batch: return "batch";
+    case VpuMode::checked: return "checked";
+  }
+  return "?";
+}
+
+std::optional<VpuMode> parse_vpu_mode(std::string_view s) {
+  if (s == "softfloat") {
+    return VpuMode::softfloat;
+  }
+  if (s == "batch") {
+    return VpuMode::batch;
+  }
+  if (s == "checked") {
+    return VpuMode::checked;
+  }
+  return std::nullopt;
 }
 
 VectorUnit::VectorUnit(mem::NodeMemory& memory)
@@ -163,7 +254,40 @@ OpResult VectorUnit::execute(const VectorOp& op) {
       op.row_z >= mem::MemParams::kRows) {
     throw std::invalid_argument("VectorUnit: row out of range");
   }
-  OpResult r = op.prec == Precision::f64 ? execute64(op) : execute32(op);
+  // Operand rows load once and the result row stores once regardless of
+  // mode, so row_accesses_ and the perf sink's row_loads/row_stores are
+  // mode-independent (the serve-layer byte-identical-dump contract).
+  mem::VectorRegister vx;
+  mem::VectorRegister vy;
+  mem::VectorRegister vz;
+  memory_->load_row(op.row_x, vx);
+  if (is_two_operand(op.form)) {
+    memory_->load_row(op.row_y, vy);
+  }
+  OpResult r;
+  switch (cfg_.mode) {
+    case VpuMode::softfloat:
+      r = op.prec == Precision::f64 ? execute64(op, vx, vy, vz)
+                                    : execute32(op, vx, vy, vz);
+      break;
+    case VpuMode::batch:
+      r = op.prec == Precision::f64 ? batch::execute64(op, vx, vy, vz)
+                                    : batch::execute32(op, vx, vy, vz);
+      break;
+    case VpuMode::checked: {
+      mem::VectorRegister bz;
+      const OpResult bat = op.prec == Precision::f64
+                               ? batch::execute64(op, vx, vy, bz)
+                               : batch::execute32(op, vx, vy, bz);
+      r = op.prec == Precision::f64 ? execute64(op, vx, vy, vz)
+                                    : execute32(op, vx, vy, vz);
+      check_divergence(op, r, vz, bat, bz);
+      break;
+    }
+  }
+  if (!is_reduction(op.form)) {
+    memory_->store_row(op.row_z, vz);
+  }
   r.duration = duration_of(op);
   ++total_ops_;
   total_flops_ += r.flops;
@@ -194,15 +318,11 @@ OpResult VectorUnit::execute(const VectorOp& op) {
   return r;
 }
 
-OpResult VectorUnit::execute64(const VectorOp& op) {
+OpResult VectorUnit::execute64(const VectorOp& op,
+                               const mem::VectorRegister& vx,
+                               const mem::VectorRegister& vy,
+                               mem::VectorRegister& vz) const {
   OpResult res;
-  mem::VectorRegister vx;
-  mem::VectorRegister vy;
-  mem::VectorRegister vz;
-  memory_->load_row(op.row_x, vx);
-  if (is_two_operand(op.form)) {
-    memory_->load_row(op.row_y, vy);
-  }
   Flags& fl = res.flags;
   const T64 s = op.scalar;
 
@@ -259,8 +379,9 @@ OpResult VectorUnit::execute64(const VectorOp& op) {
         break;
       }
       case VectorForm::vcvt_widen: {
-        // x row holds 32-bit elements; output 64-bit.
-        vz.set_f64(i, fp::T32::from_bits(vx.u32(i)).widened());
+        // x row holds 32-bit elements; output 64-bit. Conversion of a
+        // signalling NaN raises invalid (quieted, payload preserved).
+        vz.set_f64(i, fp::T32::from_bits(vx.u32(i)).widened(fl));
         break;
       }
       case VectorForm::vcvt_narrow: {
@@ -275,23 +396,16 @@ OpResult VectorUnit::execute64(const VectorOp& op) {
   } else if (op.form == VectorForm::vmaxval) {
     res.scalar_result = best;
     res.reduction_index = best_i;
-  } else {
-    memory_->store_row(op.row_z, vz);
   }
-  res.flops = static_cast<std::uint64_t>(op.n) *
-              (uses_both_pipes(op.form) ? 2u : 1u);
+  res.flops = flops_for(op);
   return res;
 }
 
-OpResult VectorUnit::execute32(const VectorOp& op) {
+OpResult VectorUnit::execute32(const VectorOp& op,
+                               const mem::VectorRegister& vx,
+                               const mem::VectorRegister& vy,
+                               mem::VectorRegister& vz) const {
   OpResult res;
-  mem::VectorRegister vx;
-  mem::VectorRegister vy;
-  mem::VectorRegister vz;
-  memory_->load_row(op.row_x, vx);
-  if (is_two_operand(op.form)) {
-    memory_->load_row(op.row_y, vy);
-  }
   Flags& fl = res.flags;
   T32 s = T32::narrowed(op.scalar, fl);
 
@@ -360,11 +474,8 @@ OpResult VectorUnit::execute32(const VectorOp& op) {
   } else if (op.form == VectorForm::vmaxval) {
     res.scalar_result = best.widened();
     res.reduction_index = best_i;
-  } else {
-    memory_->store_row(op.row_z, vz);
   }
-  res.flops = static_cast<std::uint64_t>(op.n) *
-              (uses_both_pipes(op.form) ? 2u : 1u);
+  res.flops = flops_for(op);
   return res;
 }
 

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "fp/softfloat.hpp"
 #include "mem/memory.hpp"
@@ -73,12 +74,51 @@ enum class VectorForm : std::uint8_t {
 
 const char* to_string(VectorForm f);
 
+/// How execute() computes element results. All three modes are bit-for-bit
+/// identical in results, flags, memory traffic, event counts and charged
+/// duration — the mode only selects which arithmetic arm produces them:
+///
+///   softfloat  one src/fp softfloat call per element (the oracle; default)
+///   batch      whole-form host-FP fast path (fp/host_bridge.hpp), falling
+///              back to softfloat per element for NaNs and flush-boundary
+///              cases — ~10-30x less host work per form
+///   checked    runs both arms on the same operands and throws
+///              std::runtime_error naming the form and the diverging bit
+///              patterns if they ever disagree (cross-validation harness)
+///
+/// Batch-arm tie-breaking policy (the cases where host FP could have
+/// disagreed with the oracle, audited + pinned by tests/vpu_batch_test):
+///   * vmaxval: element 0 always seeds the running best — a NaN at index 0
+///     sticks (compares against it are unordered, never `greater`) and is
+///     reported with index 0, raw uncanonicalised bits. Comparisons see
+///     FTZ'd values but `best` keeps the raw operand bits; +0/-0 compare
+///     equal and strict-greater replacement keeps the earliest index of
+///     equal maxima. Both arms share fp compare semantics, so host/oracle
+///     tie-breaking cannot differ.
+///   * vcvt_widen: exact in both arms (shared integer path); a signalling
+///     NaN raises `invalid` and is quieted with its payload preserved.
+///   * vcvt_narrow: round-to-nearest-even at binary32; results that land
+///     exactly on the smallest normal are re-derived through the oracle
+///     because the host's denormal-grained rounding can cross the flush
+///     boundary on ties that the machine flushes.
+enum class VpuMode : std::uint8_t { softfloat, batch, checked };
+
+const char* to_string(VpuMode m);
+/// "softfloat" | "batch" | "checked" -> mode; anything else -> nullopt.
+std::optional<VpuMode> parse_vpu_mode(std::string_view s);
+
 /// True when the form consumes two memory vectors (x and y).
 bool is_two_operand(VectorForm f);
 /// True when the form produces a scalar (no output vector).
 bool is_reduction(VectorForm f);
 /// True when the form chains multiplier into adder (2 flops/element).
 bool uses_both_pipes(VectorForm f);
+
+struct VectorOp;
+/// Flops charged for one executed form: one per element, two when the form
+/// chains both pipes. Single source of truth for total_flops_ and the perf
+/// sink so the softfloat and batch arms cannot drift in accounting.
+std::uint64_t flops_for(const VectorOp& op);
 
 /// A vector operation as the control processor describes it to the
 /// micro-sequencer: the form, precision, element count, and the memory rows
@@ -109,6 +149,9 @@ class VectorUnit {
     /// two-input form share one port and the element beat doubles. This is
     /// the ablation for the paper's dual-bank design claim.
     bool dual_bank = true;
+    /// Which arithmetic arm computes element results (see VpuMode). Timing,
+    /// memory traffic and all observable results are mode-independent.
+    VpuMode mode = VpuMode::softfloat;
   };
 
   explicit VectorUnit(mem::NodeMemory& memory);
@@ -131,9 +174,16 @@ class VectorUnit {
   /// Timing model only (no data movement) — used for analytic sweeps.
   sim::SimTime duration_of(const VectorOp& op) const;
 
+  /// The configured execution mode (batch/checked selection).
+  VpuMode mode() const { return cfg_.mode; }
+
  private:
-  OpResult execute64(const VectorOp& op);
-  OpResult execute32(const VectorOp& op);
+  OpResult execute64(const VectorOp& op, const mem::VectorRegister& vx,
+                     const mem::VectorRegister& vy,
+                     mem::VectorRegister& vz) const;
+  OpResult execute32(const VectorOp& op, const mem::VectorRegister& vx,
+                     const mem::VectorRegister& vy,
+                     mem::VectorRegister& vz) const;
 
   mem::NodeMemory* memory_;
   Config cfg_;

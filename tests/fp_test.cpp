@@ -190,6 +190,18 @@ TEST(T32, WidenIsExact) {
   EXPECT_EQ(b.widened().to_double(), static_cast<double>(-3.0e20f));
 }
 
+// Regression: widening a signalling NaN is an adder-pipeline conversion and
+// must raise `invalid` (the payload is quieted but preserved). The flagless
+// widened() overload is value plumbing and stays silent for the same bits.
+TEST(T32, WidenSignallingNaNRaisesInvalid) {
+  const T32 snan = T32::from_bits(0x7f800001U);
+  Flags fl;
+  EXPECT_EQ(snan.widened(fl).bits(), 0x7ff8000020000000ULL);
+  EXPECT_TRUE(fl.invalid);
+  EXPECT_FALSE(fl.overflow || fl.underflow || fl.inexact);
+  EXPECT_EQ(snan.widened().bits(), 0x7ff8000020000000ULL);  // no flags path
+}
+
 TEST(T32, NarrowRounds) {
   Flags fl;
   const T64 v = T64::from_double(1.0 + 0x1p-30);  // not representable in b32

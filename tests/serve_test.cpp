@@ -44,7 +44,8 @@ TEST(JobSpecTest, CanonicalSerializationIsCompactAndSorted) {
   const JobSpec spec;  // defaults
   EXPECT_EQ(serve::canonical_spec(spec),
             "{\"dimension\":2,\"elems\":16,\"program\":\"allreduce\","
-            "\"rounds\":1,\"seed\":0,\"threads\":1}");
+            "\"rounds\":1,\"seed\":0,\"threads\":1,"
+            "\"vpu_mode\":\"softfloat\"}");
 }
 
 TEST(JobSpecTest, ContentAddressShapeAndSensitivity) {
@@ -101,6 +102,9 @@ TEST(JobSpecTest, BadRequestCorpusYieldsTypedErrors) {
       {"{\"seed\":1,\"elems\":4,\"elems\":4}", "duplicate-key"},
       {"not json at all", "parse-error"},
       {"{\"seed\":1", "parse-error"},
+      {"{\"vpu_mode\":\"fast\"}", "bad-mode"},
+      {"{\"vpu_mode\":\"Batch\"}", "bad-mode"},  // case-sensitive
+      {"{\"vpu_mode\":3}", "bad-type"},
   };
   for (const auto& c : kCorpus) {
     EXPECT_EQ(error_code([&] { (void)serve::parse_spec(c.text); }), c.code)
@@ -294,6 +298,64 @@ TEST(RunnerTest, DifferentSeedProducesDifferentDumps) {
   spec.seed = 2;
   serve::JobRun run_b{spec};
   EXPECT_NE(*run_a.execute().dump, *run_b.execute().dump);
+}
+
+TEST(JobSpecTest, VpuModeParticipatesInContentAddress) {
+  JobSpec spec;
+  const std::string soft = serve::content_address(spec);
+  spec.vpu_mode = "batch";
+  const std::string batch = serve::content_address(spec);
+  spec.vpu_mode = "checked";
+  const std::string checked = serve::content_address(spec);
+  // The arms are bit-exact by contract, but the cache key still records
+  // which arm ran: a checked request must never be satisfied by a cached
+  // softfloat dump, so all three addresses are distinct.
+  EXPECT_NE(soft, batch);
+  EXPECT_NE(soft, checked);
+  EXPECT_NE(batch, checked);
+
+  const JobSpec round_trip = serve::parse_spec(serve::canonical_spec(spec));
+  EXPECT_EQ(round_trip.vpu_mode, "checked");
+  EXPECT_EQ(serve::content_address(round_trip), checked);
+}
+
+TEST(RunnerTest, CheckedModeSaxpyIsByteIdenticalToSoftfloat) {
+  // The ISSUE-8 equivalence contract at the serve layer: a 4-node SAXPY in
+  // `checked` mode (which executes the batch arm and the softfloat oracle
+  // on every vector form and throws on any divergence) produces the same
+  // simulation bytes as a plain `softfloat` run. The dumps differ only in
+  // the three fields that name the mode — the content address, the spec
+  // echo and the perf workload string (which embeds the canonical spec) —
+  // so neutralise those and compare the rest byte-for-byte.
+  JobSpec spec;
+  spec.program = "saxpy";
+  spec.dimension = 2;  // 4 nodes
+  spec.rounds = 3;
+  spec.elems = 32;
+  spec.seed = 5;
+  auto dump_for = [&](const char* mode) {
+    JobSpec s = spec;
+    s.vpu_mode = mode;
+    serve::JobRun run{s};
+    return run.execute();
+  };
+  const serve::RunOutcome soft = dump_for("softfloat");
+  const serve::RunOutcome checked = dump_for("checked");
+  const serve::RunOutcome batch = dump_for("batch");
+  EXPECT_EQ(soft.checksum, checked.checksum);
+  EXPECT_EQ(soft.checksum, batch.checksum);
+  EXPECT_EQ(soft.events, checked.events);
+  EXPECT_EQ(soft.events, batch.events);
+
+  auto neutralised = [](const serve::RunOutcome& out) {
+    perf::json::Value doc = perf::json::Value::parse(*out.dump);
+    doc["results"]["address"] = perf::json::Value::string("-");
+    doc["results"]["spec"]["vpu_mode"] = perf::json::Value::string("-");
+    doc["metadata"]["workload"] = perf::json::Value::string("-");
+    return doc.dump(2);
+  };
+  EXPECT_EQ(neutralised(soft), neutralised(checked));
+  EXPECT_EQ(neutralised(soft), neutralised(batch));
 }
 
 TEST(RunnerTest, ProgressSettlesAtFinalEventCount) {

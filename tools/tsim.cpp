@@ -25,8 +25,9 @@
 // SpecError slug, or "bad-request" / "unknown-op" / "unknown-id").
 //
 // Spec flags (submit / hash): --program allreduce|saxpy|ring, --dim D,
-// --threads N, --rounds R, --elems E, --seed S, or --spec FILE to load a
-// JSON spec document through the strict parser (duplicate keys rejected).
+// --threads N, --rounds R, --elems E, --seed S,
+// --vpu-mode softfloat|batch|checked, or --spec FILE to load a JSON spec
+// document through the strict parser (duplicate keys rejected).
 //
 // Exit codes: 0 success, 1 job failed / selftest assertion, 2 usage or
 // I/O / protocol error.
@@ -574,6 +575,14 @@ int eat_spec_flag(int argc, char** argv, int& i, SpecFlags* out) {
     out->spec.seed = std::strtoull(v, nullptr, 0);
     return 1;
   }
+  if (arg == "--vpu-mode") {
+    const char* v = need_value();
+    if (v == nullptr) {
+      return -1;
+    }
+    out->spec.vpu_mode = v;
+    return 1;
+  }
   if (arg == "--spec") {
     const char* v = need_value();
     if (v == nullptr) {
@@ -624,7 +633,8 @@ void usage(std::FILE* to) {
       "  selftest\n"
       "\n"
       "spec flags: --program allreduce|saxpy|ring  --dim D  --threads N\n"
-      "            --rounds R  --elems E  --seed S  --spec FILE\n");
+      "            --rounds R  --elems E  --seed S\n"
+      "            --vpu-mode softfloat|batch|checked  --spec FILE\n");
 }
 
 // ------------------------------------------------------------- subcommands

@@ -51,6 +51,9 @@ struct Row {
   double wall_s = 0.0;
   double events_per_sec = 0.0;
   double sim_ms = 0.0;
+  /// Engine profile (parallel rows only): where the wall-clock went.
+  sim::ParallelSim::Profile profile;
+  bool has_profile = false;
 };
 
 occam::Runtime::Body workload(int rounds) {
@@ -99,7 +102,17 @@ Row run_parallel(int dim, int shards, int threads, int rounds) {
   row.wall_s = std::chrono::duration<double>(t1 - t0).count();
   row.events_per_sec = static_cast<double>(row.events) / row.wall_s;
   row.sim_ms = elapsed.us() / 1000.0;
+  row.profile = psim.profile();
+  row.has_profile = true;
   return row;
+}
+
+std::uint64_t sum_ns(const std::vector<std::uint64_t>& v) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t ns : v) {
+    total += ns;
+  }
+  return total;
 }
 
 std::vector<int> parse_list(const std::string& arg) {
@@ -165,9 +178,9 @@ int main(int argc, char** argv) {
 
   bench::title("parallel DES engine: host-thread scaling");
   std::printf("  host cores: %u\n", std::thread::hardware_concurrency());
-  std::printf("  %-4s %-7s %-8s %-7s %12s %9s %12s %9s\n", "dim", "shards",
-              "threads", "rounds", "events", "wall_s", "events/sec",
-              "speedup");
+  std::printf("  %-4s %-7s %-8s %-7s %12s %9s %12s %9s %7s %6s %6s\n", "dim",
+              "shards", "threads", "rounds", "events", "wall_s", "events/sec",
+              "speedup", "epochs", "busy%", "barr%");
 
   std::vector<Row> rows;
   for (const int dim : dims) {
@@ -177,10 +190,10 @@ int main(int argc, char** argv) {
     const int shards = std::min(8, 1 << dim);
 
     Row serial = run_serial(dim, rounds);
-    std::printf("  %-4d %-7s %-8s %-7d %12llu %9.3f %12.0f %9s\n",
+    std::printf("  %-4d %-7s %-8s %-7d %12llu %9.3f %12.0f %9s %7s %6s %6s\n",
                 serial.dim, "serial", "-", serial.rounds,
                 static_cast<unsigned long long>(serial.events), serial.wall_s,
-                serial.events_per_sec, "-");
+                serial.events_per_sec, "-", "-", "-", "-");
     rows.push_back(serial);
 
     double base_eps = 0.0;
@@ -191,10 +204,30 @@ int main(int argc, char** argv) {
       }
       const double speedup =
           base_eps > 0.0 ? r.events_per_sec / base_eps : 0.0;
-      std::printf("  %-4d %-7d %-8d %-7d %12llu %9.3f %12.0f %8.2fx\n",
-                  r.dim, r.shards, r.threads, r.rounds,
-                  static_cast<unsigned long long>(r.events), r.wall_s,
-                  r.events_per_sec, speedup);
+      // busy% / barr%: the fraction of total worker wall-clock (threads x
+      // run wall) spent executing events vs parked at the epoch barrier.
+      // A flat speedup curve with high barr% means lookahead windows are
+      // too small or shard load is imbalanced — exactly what ROADMAP
+      // item 1's per-shard-pair lookahead is meant to fix.
+      const double worker_wall_ns = r.wall_s * 1e9 * r.threads;
+      const double busy_frac =
+          worker_wall_ns > 0.0
+              ? static_cast<double>(sum_ns(r.profile.shard_busy_ns)) /
+                    worker_wall_ns
+              : 0.0;
+      const double barrier_frac =
+          worker_wall_ns > 0.0
+              ? static_cast<double>(sum_ns(r.profile.worker_barrier_ns)) /
+                    worker_wall_ns
+              : 0.0;
+      std::printf(
+          "  %-4d %-7d %-8d %-7d %12llu %9.3f %12.0f %8.2fx %7llu %5.0f%% "
+          "%5.0f%%\n",
+          r.dim, r.shards, r.threads, r.rounds,
+          static_cast<unsigned long long>(r.events), r.wall_s,
+          r.events_per_sec, speedup,
+          static_cast<unsigned long long>(r.profile.epochs),
+          busy_frac * 100.0, barrier_frac * 100.0);
       rows.push_back(r);
     }
   }
@@ -232,6 +265,39 @@ int main(int argc, char** argv) {
       o["wall_s"] = json::Value::number(r.wall_s);
       o["events_per_sec"] = json::Value::number(r.events_per_sec);
       o["sim_ms"] = json::Value::number(r.sim_ms);
+      if (r.has_profile) {
+        // The shard/barrier profiler: wall-clock accumulators, reported
+        // per shard (busy, events) and per worker (barrier wait) so the
+        // dump answers "why does scaling flatten" directly.
+        json::Value prof = json::Value::object();
+        prof["epochs"] = json::Value::integer(
+            static_cast<std::int64_t>(r.profile.epochs));
+        prof["merge_ns"] = json::Value::integer(
+            static_cast<std::int64_t>(r.profile.merge_ns));
+        prof["mail_delivered"] = json::Value::integer(
+            static_cast<std::int64_t>(r.profile.mail_delivered));
+        prof["events_per_epoch"] = json::Value::number(
+            r.profile.epochs > 0
+                ? static_cast<double>(r.events) /
+                      static_cast<double>(r.profile.epochs)
+                : 0.0);
+        json::Value busy = json::Value::array();
+        for (const std::uint64_t ns : r.profile.shard_busy_ns) {
+          busy.append(json::Value::integer(static_cast<std::int64_t>(ns)));
+        }
+        prof["shard_busy_ns"] = std::move(busy);
+        json::Value ev = json::Value::array();
+        for (const std::uint64_t n : r.profile.shard_events) {
+          ev.append(json::Value::integer(static_cast<std::int64_t>(n)));
+        }
+        prof["shard_events"] = std::move(ev);
+        json::Value barrier = json::Value::array();
+        for (const std::uint64_t ns : r.profile.worker_barrier_ns) {
+          barrier.append(json::Value::integer(static_cast<std::int64_t>(ns)));
+        }
+        prof["worker_barrier_ns"] = std::move(barrier);
+        o["profile"] = std::move(prof);
+      }
       arr.append(std::move(o));
     }
     doc["results"]["rows"] = std::move(arr);

@@ -41,7 +41,13 @@
 #      the jobs/sec of its cache-disabled twin, and mixed-storm jobs/sec
 #      must not undercut the lowest same-flavour record by more than 30%
 #      (flavour-tagged run-over-run like stage 7; the release baseline is
-#      committed as BENCH_serve.json)
+#      committed as BENCH_serve.json). The mixed-storm p99 submit->complete
+#      latency is the SLO gate: it must stay within 4x the lowest
+#      same-flavour recorded p99 (tail latency is far noisier than
+#      throughput, hence the wider headroom). The stage also runs the tmon
+#      selfdump harness twice and requires the span + metrics documents to
+#      be byte-identical once `meta` blocks (wall-clock timings) are
+#      stripped — the observability determinism contract
 #   9. vpu batch arm: the randomized cross-validation fuzzer (every
 #      elementwise form, both precisions, special operands — batch arm vs
 #      softfloat oracle, fixed seed) must pass, and the
@@ -84,7 +90,8 @@ ci.sh stages:
      --threads determinism sweep
   6  tcheck --predict: static cost/volume prediction vs measurement
   7  bench_simcore throughput gate + bench_parallel_scaling record
-  8  bench_serve storm: completion/hit-rate/cache-speedup/jobs-per-sec gates
+  8  bench_serve storm: completion/hit-rate/cache-speedup/jobs-per-sec
+     gates + p99 SLO gate + tmon span/metrics determinism gate
   9  vpu batch arm: cross-validation fuzz + batch-sweep equivalence/speed gates
  10  clang-tidy (src/check findings blocking)
 EOF
@@ -402,7 +409,58 @@ if want_stage 8; then
       exit 1
     }
   fi
+  # SLO gate: mixed-storm p99 submit->complete latency, flavour-tagged
+  # run-over-run like jobs/sec but with 4x headroom — tail latency rides
+  # on scheduler jitter far more than throughput does, and a genuine SLO
+  # regression (lost cache, serialized workers) shows up as 10x+, not 2x.
+  # Records predating the p99 schema are skipped, not fatal.
+  fresh_p50=$("$bserve" --metric p50_ms "$serve_fresh")
+  fresh_p90=$("$bserve" --metric p90_ms "$serve_fresh")
+  fresh_p99=$("$bserve" --metric p99_ms "$serve_fresh")
+  echo "ci: bench_serve latency p50_ms=$fresh_p50 p90_ms=$fresh_p90" \
+       "p99_ms=$fresh_p99"
+  gate_p99=""
+  for record in "$serve_prev" "$repo_root/BENCH_serve.json"; do
+    [ -f "$record" ] || continue
+    rec_flavour=$("$bserve" --metric build "$record")
+    [ "$serve_flavour" = "$rec_flavour" ] || continue
+    rec_p99=$("$bserve" --metric p99_ms "$record" 2>/dev/null) || continue
+    echo "ci: recorded $record p99_ms=$rec_p99"
+    if [ -z "$gate_p99" ] ||
+       awk -v a="$rec_p99" -v b="$gate_p99" 'BEGIN { exit !(a < b) }'; then
+      gate_p99="$rec_p99"
+    fi
+  done
+  if [ -n "$gate_p99" ]; then
+    awk -v f="$fresh_p99" -v b="$gate_p99" 'BEGIN { exit !(f <= 4.0 * b) }' || {
+      echo "ci: mixed-storm p99 ${fresh_p99}ms blew the SLO gate" \
+           "(4x lowest recorded ${gate_p99}ms)" >&2
+      exit 1
+    }
+  fi
   cp "$serve_fresh" "$serve_prev"
+  # Observability determinism: the tmon selfdump harness submits a fixed
+  # job sequence through an in-process service; everything outside the
+  # `meta` blocks is a pure function of that sequence. Two runs, strip
+  # meta, byte-compare — guards the body/meta split in src/serve/tmon.cpp.
+  tmon="$build_dir/tools/tmon"
+  for run in a b; do
+    "$tmon" selfdump --spans "$build_dir/ci_tmon_spans.$run.json" \
+            --metrics "$build_dir/ci_tmon_metrics.$run.json" > /dev/null
+  done
+  for kind in spans metrics; do
+    for run in a b; do
+      "$tmon" --strip-meta "$build_dir/ci_tmon_$kind.$run.json" \
+              > "$build_dir/ci_tmon_$kind.$run.body.json"
+    done
+    cmp -s "$build_dir/ci_tmon_$kind.a.body.json" \
+           "$build_dir/ci_tmon_$kind.b.body.json" || {
+      echo "ci: tmon $kind dumps differ across identical runs" \
+           "(meta stripped)" >&2
+      exit 1
+    }
+  done
+  echo "ci: tmon span/metrics dumps byte-identical across runs (meta stripped)"
 fi
 
 if want_stage 9; then

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 
 namespace fpst::perf {
 
@@ -11,6 +12,16 @@ int bucket_of(std::int64_t v) {
   return v <= 0
              ? 0
              : static_cast<int>(std::bit_width(static_cast<std::uint64_t>(v)));
+}
+
+/// sum_ must stay well-defined even for top-bucket values (two observations
+/// near int64 max would overflow a plain +=, which is UB): saturate instead.
+std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return r;
 }
 
 }  // namespace
@@ -27,8 +38,27 @@ void Histogram::add(std::int64_t v) {
     max_ = std::max(max_, v);
   }
   ++count_;
-  sum_ += v;
+  sum_ = sat_add(sum_, v);
   ++buckets_[static_cast<std::size_t>(bucket_of(v))];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ = sat_add(sum_, other.sum_);
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[static_cast<std::size_t>(b)] +=
+        other.buckets_[static_cast<std::size_t>(b)];
+  }
 }
 
 double Histogram::mean() const {
@@ -37,11 +67,25 @@ double Histogram::mean() const {
 }
 
 std::int64_t Histogram::bucket_lo(int b) {
-  return b == 0 ? 0 : std::int64_t{1} << (b - 1);
+  if (b == 0) {
+    return 0;
+  }
+  if (b >= 64) {  // unreachable from add(); guard the shift anyway
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return std::int64_t{1} << (b - 1);
 }
 
 std::int64_t Histogram::bucket_hi(int b) {
-  return b == 0 ? 0 : (std::int64_t{1} << (b - 1)) * 2 - 1;
+  if (b == 0) {
+    return 0;
+  }
+  // Bucket 63 covers [2^62, int64 max]: 2^63 - 1 is the type's max, and
+  // computing it by doubling 2^62 would overflow. Clamp instead.
+  if (b >= 63) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return (std::int64_t{1} << b) - 1;
 }
 
 double Histogram::quantile(double q) const {

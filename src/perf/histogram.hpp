@@ -23,9 +23,19 @@ class Histogram {
   /// Record one value. Negative values clamp to 0.
   void add(std::int64_t v);
 
+  /// Fold `other` into this histogram: bucket-wise count sum plus
+  /// count/sum/min/max merge. Merging per-worker or per-shard histograms
+  /// this way is exactly equivalent to having recorded every value into
+  /// one histogram (the buckets are fixed powers of two, so no rebinning
+  /// happens), which is what lets the serve layer aggregate without locks:
+  /// each worker owns its histogram, the reader merges snapshots.
+  void merge(const Histogram& other);
+
   std::uint64_t count() const { return count_; }
   std::int64_t min() const { return count_ == 0 ? 0 : min_; }
   std::int64_t max() const { return count_ == 0 ? 0 : max_; }
+  /// Saturates at int64 max instead of overflowing (top-bucket values are
+  /// near the limit, so two observations could otherwise wrap).
   std::int64_t sum() const { return sum_; }
   double mean() const;
 

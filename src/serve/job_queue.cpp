@@ -14,8 +14,16 @@ bool JobQueue::push_locked(std::unique_lock<std::mutex>& lock,
   return true;
 }
 
-bool JobQueue::push(const std::string& tenant, std::uint64_t job) {
+bool JobQueue::push(const std::string& tenant, std::uint64_t job,
+                    bool* stalled) {
   std::unique_lock<std::mutex> lock(mu_);
+  const bool waited = size_ >= capacity_ && !closed_;
+  if (waited) {
+    ++stalls_;
+  }
+  if (stalled != nullptr) {
+    *stalled = waited;
+  }
   not_full_.wait(lock, [&] { return size_ < capacity_ || closed_; });
   return push_locked(lock, tenant, job);
 }
@@ -71,6 +79,15 @@ std::size_t JobQueue::depth() const {
 bool JobQueue::closed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return closed_;
+}
+
+JobQueue::Stats JobQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.depth = size_;
+  s.stalls = stalls_;
+  s.closed = closed_;
+  return s;
 }
 
 }  // namespace fpst::serve

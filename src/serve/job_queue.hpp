@@ -25,14 +25,30 @@ namespace fpst::serve {
 
 class JobQueue {
  public:
+  /// One-lock snapshot of the queue's observable state. All fields are
+  /// read under the same mutex acquisition, so depth and stalls can never
+  /// tear against each other the way separate depth()/stalls() calls
+  /// could.
+  struct Stats {
+    std::size_t depth = 0;
+    /// push() calls that found the queue full and had to wait — the
+    /// count of backpressure stalls the submit side has absorbed.
+    std::uint64_t stalls = 0;
+    bool closed = false;
+  };
+
   explicit JobQueue(std::size_t capacity) : capacity_{capacity} {}
 
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
 
   /// Enqueue `job` for `tenant`; blocks while the queue is full. Returns
-  /// false (without enqueueing) once the queue is closed.
-  bool push(const std::string& tenant, std::uint64_t job);
+  /// false (without enqueueing) once the queue is closed. When `stalled`
+  /// is non-null it is set to whether this call had to wait for space —
+  /// the per-call backpressure signal the service's per-tenant SLO
+  /// accounting records.
+  bool push(const std::string& tenant, std::uint64_t job,
+            bool* stalled = nullptr);
 
   /// Non-blocking push: false when full or closed.
   bool try_push(const std::string& tenant, std::uint64_t job);
@@ -47,6 +63,7 @@ class JobQueue {
 
   std::size_t depth() const;
   bool closed() const;
+  Stats stats() const;
 
  private:
   bool push_locked(std::unique_lock<std::mutex>& lock,
@@ -57,6 +74,7 @@ class JobQueue {
   std::condition_variable not_empty_;
   std::size_t capacity_;
   std::size_t size_ = 0;
+  std::uint64_t stalls_ = 0;
   bool closed_ = false;
   /// std::map keeps tenant iteration order deterministic (lexicographic),
   /// so a given submission interleaving always drains identically.

@@ -1,6 +1,8 @@
 #include "serve/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <numeric>
 #include <vector>
 
 #include "core/machine.hpp"
@@ -196,11 +198,23 @@ RunOutcome JobRun::execute() {
     body = allreduce_body(spec_, &check);
   }
 
+  const auto exec_t0 = std::chrono::steady_clock::now();
   const sim::SimTime elapsed = rt.run(body);
+  const auto exec_t1 = std::chrono::steady_clock::now();
 
   RunOutcome out;
   out.sim_elapsed = elapsed;
   out.events = psim_ ? psim_->events_processed() : sim_->events_processed();
+  out.exec_ms =
+      std::chrono::duration<double, std::milli>(exec_t1 - exec_t0).count();
+  if (psim_) {
+    const sim::ParallelSim::Profile prof = psim_->profile();
+    out.engine_epochs = prof.epochs;
+    out.engine_merge_ns = prof.merge_ns;
+    out.engine_barrier_ns =
+        std::accumulate(prof.worker_barrier_ns.begin(),
+                        prof.worker_barrier_ns.end(), std::uint64_t{0});
+  }
   for (const double c : check) {
     out.checksum += c;
   }
@@ -218,6 +232,9 @@ RunOutcome JobRun::execute() {
   // Exactly perf::write_file's on-disk bytes, so a cached result saved to
   // a file is indistinguishable from a dump the example binaries write.
   out.dump = std::make_shared<const std::string>(doc.dump(2) + "\n");
+  out.serialize_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - exec_t1)
+                         .count();
   return out;
 }
 

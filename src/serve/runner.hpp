@@ -43,6 +43,19 @@ struct RunOutcome {
   sim::SimTime sim_elapsed{};
   /// Workload checksum (also embedded in the dump's results table).
   double checksum = 0.0;
+
+  // Host wall-clock stage timings for the serve layer's request spans.
+  // These describe the host, not the simulation — they never enter the
+  // dump bytes above (which must stay a pure function of the spec).
+  double exec_ms = 0.0;       ///< engine run (rt.run) wall time
+  double serialize_ms = 0.0;  ///< dump build + JSON serialise wall time
+
+  // ParallelSim epoch-profile aggregates (zero for serial runs): how much
+  // of exec_ms the sharded engine spent in serial merge phases and parked
+  // at the epoch barrier, summed across workers. Wall-clock as well.
+  std::uint64_t engine_epochs = 0;
+  std::uint64_t engine_merge_ns = 0;
+  std::uint64_t engine_barrier_ns = 0;
 };
 
 /// Shard count for a spec: the largest power of two <= min(threads,

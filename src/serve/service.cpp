@@ -12,6 +12,13 @@ double ms_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+std::int64_t us_between(std::chrono::steady_clock::time_point a,
+                        std::chrono::steady_clock::time_point b) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count();
+  return us < 0 ? 0 : static_cast<std::int64_t>(us);
+}
+
 }  // namespace
 
 const char* to_string(JobState s) {
@@ -31,7 +38,8 @@ const char* to_string(JobState s) {
 Service::Service(Options opts)
     : opts_{opts},
       cache_{opts.cache_enabled ? opts.cache_bytes : 0},
-      queue_{opts.queue_capacity} {
+      queue_{opts.queue_capacity},
+      born_{std::chrono::steady_clock::now()} {
   if (opts_.workers < 1) {
     throw std::invalid_argument("Service: workers must be >= 1");
   }
@@ -43,31 +51,66 @@ Service::Service(Options opts)
 
 Service::~Service() { shutdown(); }
 
+JobId Service::create_record(const std::string& tenant,
+                             const JobSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shut_down_) {
+    throw std::runtime_error("Service: submit after shutdown");
+  }
+  const JobId id = jobs_.size();
+  auto rec = std::make_unique<JobRecord>();
+  rec->spec = spec;
+  rec->tenant = tenant;
+  rec->address = content_address(spec);
+  rec->submitted = std::chrono::steady_clock::now();
+  jobs_.push_back(std::move(rec));
+  ++tenants_[tenant].submitted;
+  return id;
+}
+
+void Service::finish_locked(JobRecord& rec, JobState state) {
+  rec.state = state;
+  rec.finished = std::chrono::steady_clock::now();
+  TenantStats& t = tenants_[rec.tenant];
+  if (state == JobState::kDone) {
+    ++completed_;
+    ++t.completed;
+  } else {
+    ++failed_;
+    ++t.failed;
+  }
+  if (rec.cache_hit) {
+    ++cache_hits_;
+    ++t.cache_hits;
+  } else if (rec.started != std::chrono::steady_clock::time_point{}) {
+    // A worker picked the job up and it was not in the cache — a miss
+    // that hit the engine (or died trying). Rejected/never-queued jobs
+    // count as neither.
+    ++t.cache_misses;
+  }
+  t.latency_us.add(us_between(rec.submitted, rec.finished));
+  if (rec.started != std::chrono::steady_clock::time_point{}) {
+    t.queue_wait_us.add(us_between(rec.submitted, rec.started));
+  }
+}
+
 JobId Service::submit(const std::string& tenant, const JobSpec& spec) {
   validate(spec);
-  JobId id = 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shut_down_) {
-      throw std::runtime_error("Service: submit after shutdown");
-    }
-    id = jobs_.size();
-    auto rec = std::make_unique<JobRecord>();
-    rec->spec = spec;
-    rec->tenant = tenant;
-    rec->address = content_address(spec);
-    rec->submitted = std::chrono::steady_clock::now();
-    jobs_.push_back(std::move(rec));
-  }
+  const JobId id = create_record(tenant, spec);
   // Enqueue outside the service mutex: push() blocks under backpressure
   // and status()/workers must keep moving while a submitter waits.
-  if (!queue_.push(tenant, id)) {
+  bool stalled = false;
+  const bool pushed = queue_.push(tenant, id, &stalled);
+  if (stalled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++backpressure_stalls_;
+    ++tenants_[tenant].backpressure_stalls;
+  }
+  if (!pushed) {
     std::lock_guard<std::mutex> lock(mu_);
     JobRecord& rec = *jobs_[id];
-    rec.state = JobState::kFailed;
     rec.error = "service shut down before the job could be queued";
-    rec.finished = std::chrono::steady_clock::now();
-    ++failed_;
+    finish_locked(rec, JobState::kFailed);
     done_cv_.notify_all();
     throw std::runtime_error("Service: submit after shutdown");
   }
@@ -77,27 +120,14 @@ JobId Service::submit(const std::string& tenant, const JobSpec& spec) {
 bool Service::try_submit(const std::string& tenant, const JobSpec& spec,
                          JobId* out) {
   validate(spec);
-  JobId id = 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shut_down_) {
-      throw std::runtime_error("Service: submit after shutdown");
-    }
-    id = jobs_.size();
-    auto rec = std::make_unique<JobRecord>();
-    rec->spec = spec;
-    rec->tenant = tenant;
-    rec->address = content_address(spec);
-    rec->submitted = std::chrono::steady_clock::now();
-    jobs_.push_back(std::move(rec));
-  }
+  const JobId id = create_record(tenant, spec);
   if (!queue_.try_push(tenant, id)) {
     std::lock_guard<std::mutex> lock(mu_);
     JobRecord& rec = *jobs_[id];
-    rec.state = JobState::kFailed;
     rec.error = "queue full (backpressure)";
-    rec.finished = std::chrono::steady_clock::now();
-    ++failed_;
+    ++rejected_;
+    ++tenants_[tenant].rejected;
+    finish_locked(rec, JobState::kFailed);
     done_cv_.notify_all();
     if (out != nullptr) {
       *out = id;
@@ -169,11 +199,73 @@ ServiceStats Service::stats() const {
     s.completed = completed_;
     s.failed = failed_;
     s.cache_hits = cache_hits_;
+    s.rejected = rejected_;
+    s.backpressure_stalls = backpressure_stalls_;
+    s.engine_epochs = engine_epochs_;
+    s.engine_merge_ns = engine_merge_ns_;
+    s.engine_barrier_ns = engine_barrier_ns_;
+    s.tenants = tenants_;
+    s.uptime_ms = ms_between(born_, std::chrono::steady_clock::now());
   }
-  s.queue_depth = queue_.depth();
+  s.queue_depth = queue_.stats().depth;
   s.workers = opts_.workers;
   s.cache = cache_.stats();
   return s;
+}
+
+JobSpan Service::span_locked(JobId id, const JobRecord& rec) const {
+  JobSpan sp;
+  sp.id = id;
+  sp.state = rec.state;
+  sp.cache_hit = rec.cache_hit;
+  sp.tenant = rec.tenant;
+  sp.address = rec.address;
+  sp.program = rec.spec.program;
+  sp.error = rec.error;
+  sp.submit_offset_ms = ms_between(born_, rec.submitted);
+  sp.cache_ms = rec.cache_ms;
+  sp.setup_ms = rec.setup_ms;
+  sp.exec_ms = rec.exec_ms;
+  sp.serialize_ms = rec.serialize_ms;
+  const auto now = std::chrono::steady_clock::now();
+  switch (rec.state) {
+    case JobState::kQueued:
+      sp.queue_ms = ms_between(rec.submitted, now);
+      sp.total_ms = sp.queue_ms;
+      break;
+    case JobState::kRunning:
+      sp.queue_ms = ms_between(rec.submitted, rec.started);
+      sp.total_ms = ms_between(rec.submitted, now);
+      sp.events = rec.running != nullptr ? rec.running->progress() : 0;
+      break;
+    case JobState::kDone:
+    case JobState::kFailed:
+      if (rec.started != std::chrono::steady_clock::time_point{}) {
+        sp.queue_ms = ms_between(rec.submitted, rec.started);
+      }
+      sp.total_ms = ms_between(rec.submitted, rec.finished);
+      sp.events = rec.final_events;
+      break;
+  }
+  return sp;
+}
+
+JobSpan Service::span(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= jobs_.size()) {
+    throw std::out_of_range("Service: unknown job id " + std::to_string(id));
+  }
+  return span_locked(id, *jobs_[id]);
+}
+
+std::vector<JobSpan> Service::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobSpan> out;
+  out.reserve(jobs_.size());
+  for (JobId id = 0; id < jobs_.size(); ++id) {
+    out.push_back(span_locked(id, *jobs_[id]));
+  }
+  return out;
 }
 
 void Service::worker_loop() {
@@ -193,23 +285,31 @@ void Service::worker_loop() {
 void Service::run_job(JobRecord& rec) {
   // Cache first: a hit completes the job without building an engine.
   if (opts_.cache_enabled) {
-    if (std::shared_ptr<const std::string> hit = cache_.lookup(rec.address)) {
+    const auto cache_t0 = std::chrono::steady_clock::now();
+    std::shared_ptr<const std::string> hit = cache_.lookup(rec.address);
+    const double cache_ms =
+        ms_between(cache_t0, std::chrono::steady_clock::now());
+    if (hit) {
       std::lock_guard<std::mutex> lock(mu_);
+      rec.cache_ms = cache_ms;
       rec.result = std::move(hit);
       rec.cache_hit = true;
       rec.final_events = 0;
-      rec.state = JobState::kDone;
-      rec.finished = std::chrono::steady_clock::now();
-      ++completed_;
-      ++cache_hits_;
+      finish_locked(rec, JobState::kDone);
       return;
     }
+    std::lock_guard<std::mutex> lock(mu_);
+    rec.cache_ms = cache_ms;
   }
   std::unique_ptr<JobRun> run;
   try {
+    const auto setup_t0 = std::chrono::steady_clock::now();
     run = std::make_unique<JobRun>(rec.spec);
+    const double setup_ms =
+        ms_between(setup_t0, std::chrono::steady_clock::now());
     {
       std::lock_guard<std::mutex> lock(mu_);
+      rec.setup_ms = setup_ms;
       rec.running = run.get();
     }
     RunOutcome out = run->execute();
@@ -218,9 +318,12 @@ void Service::run_job(JobRecord& rec) {
       rec.running = nullptr;  // before `run` dies below
       rec.result = out.dump;
       rec.final_events = out.events;
-      rec.state = JobState::kDone;
-      rec.finished = std::chrono::steady_clock::now();
-      ++completed_;
+      rec.exec_ms = out.exec_ms;
+      rec.serialize_ms = out.serialize_ms;
+      engine_epochs_ += out.engine_epochs;
+      engine_merge_ns_ += out.engine_merge_ns;
+      engine_barrier_ns_ += out.engine_barrier_ns;
+      finish_locked(rec, JobState::kDone);
     }
     if (opts_.cache_enabled) {
       cache_.insert(rec.address, std::move(out.dump));
@@ -228,10 +331,8 @@ void Service::run_job(JobRecord& rec) {
   } catch (const std::exception& e) {
     std::lock_guard<std::mutex> lock(mu_);
     rec.running = nullptr;
-    rec.state = JobState::kFailed;
     rec.error = e.what();
-    rec.finished = std::chrono::steady_clock::now();
-    ++failed_;
+    finish_locked(rec, JobState::kFailed);
   }
 }
 

@@ -37,6 +37,9 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+
+#include "perf/histogram.hpp"
 #include "serve/job_queue.hpp"
 #include "serve/job_spec.hpp"
 #include "serve/result_cache.hpp"
@@ -67,14 +70,63 @@ struct JobStatus {
   std::shared_ptr<const std::string> result;
 };
 
+/// Per-request span: where one job's wall-clock went, stage by stage.
+/// Stage identities (tenant, address, program, state, cache_hit, events)
+/// are deterministic given the submission sequence; every *_ms field is
+/// host wall-clock and must live in a dump's `meta` block (the
+/// determinism gates strip it).
+struct JobSpan {
+  JobId id = 0;
+  JobState state = JobState::kQueued;
+  bool cache_hit = false;
+  std::uint64_t events = 0;
+  std::string tenant;
+  std::string address;
+  std::string program;
+  std::string error;  ///< non-empty exactly when kFailed
+  /// submit() time relative to service construction.
+  double submit_offset_ms = 0.0;
+  double queue_ms = 0.0;      ///< submit -> worker pickup
+  double cache_ms = 0.0;      ///< result-cache lookup
+  double setup_ms = 0.0;      ///< engine + machine construction (miss only)
+  double exec_ms = 0.0;       ///< simulation execution (miss only)
+  double serialize_ms = 0.0;  ///< dump build + serialise (miss only)
+  double total_ms = 0.0;      ///< submit -> terminal state (so far if live)
+};
+
+/// One tenant's SLO account. Counters are deterministic per submission
+/// sequence; the histograms record host wall-clock microseconds and are
+/// therefore meta-only in dumps.
+struct TenantStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;  ///< jobs a worker actually simulated
+  std::uint64_t rejected = 0;      ///< try_submit refusals (queue full)
+  std::uint64_t backpressure_stalls = 0;  ///< submit() calls that waited
+  perf::Histogram latency_us;     ///< submit -> terminal state
+  perf::Histogram queue_wait_us;  ///< submit -> worker pickup
+};
+
 struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t backpressure_stalls = 0;
   std::size_t queue_depth = 0;
   int workers = 0;
+  double uptime_ms = 0.0;
   ResultCache::Stats cache;
+  /// ParallelSim epoch-profile totals across all executed jobs (zero when
+  /// every job ran serial or hit the cache).
+  std::uint64_t engine_epochs = 0;
+  std::uint64_t engine_merge_ns = 0;
+  std::uint64_t engine_barrier_ns = 0;
+  /// Keyed by tenant name; deterministic iteration order (std::map).
+  std::map<std::string, TenantStats> tenants;
 };
 
 class Service {
@@ -115,7 +167,19 @@ class Service {
   /// status.
   JobStatus wait(JobId id);
 
+  /// One consistent snapshot: every counter pair in the result (e.g.
+  /// completed + failed vs submitted) was read under a single lock
+  /// acquisition, so `completed + failed <= submitted` always holds in
+  /// the returned value even while submits and completions race.
   ServiceStats stats() const;
+
+  /// Stage-by-stage span for one job; throws std::out_of_range for an
+  /// unknown id. Callable from any thread at any time (live jobs report
+  /// stages completed so far).
+  JobSpan span(JobId id) const;
+
+  /// Spans for every job the service has seen, in id order.
+  std::vector<JobSpan> spans() const;
 
   /// Stop accepting submissions, drain the queue, join the workers.
   /// Idempotent.
@@ -136,11 +200,23 @@ class Service {
     std::chrono::steady_clock::time_point submitted{};
     std::chrono::steady_clock::time_point started{};
     std::chrono::steady_clock::time_point finished{};
+    // Span stage durations, filled in as the job advances (guarded by
+    // mu_ like the rest of the record).
+    double cache_ms = 0.0;
+    double setup_ms = 0.0;
+    double exec_ms = 0.0;
+    double serialize_ms = 0.0;
   };
 
   void worker_loop();
   void run_job(JobRecord& rec);  // called unlocked
   JobStatus snapshot_locked(JobId id, const JobRecord& rec) const;
+  JobSpan span_locked(JobId id, const JobRecord& rec) const;
+  /// Terminal-state bookkeeping: sets state + finished, bumps the global
+  /// and per-tenant counters, records the SLO histograms. Caller holds
+  /// mu_ and has already set cache_hit/result/error as appropriate.
+  void finish_locked(JobRecord& rec, JobState state);
+  JobId create_record(const std::string& tenant, const JobSpec& spec);
 
   Options opts_;
   ResultCache cache_;
@@ -149,10 +225,17 @@ class Service {
   mutable std::mutex mu_;
   mutable std::condition_variable done_cv_;
   std::deque<std::unique_ptr<JobRecord>> jobs_;  ///< index == JobId
+  std::map<std::string, TenantStats> tenants_;   ///< guarded by mu_
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t cache_hits_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t backpressure_stalls_ = 0;
+  std::uint64_t engine_epochs_ = 0;
+  std::uint64_t engine_merge_ns_ = 0;
+  std::uint64_t engine_barrier_ns_ = 0;
   bool shut_down_ = false;
+  std::chrono::steady_clock::time_point born_{};
 
   std::vector<std::thread> workers_;
 };

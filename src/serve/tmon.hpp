@@ -1,0 +1,55 @@
+// tmon — serve-layer observability shaping.
+//
+// The service collects per-request spans (Service::spans) and per-tenant
+// SLO accounts (Service::stats); this header turns them into the three
+// export formats the tooling speaks:
+//
+//   * span JSON + a spans document (`tsim trace`, tmon selfdump);
+//   * a metrics document (`tsim metrics`, tmon) and its Prometheus text
+//     rendering (`--prom`);
+//   * a Chrome trace_event document of all spans (opens unmodified in
+//     chrome://tracing / ui.perfetto.dev).
+//
+// Determinism contract: every document splits into a deterministic body —
+// a pure function of the submission sequence (ids, tenants, addresses,
+// programs, states, hit/miss pattern, event counts, stage names) — and a
+// `meta` object holding everything wall-clock (stage durations, latency
+// histograms, uptime, stall counts). strip_meta() removes every `meta`
+// member recursively; the CI determinism gate runs a fixed workload
+// twice and requires the stripped bytes to be identical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/json.hpp"
+#include "serve/service.hpp"
+
+namespace fpst::serve {
+
+/// One span as {id, tenant, address, program, state, cache_hit, events,
+/// error?, stages: [names...], meta: {per-stage ms, offsets}}.
+perf::json::Value span_to_json(const JobSpan& sp);
+
+/// All spans: {"kind": "tmon-spans", "jobs": N, "spans": [...]}.
+perf::json::Value spans_to_json(const std::vector<JobSpan>& spans);
+
+/// Service-wide metrics: deterministic counters (global + per tenant) in
+/// the body, histograms/uptime/queue gauges under "meta".
+perf::json::Value metrics_to_json(const ServiceStats& s);
+
+/// Prometheus text exposition of the same stats (counters, gauges, and
+/// per-tenant latency quantile gauges). Ends with a newline.
+std::string to_prometheus(const ServiceStats& s);
+
+/// Chrome trace_event document: one pid per tenant is too coarse and one
+/// per job too noisy, so jobs become tids under a single "tsim" pid, with
+/// one complete (ph:"X") event per stage. Wall-clock by nature — never
+/// determinism-gated.
+perf::json::Value spans_chrome_trace(const std::vector<JobSpan>& spans);
+
+/// Recursively remove every object member named "meta". Returns the
+/// stripped document (arrays are descended into as well).
+perf::json::Value strip_meta(const perf::json::Value& v);
+
+}  // namespace fpst::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <barrier>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -39,6 +40,13 @@ bool mail_before(const auto& a, const auto& b) {
   return a.seq < b.seq;
 }
 
+std::uint64_t wall_ns_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
 }  // namespace
 
 ShardMap::ShardMap(int dimension, int shards) : dim_{dimension} {
@@ -71,6 +79,10 @@ ParallelSim::ParallelSim(Options opts) : lookahead_{opts.lookahead} {
   boxes_.resize(static_cast<std::size_t>(opts.shards) *
                 static_cast<std::size_t>(opts.shards));
   pending_.resize(static_cast<std::size_t>(opts.shards));
+  shard_busy_ns_ =
+      std::make_unique<RelaxedNs[]>(static_cast<std::size_t>(opts.shards));
+  worker_barrier_ns_ =
+      std::make_unique<RelaxedNs[]>(static_cast<std::size_t>(threads_));
 }
 
 ParallelSim::~ParallelSim() = default;
@@ -119,6 +131,7 @@ void ParallelSim::deliver_below(SimTime window_end) {
       sim.schedule_at(m.at, std::move(m.fn));
       ++taken;
     }
+    mail_delivered_.fetch_add(taken, std::memory_order_relaxed);
     due.erase(due.begin(),
               due.begin() + static_cast<std::ptrdiff_t>(taken));
   }
@@ -129,6 +142,7 @@ void ParallelSim::serial_phase() noexcept {
     stop_ = true;
     return;
   }
+  const auto t0 = std::chrono::steady_clock::now();
   // Take every mailbox batch. Producers are parked at the barrier, so the
   // single-consumer side of the SPSC contract holds here.
   for (int from = 0; from < shards(); ++from) {
@@ -162,12 +176,15 @@ void ParallelSim::serial_phase() noexcept {
   }
   if (!any) {
     stop_ = true;
+    merge_ns_.fetch_add(wall_ns_since(t0), std::memory_order_relaxed);
     return;
   }
   const SimTime window_end = t_min + lookahead_;
   deliver_below(window_end);
   // run_until is inclusive; the window is half-open at picosecond grain.
   epoch_deadline_ = window_end - SimTime::picoseconds(1);
+  epochs_.fetch_add(1, std::memory_order_relaxed);
+  merge_ns_.fetch_add(wall_ns_since(t0), std::memory_order_relaxed);
 }
 
 void ParallelSim::record_failure(int shard, std::exception_ptr e) {
@@ -205,7 +222,10 @@ std::uint64_t ParallelSim::run() {
       if (sim.idle()) {
         break;
       }
+      const auto t0 = std::chrono::steady_clock::now();
       sim.run();
+      shard_busy_ns_[0].ns.fetch_add(wall_ns_since(t0),
+                                     std::memory_order_relaxed);
     }
     stop_ = false;
     return events_processed() - before;
@@ -227,14 +247,22 @@ std::uint64_t ParallelSim::run() {
         while (!stop_) {
           const SimTime deadline = epoch_deadline_;
           for (int s = w; s < shards(); s += nworkers) {
+            // Static round-robin keeps shard s on worker s % nworkers for
+            // the whole run, so each busy slot has a single writer.
+            const auto t0 = std::chrono::steady_clock::now();
             try {
               sims_[static_cast<std::size_t>(s)]->run_until(deadline);
             } catch (...) {
               const std::lock_guard<std::mutex> lock(err_mu);
               record_failure(s, std::current_exception());
             }
+            shard_busy_ns_[static_cast<std::size_t>(s)].ns.fetch_add(
+                wall_ns_since(t0), std::memory_order_relaxed);
           }
+          const auto tb = std::chrono::steady_clock::now();
           sync.arrive_and_wait();
+          worker_barrier_ns_[static_cast<std::size_t>(w)].ns.fetch_add(
+              wall_ns_since(tb), std::memory_order_relaxed);
         }
       });
     }
@@ -272,6 +300,27 @@ std::uint64_t ParallelSim::progress() const {
     total += sim->progress();
   }
   return total;
+}
+
+ParallelSim::Profile ParallelSim::profile() const {
+  Profile p;
+  p.epochs = epochs_.load(std::memory_order_relaxed);
+  p.merge_ns = merge_ns_.load(std::memory_order_relaxed);
+  p.mail_delivered = mail_delivered_.load(std::memory_order_relaxed);
+  p.shard_busy_ns.reserve(sims_.size());
+  p.shard_events.reserve(sims_.size());
+  for (std::size_t s = 0; s < sims_.size(); ++s) {
+    p.shard_busy_ns.push_back(
+        shard_busy_ns_[s].ns.load(std::memory_order_relaxed));
+    p.shard_events.push_back(sims_[s]->progress());
+  }
+  p.worker_barrier_ns.reserve(static_cast<std::size_t>(threads_));
+  for (int w = 0; w < threads_; ++w) {
+    p.worker_barrier_ns.push_back(
+        worker_barrier_ns_[static_cast<std::size_t>(w)].ns.load(
+            std::memory_order_relaxed));
+  }
+  return p;
 }
 
 }  // namespace fpst::sim

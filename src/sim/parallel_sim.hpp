@@ -46,6 +46,7 @@
 // engine exactly, byte for byte.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -165,6 +166,35 @@ class ParallelSim {
   /// see Simulator::progress() for the full memory-order contract.
   std::uint64_t progress() const;
 
+  /// Where the engine's wall-clock goes — the answer to "why does scaling
+  /// flatten". Host-time accumulators since construction:
+  ///   * shard_busy_ns[s]   wall time shard s spent executing events
+  ///                        (inside run_until), the useful work;
+  ///   * worker_barrier_ns[w]  wall time worker w spent parked at the
+  ///                        epoch barrier — load imbalance plus the serial
+  ///                        phase it waits out;
+  ///   * merge_ns           wall time of the serial phases (mailbox drain
+  ///                        + window selection + merged delivery);
+  ///   * epochs             barrier epochs executed;
+  ///   * mail_delivered     cross-shard deliveries actually scheduled.
+  /// All wall-clock, so values vary run to run — report them, never fold
+  /// them into determinism-gated dumps.
+  struct Profile {
+    std::uint64_t epochs = 0;
+    std::uint64_t merge_ns = 0;
+    std::uint64_t mail_delivered = 0;
+    std::vector<std::uint64_t> shard_busy_ns;
+    std::vector<std::uint64_t> shard_events;
+    std::vector<std::uint64_t> worker_barrier_ns;
+  };
+
+  /// Snapshot of the accumulators, safe from any thread while the workers
+  /// run. Same memory-order contract as progress(): every accumulator has
+  /// a single writer (the owning worker for per-shard/per-worker slots,
+  /// the coordinator for the epoch-wide ones) storing relaxed; readers get
+  /// monotonically nondecreasing values with no synchronizes-with edge.
+  Profile profile() const;
+
  private:
   struct Mail {
     SimTime at;
@@ -196,6 +226,11 @@ class ParallelSim {
   void deliver_below(SimTime window_end);
   void record_failure(int shard, std::exception_ptr e);
 
+  /// One cache line per counter so concurrent writers never false-share.
+  struct alignas(64) RelaxedNs {
+    std::atomic<std::uint64_t> ns{0};
+  };
+
   SimTime lookahead_{};
   int threads_ = 1;
   std::vector<std::unique_ptr<Simulator>> sims_;
@@ -212,6 +247,14 @@ class ParallelSim {
   // First failure, by lowest shard id so the rethrown error is stable.
   std::exception_ptr failure_{};
   int failure_shard_ = 0;
+
+  // Profiler accumulators (see Profile). Sized at construction: one slot
+  // per shard / per worker, each written by exactly one thread.
+  std::unique_ptr<RelaxedNs[]> shard_busy_ns_;
+  std::unique_ptr<RelaxedNs[]> worker_barrier_ns_;
+  std::atomic<std::uint64_t> epochs_{0};
+  std::atomic<std::uint64_t> merge_ns_{0};
+  std::atomic<std::uint64_t> mail_delivered_{0};
 };
 
 }  // namespace fpst::sim

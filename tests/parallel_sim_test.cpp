@@ -193,6 +193,44 @@ TEST(ParallelSimTest, CrossShardPingPongIsDeterministicAcrossThreads) {
   EXPECT_GT(t1.events, 32u);
 }
 
+TEST(ParallelSimTest, ProfileCountersAreConsistentAcrossThreadCounts) {
+  const auto run_with = [](int threads) {
+    ParallelSim::Options po = two_shards();
+    po.threads = threads;
+    ParallelSim psim{po};
+    // Local work on both shards plus cross-shard mail, spread over several
+    // lookahead windows so multiple epochs execute.
+    for (int i = 0; i < 8; ++i) {
+      const SimTime at = SimTime::microseconds(5 + 10 * i);
+      psim.shard(0).schedule_at(at, [] {});
+      psim.shard(1).schedule_at(at, [] {});
+      psim.post(0, 1, at + SimTime::microseconds(10),
+                static_cast<std::uint64_t>(i), [] {});
+    }
+    psim.run();
+    return std::make_pair(psim.profile(), psim.events_processed());
+  };
+  const auto [p1, ev1] = run_with(1);
+  const auto [p2, ev2] = run_with(2);
+  ASSERT_EQ(p1.shard_events.size(), 2u);
+  ASSERT_EQ(p2.shard_events.size(), 2u);
+  EXPECT_EQ(p2.worker_barrier_ns.size(), 2u);
+  // Every executed event is attributed to exactly one shard.
+  EXPECT_EQ(p1.shard_events[0] + p1.shard_events[1], ev1);
+  EXPECT_EQ(p2.shard_events[0] + p2.shard_events[1], ev2);
+  // The deterministic profile fields (epochs, per-shard event counts, mail
+  // deliveries) are pure functions of the event program and the lookahead
+  // windows — never of the worker-thread count. epochs in particular flows
+  // into the serve layer's dump *body*, so this is the property the
+  // determinism gates lean on.
+  EXPECT_EQ(ev1, ev2);
+  EXPECT_GT(p1.epochs, 0u);
+  EXPECT_EQ(p1.epochs, p2.epochs);
+  EXPECT_EQ(p1.shard_events, p2.shard_events);
+  EXPECT_EQ(p1.mail_delivered, p2.mail_delivered);
+  EXPECT_EQ(p1.mail_delivered, 8u);
+}
+
 TEST(ParallelSimTest, WorkerExceptionIsRethrown) {
   ParallelSim psim{two_shards()};
   psim.shard(1).schedule(SimTime::microseconds(1),

@@ -1,15 +1,19 @@
 // Tests for the serving layer (src/serve): canonical JobSpec
 // serialization + typed bad-request rejection, the content-addressed LRU
 // result cache, the per-tenant fair bounded queue, deterministic job
-// execution, and the end-to-end Service cache-hit contract (identical
-// spec -> byte-identical result with zero simulation events).
+// execution, the end-to-end Service cache-hit contract (identical
+// spec -> byte-identical result with zero simulation events), and the
+// observability surface (per-request spans, per-tenant SLO accounting,
+// the tmon body/meta determinism split).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "perf/json.hpp"
@@ -18,6 +22,7 @@
 #include "serve/result_cache.hpp"
 #include "serve/runner.hpp"
 #include "serve/service.hpp"
+#include "serve/tmon.hpp"
 
 namespace {
 
@@ -518,6 +523,204 @@ TEST(ServiceTest, SubmitAfterShutdownThrows) {
   serve::Service service{opts};
   service.shutdown();
   EXPECT_THROW((void)service.submit("t", small_spec(1)), std::runtime_error);
+}
+
+TEST(ServiceTest, SpanShapesDistinguishMissFromHit) {
+  serve::Service::Options opts;
+  opts.workers = 1;  // serialise so the second submit is a guaranteed hit
+  serve::Service service{opts};
+  const serve::JobId a = service.submit("ana", small_spec(7));
+  ASSERT_EQ(service.wait(a).state, serve::JobState::kDone);
+  const serve::JobId b = service.submit("bob", small_spec(7));
+  ASSERT_EQ(service.wait(b).state, serve::JobState::kDone);
+
+  const serve::JobSpan miss = service.span(a);
+  EXPECT_EQ(miss.id, a);
+  EXPECT_EQ(miss.tenant, "ana");
+  EXPECT_EQ(miss.program, "allreduce");
+  EXPECT_EQ(miss.state, serve::JobState::kDone);
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_GT(miss.events, 0u);
+  // A miss actually simulated, so the execute stage has real wall-clock
+  // and the stages sum to no more than the end-to-end total.
+  EXPECT_GT(miss.exec_ms, 0.0);
+  EXPECT_LE(miss.queue_ms + miss.cache_ms + miss.setup_ms + miss.exec_ms +
+                miss.serialize_ms,
+            miss.total_ms + 1e-6);
+
+  const serve::JobSpan hit = service.span(b);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.events, 0u);
+  EXPECT_EQ(hit.address, miss.address);
+  // A hit never touches the runner: the miss-only stages stay zero.
+  EXPECT_EQ(hit.setup_ms, 0.0);
+  EXPECT_EQ(hit.exec_ms, 0.0);
+  EXPECT_EQ(hit.serialize_ms, 0.0);
+
+  const std::vector<serve::JobSpan> all = service.spans();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].id, a);  // id order
+  EXPECT_EQ(all[1].id, b);
+}
+
+TEST(ServiceTest, PerTenantStatsSplitCountersAndLatencies) {
+  serve::Service::Options opts;
+  opts.workers = 1;
+  serve::Service service{opts};
+  (void)service.wait(service.submit("ana", small_spec(1)));  // miss
+  (void)service.wait(service.submit("ana", small_spec(1)));  // hit
+  (void)service.wait(service.submit("bob", small_spec(2)));  // miss
+
+  const serve::ServiceStats st = service.stats();
+  ASSERT_EQ(st.tenants.size(), 2u);
+  const serve::TenantStats& ana = st.tenants.at("ana");
+  EXPECT_EQ(ana.submitted, 2u);
+  EXPECT_EQ(ana.completed, 2u);
+  EXPECT_EQ(ana.failed, 0u);
+  EXPECT_EQ(ana.cache_hits, 1u);
+  EXPECT_EQ(ana.cache_misses, 1u);
+  EXPECT_EQ(ana.latency_us.count(), 2u);
+  EXPECT_EQ(ana.queue_wait_us.count(), 2u);
+  const serve::TenantStats& bob = st.tenants.at("bob");
+  EXPECT_EQ(bob.submitted, 1u);
+  EXPECT_EQ(bob.cache_hits, 0u);
+  EXPECT_EQ(bob.cache_misses, 1u);
+  // The tenant accounts partition the global counters exactly.
+  EXPECT_EQ(ana.submitted + bob.submitted, st.submitted);
+  EXPECT_EQ(ana.completed + bob.completed, st.completed);
+  EXPECT_EQ(ana.cache_hits + bob.cache_hits, st.cache_hits);
+}
+
+TEST(ServiceTest, StatsSnapshotStaysConsistentUnderConcurrency) {
+  // stats() promises a single consistent snapshot: even while submits and
+  // completions race, `completed + failed <= submitted` must hold in every
+  // returned value (and the per-tenant accounts must respect the same
+  // bound). Run under TSan this also shakes out torn reads.
+  serve::Service::Options opts;
+  opts.workers = 2;
+  serve::Service service{opts};
+  std::atomic<bool> done{false};
+  std::vector<serve::JobId> ids;
+  std::thread submitter([&] {
+    for (std::uint64_t i = 0; i < 48; ++i) {
+      // Seeds cycle through a small pool so the storm mixes hits + misses.
+      ids.push_back(service.submit(i % 2 == 0 ? "ana" : "bob",
+                                   small_spec(i % 5)));
+    }
+    done.store(true, std::memory_order_release);
+  });
+  while (!done.load(std::memory_order_acquire)) {
+    const serve::ServiceStats st = service.stats();
+    EXPECT_LE(st.completed + st.failed, st.submitted);
+    EXPECT_LE(st.cache_hits, st.completed);
+    std::uint64_t tenant_submitted = 0;
+    std::uint64_t tenant_terminal = 0;
+    for (const auto& [name, t] : st.tenants) {
+      EXPECT_LE(t.completed + t.failed, t.submitted) << "tenant " << name;
+      tenant_submitted += t.submitted;
+      tenant_terminal += t.completed + t.failed;
+    }
+    EXPECT_EQ(tenant_submitted, st.submitted);
+    EXPECT_LE(tenant_terminal, st.submitted);
+  }
+  submitter.join();
+  for (const serve::JobId id : ids) {
+    EXPECT_EQ(service.wait(id).state, serve::JobState::kDone);
+  }
+  const serve::ServiceStats final_st = service.stats();
+  EXPECT_EQ(final_st.submitted, 48u);
+  EXPECT_EQ(final_st.completed + final_st.failed, final_st.submitted);
+}
+
+// ------------------------------------------------------------ tmon
+
+TEST(TmonTest, MetricsJsonQuarantinesWallClockInMeta) {
+  serve::Service::Options opts;
+  opts.workers = 1;
+  serve::Service service{opts};
+  (void)service.wait(service.submit("ana", small_spec(1)));  // miss
+  (void)service.wait(service.submit("ana", small_spec(1)));  // hit
+
+  namespace json = perf::json;
+  const json::Value doc = serve::metrics_to_json(service.stats());
+  EXPECT_EQ(doc.find("kind")->as_string(), "tmon-metrics");
+  EXPECT_EQ(doc.find("submitted")->as_int(), 2);
+  EXPECT_EQ(doc.find("cache_hits")->as_int(), 1);
+  const json::Value* ana = doc.find("tenants")->find("ana");
+  ASSERT_NE(ana, nullptr);
+  EXPECT_EQ(ana->find("completed")->as_int(), 2);
+  // Wall-clock lives only in meta: the body keys carry no timing...
+  ASSERT_NE(doc.find("meta"), nullptr);
+  EXPECT_EQ(doc.find("uptime_ms"), nullptr);
+  EXPECT_NE(doc.find("meta")->find("uptime_ms"), nullptr);
+  EXPECT_NE(doc.find("meta")->find("tenants")->find("ana")->find("latency_us"),
+            nullptr);
+  // ...and stripping meta leaves a purely deterministic document.
+  const json::Value body = serve::strip_meta(doc);
+  EXPECT_EQ(body.find("meta"), nullptr);
+  EXPECT_NE(body.find("tenants")->find("ana"), nullptr);
+}
+
+TEST(TmonTest, SpanJsonKeepsTimingsOutOfTheBody) {
+  serve::JobSpan sp;
+  sp.id = 3;
+  sp.tenant = "ana";
+  sp.program = "ring";
+  sp.state = serve::JobState::kDone;
+  sp.events = 42;
+  sp.exec_ms = 1.5;
+  sp.total_ms = 2.0;
+  namespace json = perf::json;
+  const json::Value v = serve::span_to_json(sp);
+  EXPECT_EQ(v.find("id")->as_int(), 3);
+  EXPECT_EQ(v.find("events")->as_int(), 42);
+  EXPECT_EQ(v.find("error"), nullptr);  // empty error key is omitted
+  EXPECT_EQ(v.find("exec_ms"), nullptr);
+  EXPECT_EQ(v.find("meta")->find("exec_ms")->as_double(), 1.5);
+  const json::Value stripped = serve::strip_meta(v);
+  EXPECT_EQ(stripped.find("meta"), nullptr);
+  EXPECT_EQ(stripped.find("id")->as_int(), 3);
+}
+
+TEST(TmonTest, StripMetaRemovesEveryNestingLevel) {
+  namespace json = perf::json;
+  json::Value doc = json::Value::object();
+  doc["keep"] = json::Value::integer(1);
+  doc["meta"] = json::Value::object();
+  doc["meta"]["clock"] = json::Value::number(1.0);
+  json::Value inner = json::Value::object();
+  inner["meta"] = json::Value::string("gone");
+  inner["also_keep"] = json::Value::boolean(true);
+  json::Value arr = json::Value::array();
+  arr.append(std::move(inner));
+  doc["list"] = std::move(arr);
+
+  const json::Value out = serve::strip_meta(doc);
+  EXPECT_EQ(out.find("meta"), nullptr);
+  EXPECT_EQ(out.find("keep")->as_int(), 1);
+  const json::Value& elem = out.find("list")->as_array()[0];
+  EXPECT_EQ(elem.find("meta"), nullptr);
+  EXPECT_TRUE(elem.find("also_keep")->as_bool());
+}
+
+TEST(TmonTest, ChromeTraceEmitsOneSliceRowPerStage) {
+  serve::JobSpan sp;
+  sp.id = 0;
+  sp.tenant = "ana";
+  sp.program = "saxpy";
+  sp.queue_ms = 0.5;
+  sp.cache_ms = 0.0;  // zero-length stages are dropped, not emitted
+  sp.exec_ms = 2.0;
+  namespace json = perf::json;
+  const json::Value doc = serve::spans_chrome_trace({sp});
+  const auto& events = doc.find("traceEvents")->as_array();
+  // process_name + thread_name metadata plus the two non-zero stages.
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[2].find("name")->as_string(), "queue");
+  EXPECT_EQ(events[3].find("name")->as_string(), "exec");
+  // exec starts where queue ended: ts is cumulative within the job row.
+  EXPECT_DOUBLE_EQ(events[3].find("ts")->as_double(), 500.0);
+  EXPECT_DOUBLE_EQ(events[3].find("dur")->as_double(), 2000.0);
 }
 
 TEST(ServiceTest, CacheDisabledNeverHits) {

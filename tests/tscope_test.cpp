@@ -7,6 +7,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <utility>
@@ -103,6 +104,70 @@ TEST(Histogram, BucketsAndQuantilesAreDeterministic) {
   neg.add(-5);
   EXPECT_EQ(neg.min(), 0);
   EXPECT_EQ(neg.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, MergeMatchesSingleHistogram) {
+  // Merging per-worker histograms must equal one histogram that saw every
+  // value — the lock-free aggregation contract the serve layer relies on.
+  Histogram a;
+  Histogram b;
+  Histogram all;
+  for (int i = 1; i <= 500; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 501; i <= 1000; ++i) {
+    b.add(i * 3);
+    all.add(i * 3);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.to_json().dump(2), all.to_json().dump(2));
+}
+
+TEST(Histogram, MergeWithEmptySides) {
+  Histogram empty;
+  Histogram h;
+  h.add(42);
+  // empty <- non-empty adopts the other's min/max instead of keeping the
+  // zero-initialised fields.
+  Histogram dst;
+  dst.merge(h);
+  EXPECT_EQ(dst.count(), 1u);
+  EXPECT_EQ(dst.min(), 42);
+  EXPECT_EQ(dst.max(), 42);
+  // non-empty <- empty is a no-op.
+  dst.merge(empty);
+  EXPECT_EQ(dst.count(), 1u);
+  EXPECT_EQ(dst.min(), 42);
+  EXPECT_EQ(dst.max(), 42);
+  // empty <- empty stays empty.
+  Histogram e2;
+  e2.merge(empty);
+  EXPECT_EQ(e2.count(), 0u);
+  EXPECT_EQ(e2.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, MergeOverflowBucket) {
+  // INT64_MAX has bit_width 63, so the highest reachable bucket is 63.
+  // Merging histograms with mass there must sum the bucket, not wrap or
+  // drop it, and the value sum must saturate rather than overflow.
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+  Histogram a;
+  Histogram b;
+  a.add(big);
+  a.add(big - 1);
+  b.add(big);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), big);
+  EXPECT_EQ(a.bucket_count(63), 3u);
+  EXPECT_EQ(a.sum(), big);  // saturated, not wrapped
+  // The quantile stays clamped to the observed max even at the extreme.
+  EXPECT_EQ(a.quantile(1.0), static_cast<double>(big));
 }
 
 TEST(Tscope, StitchesTwoHopFlight) {

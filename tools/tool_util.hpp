@@ -14,8 +14,14 @@
 //   * metric values print one per line, machine-consumable (ci.sh awk).
 #pragma once
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -126,5 +132,140 @@ class MetricTable {
  private:
   std::vector<std::pair<std::string, std::function<std::string()>>> metrics_;
 };
+
+// ---- AF_UNIX ndjson plumbing (tsim server + client, tmon client) ----
+//
+// The tsim wire protocol is newline-delimited JSON over a Unix stream
+// socket; tmon speaks the client side of the same protocol. One
+// implementation here so framing rules (including the server's
+// oversized-line cap) can't drift between the two binaries.
+
+/// Write all of `data`, absorbing short writes. False on error.
+inline bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) {
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One compact JSON document + newline — one protocol frame.
+inline bool send_json_line(int fd, const perf::json::Value& v) {
+  return send_all(fd, v.dump() + "\n");
+}
+
+/// Buffered newline-delimited reader over a socket fd. A non-zero
+/// `max_line` bounds how long one line may grow; an over-long line makes
+/// read_line() fail with oversized() set, and the stream is unusable from
+/// then on (the framing cannot resynchronise).
+class LineReader {
+ public:
+  explicit LineReader(int fd, std::size_t max_line = 0)
+      : fd_{fd}, max_line_{max_line} {}
+
+  /// False on EOF, error, or an oversized line. The returned line
+  /// excludes the newline.
+  bool read_line(std::string* out) {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        if (max_line_ != 0 && nl > max_line_) {
+          oversized_ = true;
+          return false;
+        }
+        *out = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      if (max_line_ != 0 && buf_.size() > max_line_) {
+        oversized_ = true;
+        return false;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n <= 0) {
+        return false;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  bool oversized() const { return oversized_; }
+
+ private:
+  int fd_;
+  std::size_t max_line_;
+  bool oversized_ = false;
+  std::string buf_;
+};
+
+inline bool fill_unix_addr(const char* tool, const std::string& path,
+                           sockaddr_un* addr) {
+  if (path.size() >= sizeof addr->sun_path) {
+    std::fprintf(stderr, "%s: socket path too long (%zu bytes, max %zu)\n",
+                 tool, path.size(), sizeof addr->sun_path - 1);
+    return false;
+  }
+  std::memset(addr, 0, sizeof *addr);
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+/// Connect to a Unix stream socket; -1 on failure (diagnostic printed
+/// unless `quiet`).
+inline int connect_unix(const char* tool, const std::string& path,
+                        bool quiet = false) {
+  sockaddr_un addr;
+  if (!fill_unix_addr(tool, path, &addr)) {
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "%s: socket: %s\n", tool, std::strerror(errno));
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    if (!quiet) {
+      std::fprintf(stderr, "%s: cannot connect to %s: %s\n", tool,
+                   path.c_str(), std::strerror(errno));
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Bind + listen on a Unix stream socket (clearing a stale socket file
+/// first); -1 on failure (diagnostic printed).
+inline int listen_unix(const char* tool, const std::string& path) {
+  sockaddr_un addr;
+  if (!fill_unix_addr(tool, path, &addr)) {
+    return -1;
+  }
+  ::unlink(path.c_str());  // clear a stale socket from a dead server
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "%s: socket: %s\n", tool, std::strerror(errno));
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    std::fprintf(stderr, "%s: cannot bind %s: %s\n", tool, path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) != 0) {
+    std::fprintf(stderr, "%s: listen: %s\n", tool, std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
 
 }  // namespace fpst::tools

@@ -10,19 +10,31 @@
 //       submit one job; --wait streams live status lines until completion
 //   tsim status     --socket PATH --id N [--watch]
 //   tsim stats      --socket PATH
+//   tsim metrics    --socket PATH [--prom]
+//       service metrics document (tmon shape: deterministic counters +
+//       a wall-clock `meta` block); --prom renders Prometheus text
+//   tsim trace      --socket PATH [--id N] [--chrome FILE]
+//       per-request spans: one job's span with --id, all spans otherwise;
+//       --chrome writes a Chrome trace_event file of every span
 //   tsim shutdown   --socket PATH
 //   tsim hash       [spec flags | --spec FILE]
 //       print a spec's canonical serialization + content address (offline)
 //   tsim selftest
 //       end-to-end smoke: in-process server on a temp socket, submit the
 //       same spec twice over the wire, assert the second is a cache hit
-//       with byte-identical dump bytes (registered as a tier-1 ctest)
+//       with byte-identical dump bytes; also drives the protocol error
+//       paths (unknown op, truncated frame, oversized line, concurrent
+//       watch + shutdown) (registered as a tier-1 ctest)
 //
 // Wire protocol: newline-delimited JSON, one request object per line, one
 // response object per line — except `watch`, which streams a status line
 // per poll tick and marks the last one with "final": true. Responses carry
 // "ok": true, or "ok": false with "error" (human text) and "code" (the
-// SpecError slug, or "bad-request" / "unknown-op" / "unknown-id").
+// SpecError slug, or "bad-request" / "unknown-op" / "unknown-id" /
+// "oversized-line"). The server caps a request line at 1 MiB: an
+// over-long line gets the oversized-line error and the connection is
+// closed, since line framing cannot resynchronise after an unbounded
+// line.
 //
 // Spec flags (submit / hash): --program allreduce|saxpy|ring, --dim D,
 // --threads N, --rounds R, --elems E, --seed S,
@@ -50,6 +62,7 @@
 
 #include "perf/json.hpp"
 #include "serve/service.hpp"
+#include "serve/tmon.hpp"
 #include "tool_util.hpp"
 
 namespace {
@@ -57,111 +70,29 @@ namespace {
 using fpst::perf::json::Value;
 using namespace fpst::serve;
 
-// ------------------------------------------------------------ line framing
+// ------------------------------------------------- line framing + sockets
+//
+// The framing and socket plumbing live in tool_util.hpp, shared with tmon
+// (the observability console speaks the client side of this protocol).
 
-bool send_all(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n <= 0) {
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
+using fpst::tools::LineReader;
+using fpst::tools::send_all;
 
 bool send_line(int fd, const Value& v) {
-  return send_all(fd, v.dump() + "\n");
+  return fpst::tools::send_json_line(fd, v);
 }
 
-/// Buffered newline-delimited reader over a socket fd.
-class LineReader {
- public:
-  explicit LineReader(int fd) : fd_{fd} {}
-
-  /// False on EOF or error. The returned line excludes the newline.
-  bool read_line(std::string* out) {
-    for (;;) {
-      const std::size_t nl = buf_.find('\n');
-      if (nl != std::string::npos) {
-        *out = buf_.substr(0, nl);
-        buf_.erase(0, nl + 1);
-        return true;
-      }
-      char chunk[4096];
-      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
-      if (n <= 0) {
-        return false;
-      }
-      buf_.append(chunk, static_cast<std::size_t>(n));
-    }
-  }
-
- private:
-  int fd_;
-  std::string buf_;
-};
-
-// -------------------------------------------------------------- socket ops
-
-bool fill_addr(const std::string& path, sockaddr_un* addr) {
-  if (path.size() >= sizeof addr->sun_path) {
-    std::fprintf(stderr, "tsim: socket path too long (%zu bytes, max %zu)\n",
-                 path.size(), sizeof addr->sun_path - 1);
-    return false;
-  }
-  std::memset(addr, 0, sizeof *addr);
-  addr->sun_family = AF_UNIX;
-  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
-  return true;
-}
+/// Server-side request line cap. Legitimate requests are a few KiB (the
+/// largest is a submit with an inline spec document); anything past 1 MiB
+/// is a runaway or hostile client.
+constexpr std::size_t kMaxRequestLine = std::size_t{1} << 20;
 
 int connect_unix(const std::string& path, bool quiet = false) {
-  sockaddr_un addr;
-  if (!fill_addr(path, &addr)) {
-    return -1;
-  }
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("tsim: socket");
-    return -1;
-  }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    if (!quiet) {
-      std::fprintf(stderr, "tsim: cannot connect to %s: %s\n", path.c_str(),
-                   std::strerror(errno));
-    }
-    ::close(fd);
-    return -1;
-  }
-  return fd;
+  return fpst::tools::connect_unix("tsim", path, quiet);
 }
 
 int listen_unix(const std::string& path) {
-  sockaddr_un addr;
-  if (!fill_addr(path, &addr)) {
-    return -1;
-  }
-  ::unlink(path.c_str());  // clear a stale socket from a dead server
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("tsim: socket");
-    return -1;
-  }
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    std::fprintf(stderr, "tsim: cannot bind %s: %s\n", path.c_str(),
-                 std::strerror(errno));
-    ::close(fd);
-    return -1;
-  }
-  if (::listen(fd, 64) != 0) {
-    std::perror("tsim: listen");
-    ::close(fd);
-    return -1;
-  }
-  return fd;
+  return fpst::tools::listen_unix("tsim", path);
 }
 
 // ----------------------------------------------------------- JSON shaping
@@ -346,6 +277,30 @@ bool handle_request(Server& srv, int fd, const std::string& line) {
       v["stats"] = stats_to_json(srv.service.stats());
       return send_line(fd, v);
     }
+    if (op == "metrics") {
+      const ServiceStats st = srv.service.stats();
+      Value v = ok_reply();
+      const Value* fmt = req.find("format");
+      if (fmt != nullptr && fmt->is_string() && fmt->as_string() == "prom") {
+        v["prom"] = Value::string(to_prometheus(st));
+      } else {
+        v["metrics"] = metrics_to_json(st);
+      }
+      return send_line(fd, v);
+    }
+    if (op == "trace") {
+      Value v = ok_reply();
+      const std::optional<JobId> id = job_id();
+      const Value* chrome = req.find("chrome");
+      if (id) {
+        v["span"] = span_to_json(srv.service.span(*id));
+      } else if (chrome != nullptr && chrome->as_bool()) {
+        v["trace"] = spans_chrome_trace(srv.service.spans());
+      } else {
+        v["spans"] = spans_to_json(srv.service.spans());
+      }
+      return send_line(fd, v);
+    }
     if (op == "shutdown") {
       srv.stop.store(true);
       // Wake the accept loop (half-close the listening socket) and every
@@ -366,7 +321,7 @@ bool handle_request(Server& srv, int fd, const std::string& line) {
 }
 
 void serve_connection(Server& srv, int fd) {
-  LineReader reader{fd};
+  LineReader reader{fd, kMaxRequestLine};
   std::string line;
   while (!srv.stop.load() && reader.read_line(&line)) {
     if (line.empty()) {
@@ -375,6 +330,12 @@ void serve_connection(Server& srv, int fd) {
     if (!handle_request(srv, fd, line)) {
       break;
     }
+  }
+  if (reader.oversized()) {
+    send_line(fd, error_reply("oversized-line",
+                              "request line exceeds " +
+                                  std::to_string(kMaxRequestLine) +
+                                  " bytes; closing connection"));
   }
   srv.untrack(fd);
   ::close(fd);
@@ -628,6 +589,8 @@ void usage(std::FILE* to) {
       "             [--out FILE]\n"
       "  status     --socket PATH --id N [--watch]\n"
       "  stats      --socket PATH\n"
+      "  metrics    --socket PATH [--prom]\n"
+      "  trace      --socket PATH [--id N] [--chrome FILE]\n"
       "  shutdown   --socket PATH\n"
       "  hash       [spec flags | --spec FILE]\n"
       "  selftest\n"
@@ -862,6 +825,128 @@ int cmd_simple(int argc, char** argv, const std::string& op) {
   return 0;
 }
 
+int cmd_metrics(int argc, char** argv) {
+  std::string socket_path;
+  bool prom = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--prom") {
+      prom = true;
+    } else {
+      std::fprintf(stderr, "tsim: unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "tsim: metrics needs --socket PATH\n");
+    return 2;
+  }
+  const int fd = connect_unix(socket_path);
+  if (fd < 0) {
+    return 2;
+  }
+  Conn conn{fd};
+  Value req = Value::object();
+  req["op"] = Value::string("metrics");
+  if (prom) {
+    req["format"] = Value::string("prom");
+  }
+  const std::optional<Value> reply = roundtrip(conn, req);
+  if (!reply) {
+    return 2;
+  }
+  if (!reply_ok(*reply)) {
+    print_reply_error(*reply);
+    return 2;
+  }
+  if (prom) {
+    const Value* text = reply->find("prom");
+    if (text == nullptr || !text->is_string()) {
+      std::fprintf(stderr, "tsim: malformed metrics reply\n");
+      return 2;
+    }
+    std::fputs(text->as_string().c_str(), stdout);
+    return 0;
+  }
+  const Value* metrics = reply->find("metrics");
+  if (metrics == nullptr) {
+    std::fprintf(stderr, "tsim: malformed metrics reply\n");
+    return 2;
+  }
+  std::printf("%s\n", metrics->dump(2).c_str());
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  std::string socket_path;
+  std::string chrome_file;
+  std::int64_t id = -1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--id" && i + 1 < argc) {
+      id = std::atoll(argv[++i]);
+    } else if (arg == "--chrome" && i + 1 < argc) {
+      chrome_file = argv[++i];
+    } else {
+      std::fprintf(stderr, "tsim: unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "tsim: trace needs --socket PATH\n");
+    return 2;
+  }
+  const int fd = connect_unix(socket_path);
+  if (fd < 0) {
+    return 2;
+  }
+  Conn conn{fd};
+  Value req = Value::object();
+  req["op"] = Value::string("trace");
+  if (id >= 0) {
+    req["id"] = Value::integer(id);
+  } else if (!chrome_file.empty()) {
+    req["chrome"] = Value::boolean(true);
+  }
+  const std::optional<Value> reply = roundtrip(conn, req);
+  if (!reply) {
+    return 2;
+  }
+  if (!reply_ok(*reply)) {
+    print_reply_error(*reply);
+    return 2;
+  }
+  const Value* body = id >= 0                  ? reply->find("span")
+                      : !chrome_file.empty()   ? reply->find("trace")
+                                               : reply->find("spans");
+  if (body == nullptr) {
+    std::fprintf(stderr, "tsim: malformed trace reply\n");
+    return 2;
+  }
+  if (!chrome_file.empty()) {
+    const std::string text = body->dump(2) + "\n";
+    std::FILE* f = std::fopen(chrome_file.c_str(), "wb");
+    if (f == nullptr ||
+        std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
+      std::fprintf(stderr, "tsim: cannot write %s\n", chrome_file.c_str());
+      if (f != nullptr) {
+        std::fclose(f);
+      }
+      return 2;
+    }
+    std::fclose(f);
+    std::fprintf(stderr, "tsim: wrote %zu bytes to %s\n", text.size(),
+                 chrome_file.c_str());
+    return 0;
+  }
+  std::printf("%s\n", body->dump(2).c_str());
+  return 0;
+}
+
 int cmd_hash(int argc, char** argv) {
   SpecFlags flags;
   for (int i = 2; i < argc; ++i) {
@@ -997,13 +1082,161 @@ bool selftest_body(const std::string& socket_path) {
     SELF_CHECK(stats->find("completed")->as_int() == 3, "three completions");
   }
 
-  // Shut the server down over the wire.
+  // Metrics document: tmon shape, per-tenant account, meta block present.
+  {
+    Value req = Value::object();
+    req["op"] = Value::string("metrics");
+    const std::optional<Value> reply = roundtrip(conn, req);
+    SELF_CHECK(reply.has_value() && reply_ok(*reply), "metrics reply");
+    const Value* m = reply->find("metrics");
+    SELF_CHECK(m != nullptr, "metrics body");
+    SELF_CHECK(m->find("kind")->as_string() == "tmon-metrics",
+               "metrics kind");
+    SELF_CHECK(m->find("cache_hits")->as_int() == 1, "metrics cache hits");
+    const Value* tenants = m->find("tenants");
+    SELF_CHECK(tenants != nullptr && tenants->find("selftest") != nullptr,
+               "per-tenant account");
+    SELF_CHECK(tenants->find("selftest")->find("completed")->as_int() == 3,
+               "tenant completions");
+    SELF_CHECK(m->find("meta") != nullptr, "metrics meta block");
+  }
+
+  // Prometheus rendering of the same stats.
+  {
+    Value req = Value::object();
+    req["op"] = Value::string("metrics");
+    req["format"] = Value::string("prom");
+    const std::optional<Value> reply = roundtrip(conn, req);
+    SELF_CHECK(reply.has_value() && reply_ok(*reply), "prom reply");
+    const Value* text = reply->find("prom");
+    SELF_CHECK(text != nullptr && text->is_string(), "prom body");
+    SELF_CHECK(text->as_string().find("tsim_jobs_submitted_total 3") !=
+                   std::string::npos,
+               "prom submitted counter");
+    SELF_CHECK(text->as_string().find("tenant=\"selftest\"") !=
+                   std::string::npos,
+               "prom tenant label");
+  }
+
+  // Request spans: all jobs, then one job, then the Chrome rendering.
+  {
+    Value req = Value::object();
+    req["op"] = Value::string("trace");
+    const std::optional<Value> reply = roundtrip(conn, req);
+    SELF_CHECK(reply.has_value() && reply_ok(*reply), "trace reply");
+    const Value* spans = reply->find("spans");
+    SELF_CHECK(spans != nullptr, "spans body");
+    SELF_CHECK(spans->find("kind")->as_string() == "tmon-spans",
+               "spans kind");
+    SELF_CHECK(spans->find("spans")->as_array().size() == 3, "three spans");
+  }
+  {
+    Value req = Value::object();
+    req["op"] = Value::string("trace");
+    req["id"] = Value::integer(second.find("id")->as_int());
+    const std::optional<Value> reply = roundtrip(conn, req);
+    SELF_CHECK(reply.has_value() && reply_ok(*reply), "span reply");
+    const Value* span = reply->find("span");
+    SELF_CHECK(span != nullptr, "span body");
+    SELF_CHECK(span->find("cache_hit")->as_bool(), "hit span");
+    SELF_CHECK(span->find("meta") != nullptr, "span meta block");
+  }
+  {
+    Value req = Value::object();
+    req["op"] = Value::string("trace");
+    req["chrome"] = Value::boolean(true);
+    const std::optional<Value> reply = roundtrip(conn, req);
+    SELF_CHECK(reply.has_value() && reply_ok(*reply), "chrome reply");
+    const Value* trace = reply->find("trace");
+    SELF_CHECK(trace != nullptr && trace->find("traceEvents") != nullptr,
+               "chrome traceEvents");
+    SELF_CHECK(!trace->find("traceEvents")->as_array().empty(),
+               "chrome events non-empty");
+  }
+
+  // Unknown verb gets the typed unknown-op error.
+  {
+    Value req = Value::object();
+    req["op"] = Value::string("frobnicate");
+    const std::optional<Value> reply = roundtrip(conn, req);
+    SELF_CHECK(reply.has_value(), "unknown-op reply arrives");
+    SELF_CHECK(!reply_ok(*reply), "unknown op rejected");
+    SELF_CHECK(reply->find("code")->as_string() == "unknown-op",
+               "unknown-op code");
+  }
+
+  // A truncated frame — half a JSON object, newline-framed — must come
+  // back as bad-request, and the connection must stay usable.
+  {
+    SELF_CHECK(send_all(conn.fd(), "{\"op\": \"sta\n"), "send truncated");
+    std::string line;
+    SELF_CHECK(conn.read_line(&line), "truncated-frame reply arrives");
+    const Value reply = Value::parse(line);
+    SELF_CHECK(!reply_ok(reply), "truncated frame rejected");
+    SELF_CHECK(reply.find("code")->as_string() == "bad-request",
+               "bad-request code");
+    Value req = Value::object();
+    req["op"] = Value::string("ping");
+    const std::optional<Value> pong = roundtrip(conn, req);
+    SELF_CHECK(pong.has_value() && reply_ok(*pong),
+               "connection survives a truncated frame");
+  }
+
+  // An oversized request line (past the server's 1 MiB cap) gets the
+  // typed error and the connection is closed.
+  {
+    const int ofd = connect_unix(socket_path, /*quiet=*/true);
+    SELF_CHECK(ofd >= 0, "oversize connect");
+    Conn oconn{ofd};
+    std::string big(kMaxRequestLine + 8192, 'x');
+    big += '\n';
+    // The server stops reading once the cap trips and closes after the
+    // error reply, so this send may legitimately fail partway through.
+    (void)send_all(ofd, big);
+    std::string line;
+    SELF_CHECK(oconn.read_line(&line), "oversized reply arrives");
+    const Value reply = Value::parse(line);
+    SELF_CHECK(!reply_ok(reply), "oversized line rejected");
+    SELF_CHECK(reply.find("code")->as_string() == "oversized-line",
+               "oversized-line code");
+    SELF_CHECK(!oconn.read_line(&line), "connection closed after oversize");
+  }
+
+  // Concurrent watch-stream + shutdown: a watcher parked on another
+  // connection must unblock when the server shuts down, not hang.
+  JobId watch_id = 0;
+  {
+    JobSpec spec;
+    spec.program = "allreduce";
+    spec.dimension = 2;
+    spec.rounds = 2;
+    spec.elems = 8;
+    spec.seed = 99;
+    Value req = Value::object();
+    req["op"] = Value::string("submit");
+    req["tenant"] = Value::string("selftest");
+    req["spec"] = spec_to_json(spec);
+    const std::optional<Value> reply = roundtrip(conn, req);
+    SELF_CHECK(reply.has_value() && reply_ok(*reply), "watch-job submit");
+    watch_id = static_cast<JobId>(reply->find("id")->as_int());
+  }
+  const int wfd = connect_unix(socket_path, /*quiet=*/true);
+  SELF_CHECK(wfd >= 0, "watch connect");
+  std::thread watcher([wfd, watch_id] {
+    Conn wconn{wfd};
+    // Either outcome — final status or connection-closed — is fine; the
+    // assertion is that this returns at all once shutdown lands.
+    (void)watch_job(wconn, watch_id, false);
+  });
+
+  // Shut the server down over the wire while the watcher is live.
   {
     Value req = Value::object();
     req["op"] = Value::string("shutdown");
     const std::optional<Value> reply = roundtrip(conn, req);
     SELF_CHECK(reply.has_value() && reply_ok(*reply), "shutdown ack");
   }
+  watcher.join();
   return true;
 }
 
@@ -1052,6 +1285,12 @@ int main(int argc, char** argv) {
   }
   if (cmd == "status" || cmd == "stats" || cmd == "shutdown") {
     return cmd_simple(argc, argv, cmd);
+  }
+  if (cmd == "metrics") {
+    return cmd_metrics(argc, argv);
+  }
+  if (cmd == "trace") {
+    return cmd_trace(argc, argv);
   }
   if (cmd == "hash") {
     return cmd_hash(argc, argv);

@@ -1,29 +1,50 @@
-// bench_parallel_scaling — host-thread scaling of the conservative parallel
-// DES engine (src/sim/parallel_sim.hpp).
+// bench_parallel_scaling — scaling trajectory of the conservative parallel
+// DES engine (src/sim/parallel_sim.hpp) up to the paper's 12-cube.
 //
-// For each cube size the same occam workload (rounds of a 16-double
-// dimension-exchange allreduce — every node active, every cube dimension
-// crossed every round) runs on the sharded engine at a fixed shard count
-// and a sweep of worker-thread counts, plus once on the plain serial
-// engine as the reference point. Because the shard count is fixed, every
-// parallel row simulates the *identical* event sequence — the only thing
-// that varies is how many host threads divide the epoch work, so
-// events/sec ratios are pure thread-scaling measurements.
+// The workload has two phases per round, chosen to exercise both regimes
+// the distance-aware scheduler must handle:
 //
-//   $ bench_parallel_scaling [--dims 6,8,10] [--threads 1,2,4]
-//                            [--rounds N] [--json out.json]
+//   dense:  a 16-double dimension-exchange allreduce — every node active,
+//           every cube dimension crossed, shard-to-shard lookahead pinned
+//           to one hop.
+//   sparse: the two most Gray-distant shards run `--hot-iters` sweeps of
+//           subcube-internal exchanges while everyone else drains into the
+//           next allreduce and blocks. Only two shards stay busy, and they
+//           sit the maximum hop count apart — exactly where the pairwise
+//           d*transfer_time lookahead matrix buys wider epochs than the
+//           uniform single-hop window.
 //
-// Defaults: dims 6,8,10; threads 1,2,4 (plus 8 when the host has >= 8
-// cores); rounds scaled down as the cube grows so each row stays tractable.
-// --json writes the BENCH schema (meta.build release/sanitized like
-// bench_simcore, plus a rows array where every row carries a `threads`
-// field) so CI can track the 10-cube speedup over time. On a single-core
-// host the sweep still runs — the speedup column then just documents that
-// no parallelism was available.
+// Hot-node selection always uses the *parallel* shard map (even for the
+// serial reference row), so every engine/thread configuration simulates
+// the identical event sequence and events/sec ratios compare like with
+// like. The headline metric is events/sec-per-core: events/sec divided by
+// worker threads, i.e. how much simulation each host core advances. On a
+// single-core host the thread sweep measures scheduling overhead only, but
+// the distance-vs-uniform comparison still isolates the epoch savings.
+//
+//   $ bench_parallel_scaling [--dims 6,8,10] [--threads 1,2,4] [--rounds N]
+//                            [--hot-iters N] [--uniform] [--json out.json]
+//   $ bench_parallel_scaling --verify DIM [--verify-out FILE]
+//   $ bench_parallel_scaling --metric NAME DUMP.json
+//
+// --uniform runs every parallel row with Options::uniform_window (the
+// single-global-window scheduler) for A/B runs. Regardless of the flag the
+// JSON gains a `gate` object — distance vs uniform events/sec-per-core at
+// the largest dim <= 10 and the highest thread count — which is what
+// ci.sh's scaling gate tracks run over run.
+//
+// --verify DIM is the determinism gate: it runs the same workload on the
+// serial engine, the shards=1 engine, and the sharded engine at 1/2/4
+// threads, and demands byte-identical perf dumps (serial == shards=1, and
+// all thread counts identical) plus equal event counts and simulated time
+// everywhere. Exit 1 on any divergence.
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +53,7 @@
 #include "link/link.hpp"
 #include "occam/occam.hpp"
 #include "perf/chrome_trace.hpp"
+#include "perf/counters.hpp"
 #include "perf/json.hpp"
 #include "sim/parallel_sim.hpp"
 #include "sim/proc.hpp"
@@ -40,77 +62,176 @@ namespace {
 
 using namespace fpst;
 
-constexpr std::size_t kElems = 16;  // doubles per allreduce
+constexpr std::size_t kElems = 16;    // doubles per allreduce
+constexpr std::size_t kHotElems = 4;  // doubles per sparse exchange
+// User tags stay below 0x8000; the collectives' internal tags all carry
+// that bit, so the sparse phase can never cross wires with an allreduce.
+constexpr std::uint16_t kHotTagBase = 0x0100;
 
 struct Row {
   int dim = 0;
   int shards = 1;   // 1 == the serial engine reference row
   int threads = 1;
   int rounds = 0;
+  bool uniform = false;  // parallel rows: uniform-window scheduler?
   std::uint64_t events = 0;
   double wall_s = 0.0;
   double events_per_sec = 0.0;
+  double events_per_sec_per_core = 0.0;
   double sim_ms = 0.0;
   /// Engine profile (parallel rows only): where the wall-clock went.
   sim::ParallelSim::Profile profile;
   bool has_profile = false;
 };
 
-occam::Runtime::Body workload(int rounds) {
-  return [rounds](occam::Ctx& ctx) -> sim::Proc {
+const char* scheduler_name(const Row& r) {
+  if (r.shards <= 1) {
+    return "serial";
+  }
+  return r.uniform ? "uniform" : "distance";
+}
+
+/// Fixed shard count per cube: every configuration below simulates the
+/// same partition, so events/sec ratios isolate the scheduler and the
+/// host-thread count.
+int shards_for(int dim) { return std::min(8, 1 << dim); }
+
+/// The two-phase workload. `placement` is always the parallel ShardMap —
+/// the serial reference uses it too, so the hot-node set (and therefore
+/// the event sequence) is identical across engines.
+occam::Runtime::Body workload(const sim::ShardMap& placement, int rounds,
+                              int hot_iters) {
+  // Most Gray-distant shard pair, first such pair in scan order so the
+  // choice is deterministic.
+  int hot_a = 0;
+  int hot_b = 0;
+  int best = -1;
+  for (int a = 0; a < placement.shards(); ++a) {
+    for (int b = a + 1; b < placement.shards(); ++b) {
+      if (placement.hop_distance(a, b) > best) {
+        best = placement.hop_distance(a, b);
+        hot_a = a;
+        hot_b = b;
+      }
+    }
+  }
+  const int internal = placement.dimension() - placement.log2_shards();
+  return [placement, rounds, hot_iters, hot_a, hot_b,
+          internal](occam::Ctx& ctx) -> sim::Proc {
     std::vector<double> xs(kElems, 1.0 + ctx.id());
+    const int my_shard =
+        placement.shard_of(static_cast<std::uint32_t>(ctx.id()));
+    const bool hot = my_shard == hot_a || my_shard == hot_b;
     for (int r = 0; r < rounds; ++r) {
       co_await ctx.allreduce_sum(&xs);
+      if (my_shard == hot_a && internal > 0) {
+        // Solo stint: every other shard drains into the next allreduce
+        // and goes idle, so the engine sees a single busy shard. Under
+        // the distance scheduler that shard's horizon is unbounded — the
+        // whole stint runs in O(1) epochs at serial-kernel speed — while
+        // the uniform window still pays one epoch per base lookahead.
+        for (int it = 0; it < 2 * hot_iters; ++it) {
+          for (int d = 0; d < internal; ++d) {
+            const auto peer = static_cast<net::NodeId>(
+                static_cast<std::uint32_t>(ctx.id()) ^ (1u << d));
+            const auto tag = static_cast<std::uint16_t>(kHotTagBase + d);
+            std::vector<double> in;
+            std::vector<sim::Proc> pair;
+            pair.push_back(ctx.send(
+                peer, tag, std::vector<double>(kHotElems, xs[0])));
+            pair.push_back(ctx.recv(peer, tag, &in));
+            co_await sim::WhenAll{std::move(pair)};
+            xs[0] += in.at(0);
+          }
+        }
+      }
+      if (hot && internal > 0) {
+        // Subcube-internal sweeps: every exchanged dimension stays below
+        // the shard split, so this phase posts no cross-shard mail — the
+        // hot shards run clear to their distance bound while the rest of
+        // the machine blocks on the next allreduce. Payload sizes vary by
+        // node and iteration, so exchange latencies drift the nodes out
+        // of lockstep and the shard's event stream gets denser than one
+        // base-lookahead window — the regime where the d*transfer_time
+        // bound batches several steps per epoch and the uniform window
+        // cannot.
+        for (int it = 0; it < hot_iters; ++it) {
+          for (int d = 0; d < internal; ++d) {
+            const auto peer = static_cast<net::NodeId>(
+                static_cast<std::uint32_t>(ctx.id()) ^ (1u << d));
+            const auto tag = static_cast<std::uint16_t>(kHotTagBase + d);
+            const std::size_t elems =
+                1 + (static_cast<std::size_t>(ctx.id()) +
+                     static_cast<std::size_t>(it)) %
+                        kHotElems;
+            std::vector<double> in;
+            std::vector<sim::Proc> pair;
+            pair.push_back(
+                ctx.send(peer, tag, std::vector<double>(elems, xs[0])));
+            pair.push_back(ctx.recv(peer, tag, &in));
+            co_await sim::WhenAll{std::move(pair)};
+            xs[0] += in.at(0);
+          }
+        }
+      }
     }
   };
 }
 
-Row run_serial(int dim, int rounds) {
+Row run_serial(int dim, int rounds, int hot_iters) {
   Row row;
   row.dim = dim;
   row.rounds = rounds;
   sim::Simulator sim;
   core::TSeries machine{sim, dim};
   occam::Runtime rt{machine};
+  const sim::ShardMap placement{dim, shards_for(dim)};
   const auto t0 = std::chrono::steady_clock::now();
-  const sim::SimTime elapsed = rt.run(workload(rounds));
+  const sim::SimTime elapsed = rt.run(workload(placement, rounds, hot_iters));
   const auto t1 = std::chrono::steady_clock::now();
   row.events = sim.events_processed();
   row.wall_s = std::chrono::duration<double>(t1 - t0).count();
   row.events_per_sec = static_cast<double>(row.events) / row.wall_s;
+  row.events_per_sec_per_core = row.events_per_sec;
   row.sim_ms = elapsed.us() / 1000.0;
   return row;
 }
 
-Row run_parallel(int dim, int shards, int threads, int rounds) {
+Row run_parallel(int dim, int threads, int rounds, int hot_iters,
+                 bool uniform) {
   Row row;
   row.dim = dim;
-  row.shards = shards;
+  row.shards = shards_for(dim);
   row.threads = threads;
   row.rounds = rounds;
+  row.uniform = uniform;
   sim::ParallelSim::Options po;
-  po.shards = shards;
+  po.shards = row.shards;
   po.threads = threads;
   po.lookahead = link::LinkParams::transfer_time(0);
+  po.uniform_window = uniform;
   sim::ParallelSim psim{po};
-  core::TSeries machine{psim, dim};
+  core::TSeries machine{psim, dim};  // installs the distance matrix
   occam::Runtime rt{machine};
+  const sim::ShardMap placement{dim, row.shards};
   const auto t0 = std::chrono::steady_clock::now();
-  const sim::SimTime elapsed = rt.run(workload(rounds));
+  const sim::SimTime elapsed = rt.run(workload(placement, rounds, hot_iters));
   const auto t1 = std::chrono::steady_clock::now();
   row.events = psim.events_processed();
   row.wall_s = std::chrono::duration<double>(t1 - t0).count();
   row.events_per_sec = static_cast<double>(row.events) / row.wall_s;
+  row.events_per_sec_per_core =
+      row.events_per_sec / static_cast<double>(threads);
   row.sim_ms = elapsed.us() / 1000.0;
   row.profile = psim.profile();
   row.has_profile = true;
   return row;
 }
 
-std::uint64_t sum_ns(const std::vector<std::uint64_t>& v) {
+std::uint64_t sum_u64(const std::vector<std::uint64_t>& v) {
   std::uint64_t total = 0;
-  for (const std::uint64_t ns : v) {
-    total += ns;
+  for (const std::uint64_t x : v) {
+    total += x;
   }
   return total;
 }
@@ -139,9 +260,289 @@ int rounds_for(int dim, int rounds_flag) {
     return rounds_flag;
   }
   // Halve the round count per added cube size step: work per round grows
-  // roughly as dim * 2^dim, so this keeps the larger cubes tractable while
-  // every row still runs long enough to measure.
-  return dim >= 10 ? 2 : dim >= 8 ? 4 : 8;
+  // roughly as dim * 2^dim, so this keeps the larger cubes — up to the
+  // paper's full 12-cube — tractable while every row still runs long
+  // enough to measure.
+  return dim >= 12 ? 1 : dim >= 10 ? 2 : dim >= 8 ? 4 : 8;
+}
+
+void print_row(const Row& r, double base_eps) {
+  if (!r.has_profile) {
+    std::printf(
+        "  %-4d %-8s %-7s %-6d %11llu %8.3f %12.0f %12.0f %7s %7s %6s %6s "
+        "%6s\n",
+        r.dim, "serial", "-", r.rounds,
+        static_cast<unsigned long long>(r.events), r.wall_s, r.events_per_sec,
+        r.events_per_sec_per_core, "-", "-", "-", "-", "-");
+    return;
+  }
+  const double speedup = base_eps > 0.0 ? r.events_per_sec / base_eps : 0.0;
+  // busy% / barr%: fraction of total worker wall-clock (threads x run
+  // wall) spent executing events vs parked at the epoch barrier. syncs is
+  // the total number of shard wakeups — under the distance scheduler,
+  // shards whose bound has not expired skip the epoch entirely, so syncs
+  // falling below epochs*shards is the hierarchical scheme working.
+  const double worker_wall_ns = r.wall_s * 1e9 * r.threads;
+  const double busy_frac =
+      worker_wall_ns > 0.0
+          ? static_cast<double>(sum_u64(r.profile.shard_busy_ns)) /
+                worker_wall_ns
+          : 0.0;
+  const double barrier_frac =
+      worker_wall_ns > 0.0
+          ? static_cast<double>(sum_u64(r.profile.worker_barrier_ns)) /
+                worker_wall_ns
+          : 0.0;
+  std::printf(
+      "  %-4d %-8s %-7d %-6d %11llu %8.3f %12.0f %12.0f %6.2fx %7llu %6llu "
+      "%5.0f%% %5.0f%%\n",
+      r.dim, scheduler_name(r), r.threads, r.rounds,
+      static_cast<unsigned long long>(r.events), r.wall_s, r.events_per_sec,
+      r.events_per_sec_per_core, speedup,
+      static_cast<unsigned long long>(r.profile.epochs),
+      static_cast<unsigned long long>(sum_u64(r.profile.shard_syncs)),
+      busy_frac * 100.0, barrier_frac * 100.0);
+}
+
+const char* build_flavour() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return "sanitized";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return "sanitized";
+#else
+  return "release";
+#endif
+#else
+  return "release";
+#endif
+}
+
+perf::json::Value row_to_json(const Row& r) {
+  namespace json = perf::json;
+  json::Value o = json::Value::object();
+  o["dim"] = json::Value::integer(r.dim);
+  o["engine"] = json::Value::string(r.shards > 1 ? "parallel" : "serial");
+  o["scheduler"] = json::Value::string(scheduler_name(r));
+  o["shards"] = json::Value::integer(r.shards);
+  o["threads"] = json::Value::integer(r.threads);
+  o["rounds"] = json::Value::integer(r.rounds);
+  o["events"] = json::Value::integer(static_cast<std::int64_t>(r.events));
+  o["wall_s"] = json::Value::number(r.wall_s);
+  o["events_per_sec"] = json::Value::number(r.events_per_sec);
+  o["events_per_sec_per_core"] =
+      json::Value::number(r.events_per_sec_per_core);
+  o["sim_ms"] = json::Value::number(r.sim_ms);
+  if (r.has_profile) {
+    // The shard/barrier profiler: wall-clock accumulators, reported per
+    // shard (busy, events, epoch wakeups) and per worker (barrier wait) so
+    // the dump answers "why does scaling flatten" directly.
+    json::Value prof = json::Value::object();
+    prof["epochs"] =
+        json::Value::integer(static_cast<std::int64_t>(r.profile.epochs));
+    prof["merge_ns"] =
+        json::Value::integer(static_cast<std::int64_t>(r.profile.merge_ns));
+    prof["mail_delivered"] = json::Value::integer(
+        static_cast<std::int64_t>(r.profile.mail_delivered));
+    prof["mail_reserve_bytes"] = json::Value::integer(
+        static_cast<std::int64_t>(r.profile.mail_reserve_bytes));
+    prof["events_per_epoch"] = json::Value::number(
+        r.profile.epochs > 0 ? static_cast<double>(r.events) /
+                                   static_cast<double>(r.profile.epochs)
+                             : 0.0);
+    json::Value busy = json::Value::array();
+    for (const std::uint64_t ns : r.profile.shard_busy_ns) {
+      busy.append(json::Value::integer(static_cast<std::int64_t>(ns)));
+    }
+    prof["shard_busy_ns"] = std::move(busy);
+    json::Value ev = json::Value::array();
+    for (const std::uint64_t n : r.profile.shard_events) {
+      ev.append(json::Value::integer(static_cast<std::int64_t>(n)));
+    }
+    prof["shard_events"] = std::move(ev);
+    json::Value syncs = json::Value::array();
+    for (const std::uint64_t n : r.profile.shard_syncs) {
+      syncs.append(json::Value::integer(static_cast<std::int64_t>(n)));
+    }
+    prof["shard_syncs"] = std::move(syncs);
+    json::Value barrier = json::Value::array();
+    for (const std::uint64_t ns : r.profile.worker_barrier_ns) {
+      barrier.append(json::Value::integer(static_cast<std::int64_t>(ns)));
+    }
+    prof["worker_barrier_ns"] = std::move(barrier);
+    o["profile"] = std::move(prof);
+  }
+  return o;
+}
+
+// `--metric NAME FILE`: print one value from a recorded --json dump,
+// looked up in `results.gate`, then `results`, then `meta` — so the CI
+// gate reads `events_per_sec_per_core` / `distance_aware_speedup` straight
+// from the gate object without any shell-side JSON scraping.
+int print_metric(const std::string& name, const std::string& path) {
+  namespace json = perf::json;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_parallel_scaling: cannot open %s\n",
+                 path.c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  json::Value doc;
+  try {
+    doc = json::Value::parse(ss.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_parallel_scaling: %s: %s\n", path.c_str(),
+                 e.what());
+    return 2;
+  }
+  const json::Value* v = nullptr;
+  if (const json::Value* res = doc.find("results"); res != nullptr) {
+    if (const json::Value* gate = res->find("gate"); gate != nullptr) {
+      v = gate->find(name);
+    }
+    if (v == nullptr) {
+      v = res->find(name);
+    }
+  }
+  if (v == nullptr) {
+    if (const json::Value* meta = doc.find("meta"); meta != nullptr) {
+      v = meta->find(name);
+    }
+  }
+  if (v == nullptr) {
+    std::fprintf(stderr, "bench_parallel_scaling: no metric '%s' in %s\n",
+                 name.c_str(), path.c_str());
+    return 2;
+  }
+  if (v->is_string()) {
+    std::printf("%s\n", v->as_string().c_str());
+  } else if (v->is_number()) {
+    std::printf("%.17g\n", v->as_double());
+  } else {
+    std::printf("%s\n", v->dump().c_str());
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --verify: the determinism gate.
+
+struct VerifyRun {
+  std::string dump;
+  std::uint64_t events = 0;
+  std::int64_t sim_ps = 0;
+};
+
+VerifyRun verify_serial(int dim, int rounds, int hot_iters) {
+  VerifyRun out;
+  sim::Simulator sim;
+  core::TSeries machine{sim, dim};
+  perf::CounterRegistry reg;
+  machine.enable_perf(reg);
+  reg.meta().workload = "bench_parallel_scaling verify";
+  occam::Runtime rt{machine};
+  const sim::ShardMap placement{dim, shards_for(dim)};
+  const sim::SimTime elapsed = rt.run(workload(placement, rounds, hot_iters));
+  out.dump = perf::to_json(reg, elapsed).dump(2);
+  out.events = sim.events_processed();
+  out.sim_ps = elapsed.ps();
+  return out;
+}
+
+VerifyRun verify_parallel(int dim, int shards, int threads, int rounds,
+                          int hot_iters) {
+  VerifyRun out;
+  sim::ParallelSim::Options po;
+  po.shards = shards;
+  po.threads = threads;
+  po.lookahead = link::LinkParams::transfer_time(0);
+  sim::ParallelSim psim{po};
+  core::TSeries machine{psim, dim};
+  perf::CounterRegistry reg;
+  machine.enable_perf(reg);
+  reg.meta().workload = "bench_parallel_scaling verify";
+  occam::Runtime rt{machine};
+  const sim::ShardMap placement{dim, shards_for(dim)};
+  const sim::SimTime elapsed = rt.run(workload(placement, rounds, hot_iters));
+  out.dump = perf::to_json(reg, elapsed).dump(2);
+  out.events = psim.events_processed();
+  out.sim_ps = elapsed.ps();
+  return out;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+int run_verify(int dim, int rounds_flag, int hot_iters,
+               const std::string& out_path) {
+  // One round keeps the full 12-cube verify tractable; the point is the
+  // byte comparison, not the throughput.
+  const int rounds = rounds_flag > 0 ? rounds_flag : 1;
+  const int shards = shards_for(dim);
+  bench::title("parallel DES engine: determinism verify");
+  std::printf("  dim=%d shards=%d rounds=%d hot-iters=%d\n", dim, shards,
+              rounds, hot_iters);
+
+  const VerifyRun serial = verify_serial(dim, rounds, hot_iters);
+  const VerifyRun one = verify_parallel(dim, 1, 1, rounds, hot_iters);
+  const VerifyRun t1 = verify_parallel(dim, shards, 1, rounds, hot_iters);
+  const VerifyRun t2 = verify_parallel(dim, shards, 2, rounds, hot_iters);
+  const VerifyRun t4 = verify_parallel(dim, shards, 4, rounds, hot_iters);
+
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    std::printf("  %-52s %s\n", what, ok ? "ok" : "FAIL");
+    if (!ok) {
+      ++failures;
+    }
+  };
+  // Engine-level dumps are not byte-comparable across *partitionings*:
+  // the serial kernel bootstraps differently (one spawn vs one per node)
+  // and sharded machines wire CrossLink hardware with its own counters.
+  // Those equivalences are pinned at engine level by parallel_sim_test.
+  // What must hold here, byte for byte, is thread-count independence —
+  // and simulated machine time must be identical across every engine and
+  // partitioning.
+  check(t1.dump == t2.dump, "sharded dump: threads=1 == threads=2");
+  check(t1.dump == t4.dump, "sharded dump: threads=1 == threads=4");
+  check(t1.events == t2.events && t1.events == t4.events,
+        "sharded events identical across thread counts");
+  check(t1.sim_ps == t2.sim_ps && t1.sim_ps == t4.sim_ps,
+        "sharded sim time identical across thread counts");
+  check(one.sim_ps == serial.sim_ps,
+        "shards=1 sim time == serial kernel sim time");
+  check(t1.sim_ps == serial.sim_ps,
+        "sharded sim time == serial kernel sim time");
+  check(!t1.dump.empty(), "perf dump non-empty");
+
+  std::printf("  events: serial=%llu sharded=%llu  sim_ps=%lld\n",
+              static_cast<unsigned long long>(serial.events),
+              static_cast<unsigned long long>(t1.events),
+              static_cast<long long>(t1.sim_ps));
+  std::printf("  dump digest: %016llx (%zu bytes)\n",
+              static_cast<unsigned long long>(fnv1a(t1.dump)),
+              t1.dump.size());
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    out << t1.dump;
+    std::printf("  wrote dump: %s\n", out_path.c_str());
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "bench_parallel_scaling: verify FAILED (%d check(s))\n",
+                 failures);
+    return 1;
+  }
+  std::printf("  verify PASS\n");
+  return 0;
 }
 
 }  // namespace
@@ -153,154 +554,163 @@ int main(int argc, char** argv) {
     threads_list.push_back(8);
   }
   int rounds_flag = 0;
+  int hot_iters = 8;
+  int verify_dim = 0;
+  bool uniform_flag = false;
   std::string json_out;
+  std::string verify_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--metric" && i + 2 < argc) {
+      return print_metric(argv[i + 1], argv[i + 2]);
+    }
     if (arg == "--dims" && i + 1 < argc) {
       dims = parse_list(argv[++i]);
     } else if (arg == "--threads" && i + 1 < argc) {
       threads_list = parse_list(argv[++i]);
     } else if (arg == "--rounds" && i + 1 < argc) {
       rounds_flag = std::atoi(argv[++i]);
+    } else if (arg == "--hot-iters" && i + 1 < argc) {
+      hot_iters = std::atoi(argv[++i]);
+    } else if (arg == "--uniform") {
+      uniform_flag = true;
+    } else if (arg == "--verify" && i + 1 < argc) {
+      verify_dim = std::atoi(argv[++i]);
+      if (verify_dim < 1 || verify_dim > 20) {
+        std::fprintf(stderr,
+                     "bench_parallel_scaling: --verify needs a cube "
+                     "dimension in [1, 20], got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (arg == "--verify-out" && i + 1 < argc) {
+      verify_out = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       json_out = argv[++i];
     } else {
-      std::fprintf(stderr,
-                   "usage: bench_parallel_scaling [--dims 6,8,10] "
-                   "[--threads 1,2,4] [--rounds N] [--json out.json]\n");
+      std::fprintf(
+          stderr,
+          "usage: bench_parallel_scaling [--dims 6,8,10] [--threads 1,2,4]\n"
+          "         [--rounds N] [--hot-iters N] [--uniform]\n"
+          "         [--json out.json]\n"
+          "       bench_parallel_scaling --verify DIM [--verify-out FILE]\n"
+          "       bench_parallel_scaling --metric NAME DUMP.json\n");
       return 2;
     }
+  }
+  if (verify_dim > 0) {
+    return run_verify(verify_dim, rounds_flag, hot_iters, verify_out);
   }
   if (dims.empty() || threads_list.empty()) {
     std::fprintf(stderr, "bench_parallel_scaling: empty sweep\n");
     return 2;
   }
 
-  bench::title("parallel DES engine: host-thread scaling");
-  std::printf("  host cores: %u\n", std::thread::hardware_concurrency());
-  std::printf("  %-4s %-7s %-8s %-7s %12s %9s %12s %9s %7s %6s %6s\n", "dim",
-              "shards", "threads", "rounds", "events", "wall_s", "events/sec",
-              "speedup", "epochs", "busy%", "barr%");
+  bench::title("parallel DES engine: scaling trajectory");
+  std::printf("  host cores: %u   scheduler: %s\n",
+              std::thread::hardware_concurrency(),
+              uniform_flag ? "uniform" : "distance");
+  std::printf("  %-4s %-8s %-7s %-6s %11s %8s %12s %12s %7s %7s %6s %6s %6s\n",
+              "dim", "sched", "threads", "rounds", "events", "wall_s",
+              "events/sec", "ev/s/core", "speedup", "epochs", "syncs",
+              "busy%", "barr%");
 
   std::vector<Row> rows;
   for (const int dim : dims) {
     const int rounds = rounds_for(dim, rounds_flag);
-    // Fixed shard count per cube: every thread count below simulates the
-    // same partition, so events/sec ratios isolate host-thread scaling.
-    const int shards = std::min(8, 1 << dim);
-
-    Row serial = run_serial(dim, rounds);
-    std::printf("  %-4d %-7s %-8s %-7d %12llu %9.3f %12.0f %9s %7s %6s %6s\n",
-                serial.dim, "serial", "-", serial.rounds,
-                static_cast<unsigned long long>(serial.events), serial.wall_s,
-                serial.events_per_sec, "-", "-", "-", "-");
+    Row serial = run_serial(dim, rounds, hot_iters);
+    print_row(serial, 0.0);
     rows.push_back(serial);
 
     double base_eps = 0.0;
     for (const int t : threads_list) {
-      Row r = run_parallel(dim, shards, t, rounds);
+      Row r = run_parallel(dim, t, rounds, hot_iters, uniform_flag);
       if (t == threads_list.front()) {
         base_eps = r.events_per_sec;
       }
-      const double speedup =
-          base_eps > 0.0 ? r.events_per_sec / base_eps : 0.0;
-      // busy% / barr%: the fraction of total worker wall-clock (threads x
-      // run wall) spent executing events vs parked at the epoch barrier.
-      // A flat speedup curve with high barr% means lookahead windows are
-      // too small or shard load is imbalanced — exactly what ROADMAP
-      // item 1's per-shard-pair lookahead is meant to fix.
-      const double worker_wall_ns = r.wall_s * 1e9 * r.threads;
-      const double busy_frac =
-          worker_wall_ns > 0.0
-              ? static_cast<double>(sum_ns(r.profile.shard_busy_ns)) /
-                    worker_wall_ns
-              : 0.0;
-      const double barrier_frac =
-          worker_wall_ns > 0.0
-              ? static_cast<double>(sum_ns(r.profile.worker_barrier_ns)) /
-                    worker_wall_ns
-              : 0.0;
-      std::printf(
-          "  %-4d %-7d %-8d %-7d %12llu %9.3f %12.0f %8.2fx %7llu %5.0f%% "
-          "%5.0f%%\n",
-          r.dim, r.shards, r.threads, r.rounds,
-          static_cast<unsigned long long>(r.events), r.wall_s,
-          r.events_per_sec, speedup,
-          static_cast<unsigned long long>(r.profile.epochs),
-          busy_frac * 100.0, barrier_frac * 100.0);
+      print_row(r, base_eps);
       rows.push_back(r);
     }
   }
+
+  // The gate point: largest swept dim <= 10 (the 12-cube is the nightly
+  // sweep's job; gating on it would make every CI run minutes long) at the
+  // highest thread count, distance vs uniform. One of the two rows already
+  // exists in the sweep; only the counterpart scheduler runs fresh.
+  int gate_dim = 0;
+  for (const int d : dims) {
+    if (d <= 10 && d > gate_dim) {
+      gate_dim = d;
+    }
+  }
+  if (gate_dim == 0) {
+    gate_dim = *std::min_element(dims.begin(), dims.end());
+  }
+  const int gate_threads =
+      *std::max_element(threads_list.begin(), threads_list.end());
+  const int gate_rounds = rounds_for(gate_dim, rounds_flag);
+  Row gate_swept;
+  bool found = false;
+  for (const Row& r : rows) {
+    if (r.has_profile && r.dim == gate_dim && r.threads == gate_threads &&
+        r.uniform == uniform_flag) {
+      gate_swept = r;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    gate_swept =
+        run_parallel(gate_dim, gate_threads, gate_rounds, hot_iters,
+                     uniform_flag);
+  }
+  Row gate_other = run_parallel(gate_dim, gate_threads, gate_rounds,
+                                hot_iters, !uniform_flag);
+  const Row& gate_dist = uniform_flag ? gate_other : gate_swept;
+  const Row& gate_uni = uniform_flag ? gate_swept : gate_other;
+  print_row(gate_other, 0.0);
+  const double gate_speedup =
+      gate_uni.events_per_sec_per_core > 0.0
+          ? gate_dist.events_per_sec_per_core /
+                gate_uni.events_per_sec_per_core
+          : 0.0;
+  std::printf("  gate: dim=%d shards=%d threads=%d\n", gate_dim,
+              gate_dist.shards, gate_threads);
+  std::printf("  gate distance ev/s/core: %.0f\n",
+              gate_dist.events_per_sec_per_core);
+  std::printf("  gate uniform  ev/s/core: %.0f\n",
+              gate_uni.events_per_sec_per_core);
+  std::printf("  gate distance_aware_speedup: %.3fx\n", gate_speedup);
 
   if (!json_out.empty()) {
     namespace json = perf::json;
     json::Value doc = json::Value::object();
     doc["meta"] = json::Value::object();
     doc["meta"]["workload"] = json::Value::string("bench_parallel_scaling");
-#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
-    doc["meta"]["build"] = json::Value::string("sanitized");
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
-    doc["meta"]["build"] = json::Value::string("sanitized");
-#else
-    doc["meta"]["build"] = json::Value::string("release");
-#endif
-#else
-    doc["meta"]["build"] = json::Value::string("release");
-#endif
+    // Sanitized builds run the same code an order of magnitude slower; tag
+    // the dump so the CI gate only compares like with like.
+    doc["meta"]["build"] = json::Value::string(build_flavour());
     doc["meta"]["host_cores"] = json::Value::integer(
         static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+    doc["meta"]["hot_iters"] = json::Value::integer(hot_iters);
     doc["results"] = json::Value::object();
     json::Value arr = json::Value::array();
     for (const Row& r : rows) {
-      json::Value o = json::Value::object();
-      o["dim"] = json::Value::integer(r.dim);
-      o["engine"] =
-          json::Value::string(r.shards > 1 ? "parallel" : "serial");
-      o["shards"] = json::Value::integer(r.shards);
-      o["threads"] = json::Value::integer(r.threads);
-      o["rounds"] = json::Value::integer(r.rounds);
-      o["events"] =
-          json::Value::integer(static_cast<std::int64_t>(r.events));
-      o["wall_s"] = json::Value::number(r.wall_s);
-      o["events_per_sec"] = json::Value::number(r.events_per_sec);
-      o["sim_ms"] = json::Value::number(r.sim_ms);
-      if (r.has_profile) {
-        // The shard/barrier profiler: wall-clock accumulators, reported
-        // per shard (busy, events) and per worker (barrier wait) so the
-        // dump answers "why does scaling flatten" directly.
-        json::Value prof = json::Value::object();
-        prof["epochs"] = json::Value::integer(
-            static_cast<std::int64_t>(r.profile.epochs));
-        prof["merge_ns"] = json::Value::integer(
-            static_cast<std::int64_t>(r.profile.merge_ns));
-        prof["mail_delivered"] = json::Value::integer(
-            static_cast<std::int64_t>(r.profile.mail_delivered));
-        prof["events_per_epoch"] = json::Value::number(
-            r.profile.epochs > 0
-                ? static_cast<double>(r.events) /
-                      static_cast<double>(r.profile.epochs)
-                : 0.0);
-        json::Value busy = json::Value::array();
-        for (const std::uint64_t ns : r.profile.shard_busy_ns) {
-          busy.append(json::Value::integer(static_cast<std::int64_t>(ns)));
-        }
-        prof["shard_busy_ns"] = std::move(busy);
-        json::Value ev = json::Value::array();
-        for (const std::uint64_t n : r.profile.shard_events) {
-          ev.append(json::Value::integer(static_cast<std::int64_t>(n)));
-        }
-        prof["shard_events"] = std::move(ev);
-        json::Value barrier = json::Value::array();
-        for (const std::uint64_t ns : r.profile.worker_barrier_ns) {
-          barrier.append(json::Value::integer(static_cast<std::int64_t>(ns)));
-        }
-        prof["worker_barrier_ns"] = std::move(barrier);
-        o["profile"] = std::move(prof);
-      }
-      arr.append(std::move(o));
+      arr.append(row_to_json(r));
     }
+    arr.append(row_to_json(gate_other));
     doc["results"]["rows"] = std::move(arr);
+    json::Value gate = json::Value::object();
+    gate["dim"] = json::Value::integer(gate_dim);
+    gate["shards"] = json::Value::integer(gate_dist.shards);
+    gate["threads"] = json::Value::integer(gate_threads);
+    gate["rounds"] = json::Value::integer(gate_rounds);
+    gate["events_per_sec_per_core"] =
+        json::Value::number(gate_dist.events_per_sec_per_core);
+    gate["uniform_events_per_sec_per_core"] =
+        json::Value::number(gate_uni.events_per_sec_per_core);
+    gate["distance_aware_speedup"] = json::Value::number(gate_speedup);
+    doc["results"]["gate"] = std::move(gate);
     perf::write_file(json_out, doc);
     std::printf("wrote perf dump: %s\n", json_out.c_str());
   }

@@ -32,8 +32,7 @@
 #      throughput; the run fails if events/sec regressed more than 10%
 #      run-over-run against the previous dump from the same build flavour
 #      (sanitized CI runs are never compared against the release baseline
-#      committed as BENCH_simcore.json). bench_parallel_scaling records
-#      the parallel engine's host-thread scaling alongside it
+#      committed as BENCH_simcore.json)
 #   8. serve storm: bench_serve drives an open-loop mixed request storm
 #      through the in-process job service — completion must be >= 99%,
 #      cached results byte-identical with zero simulated events, the
@@ -59,8 +58,20 @@
 #      BENCH_kernels.json, which records the >=10x 10-cube trajectory
 #      measured on a quiet host — the CI floor is deliberately lower
 #      because wall-clock ratios on shared runners are noisy)
-#  10. clang-tidy over all first-party translation units (skipped when the
+#  10. parallel engine scaling trajectory: bench_parallel_scaling sweeps
+#      the cube sizes for the flavour (release 6,10; sanitized 4,6;
+#      FPST_FULL_SWEEP=1 extends release to the paper's full 12-cube) and
+#      gates the distance-aware scheduler's events/sec-per-core against
+#      the lowest same-flavour record (release baseline committed as
+#      BENCH_parallel.json, 30% slack for shared-runner noise). The stage
+#      then runs the bench's --verify mode as a hard determinism gate:
+#      cross-thread perf dumps at 1/2/4 workers must be byte-identical
+#      and the sharded engine must reach the serial engine's simulated
+#      time exactly
+#  11. clang-tidy over all first-party translation units (skipped when the
 #      toolchain image has no clang-tidy); src/check findings are blocking
+#
+# A per-stage wall-clock summary table is printed on exit (pass or fail).
 #
 # usage: ./ci.sh [options] [build-dir]        (default build dir: build-ci)
 #   --stage N[,M...]  run only the listed stages (default: all). Stages
@@ -69,7 +80,8 @@
 #   --sanitize MODE   sanitizer flavour for the stage-1 build: `none`,
 #                     `address,undefined` (default) or `thread`
 #   --threads LIST    comma list of worker-thread counts for the
-#                     determinism sweeps in stages 4 and 5 (default 1,2,4)
+#                     determinism sweeps in stages 4 and 5 and the
+#                     stage-10 scaling sweep (default 1,2,4)
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
@@ -89,11 +101,13 @@ ci.sh stages:
   5  tscope: all-to-all determinism, e-cube routing invariants,
      --threads determinism sweep
   6  tcheck --predict: static cost/volume prediction vs measurement
-  7  bench_simcore throughput gate + bench_parallel_scaling record
+  7  bench_simcore throughput gate
   8  bench_serve storm: completion/hit-rate/cache-speedup/jobs-per-sec
      gates + p99 SLO gate + tmon span/metrics determinism gate
   9  vpu batch arm: cross-validation fuzz + batch-sweep equivalence/speed gates
- 10  clang-tidy (src/check findings blocking)
+ 10  bench_parallel_scaling: events/sec-per-core trajectory gate +
+     cross-thread determinism verify (FPST_FULL_SWEEP=1 -> 12-cube)
+ 11  clang-tidy (src/check findings blocking)
 EOF
 }
 
@@ -135,9 +149,40 @@ want_stage() {
 }
 
 stages_ran=""
+stage_times=""
+stage_cur=""
+stage_start=0
+
+# Close out the wall-clock timer for the stage currently in flight (if any)
+# and append "<stage>:<seconds>" to the summary accumulator. POSIX sh has no
+# arrays, so the table lives in one space-separated string.
+end_stage_timer() {
+  [ -n "$stage_cur" ] || return 0
+  stage_times="$stage_times${stage_times:+ }$stage_cur:$(($(date +%s) - stage_start))"
+  stage_cur=""
+}
+
+# Printed from the EXIT trap so the table shows up on failures too — the
+# stage that blew the gate is the one whose duration you want to see.
+print_stage_times() {
+  end_stage_timer
+  [ -n "$stage_times" ] || return 0
+  echo "ci: per-stage wall clock:"
+  total=0
+  for _entry in $stage_times; do
+    printf '  stage %-2s %5ss\n' "${_entry%%:*}" "${_entry#*:}"
+    total=$((total + ${_entry#*:}))
+  done
+  printf '  total    %5ss\n' "$total"
+}
+trap print_stage_times EXIT
+
 begin_stage() {
+  end_stage_timer
+  stage_cur=$1
+  stage_start=$(date +%s)
   stages_ran="$stages_ran${stages_ran:+,}$1"
-  echo "== [$1/10] $2 =="
+  echo "== [$1/11] $2 =="
 }
 
 # determinism_sweep <example-bin> <serial-dump> <out-prefix> [extra args...]:
@@ -346,12 +391,6 @@ if want_stage 7; then
     }
   fi
   cp "$simcore_fresh" "$simcore_prev"
-  # Record the parallel engine's host-thread scaling next to it. No gate:
-  # the speedup is a property of the host's core count (a 1-core runner
-  # legitimately reports ~1x); the dump is archived so multi-core CI can
-  # track the 10-cube trajectory.
-  "$build_dir/bench/bench_parallel_scaling" --dims 6,10 --threads 1,2,4 \
-      --json "$build_dir/BENCH_parallel_scaling.json"
 fi
 
 if want_stage 8; then
@@ -540,7 +579,63 @@ if want_stage 9; then
 fi
 
 if want_stage 10; then
-  begin_stage 10 "clang-tidy"
+  begin_stage 10 "bench_parallel_scaling: scaling trajectory + determinism"
+  bpar="$build_dir/bench/bench_parallel_scaling"
+  par_fresh="$build_dir/BENCH_parallel.json"
+  par_prev="$build_dir/BENCH_parallel.prev.json"
+  # Flavour-scaled sweep: sanitized engines run ~10x slower, so they sweep
+  # smaller cubes (the gate there is the trajectory of the *sanitized*
+  # flavour, never compared against release records). FPST_FULL_SWEEP=1 —
+  # set by the nightly job — extends the release sweep to the paper's full
+  # 12-cube and verifies determinism at that size.
+  if [ -n "$sanitize" ]; then
+    par_dims="4,6"; par_verify=6
+  elif [ -n "${FPST_FULL_SWEEP:-}" ]; then
+    par_dims="6,10,12"; par_verify=12
+  else
+    par_dims="6,10"; par_verify=10
+  fi
+  "$bpar" --dims "$par_dims" --threads "$threads_list" --json "$par_fresh"
+  par_epspc=$("$bpar" --metric events_per_sec_per_core "$par_fresh")
+  par_ab=$("$bpar" --metric distance_aware_speedup "$par_fresh")
+  par_flavour=$("$bpar" --metric build "$par_fresh")
+  echo "ci: bench_parallel_scaling gate events_per_sec_per_core=$par_epspc" \
+       "distance_aware_speedup=${par_ab}x build=$par_flavour"
+  # Scaling trajectory: the distance-aware scheduler's events/sec-per-core
+  # at the gate point (largest swept cube <= 10-cube, max worker count) must
+  # not undercut the lowest same-flavour record by more than 30% — the same
+  # lowest-record pattern as stages 7-9, with the serve-storm slack because
+  # multi-thread wall clock on shared runners is the noisiest metric here.
+  gate_epspc=""
+  for record in "$par_prev" "$repo_root/BENCH_parallel.json"; do
+    [ -f "$record" ] || continue
+    rec_flavour=$("$bpar" --metric build "$record")
+    [ "$par_flavour" = "$rec_flavour" ] || continue
+    rec_epspc=$("$bpar" --metric events_per_sec_per_core "$record")
+    echo "ci: recorded $record events_per_sec_per_core=$rec_epspc"
+    if [ -z "$gate_epspc" ] ||
+       awk -v a="$rec_epspc" -v b="$gate_epspc" 'BEGIN { exit !(a < b) }'; then
+      gate_epspc="$rec_epspc"
+    fi
+  done
+  if [ -n "$gate_epspc" ]; then
+    awk -v f="$par_epspc" -v b="$gate_epspc" 'BEGIN { exit !(f >= 0.7 * b) }' || {
+      echo "ci: parallel engine regressed >30%: events/sec-per-core" \
+           "$par_epspc vs recorded $gate_epspc" >&2
+      exit 1
+    }
+  fi
+  cp "$par_fresh" "$par_prev"
+  # Hard determinism gate, no tolerance: the bench's --verify mode re-runs
+  # the sweep workload at 1/2/4 worker threads and byte-compares the perf
+  # dumps, and requires the sharded engine (any thread count) to reach the
+  # serial engine's simulated time exactly. A non-zero exit fails the stage.
+  "$bpar" --verify "$par_verify" \
+          --verify-out "$build_dir/ci_parallel_verify.json"
+fi
+
+if want_stage 11; then
+  begin_stage 11 "clang-tidy"
   "$repo_root"/tools/run-tidy.sh "$build_dir"
 fi
 

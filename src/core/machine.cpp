@@ -71,6 +71,11 @@ TSeries::TSeries(sim::Simulator* sim, sim::ParallelSim* psim, int dimension,
   if (psim_ != nullptr) {
     // Throws unless the shard count is a power of two <= 2^dimension.
     smap_ = sim::ShardMap(dimension, psim_->shards());
+    // Cross-shard traffic only ever flows over CrossLink cables between
+    // Gray-adjacent subcubes, one hop at a time, so the machine honours
+    // the pairwise hop-distance lookahead bound by construction — install
+    // it so distant shards synchronize at 1/d the neighbour rate.
+    psim_->set_topology(smap_);
     sim_ = &psim_->shard(0);
   }
   const ConfigReport rep = ConfigReport::derive(dimension);

@@ -1,0 +1,125 @@
+// Static combining-tree barrier for the parallel engine's epoch loop.
+//
+// std::barrier serializes every arrival through one atomic counter; with a
+// dozen workers hammering it every few microseconds of simulated time the
+// cache line holding that counter ping-pongs across every core. This
+// barrier combines arrivals pairwise up a static binary tree instead, so
+// each atomic is contended by at most two threads, and sibling leaves are
+// *cube-adjacent* worker groups: workers own contiguous Gray-coded shard
+// blocks (parallel_sim.cpp), so level 1 of the tree merges neighbouring
+// subcube halves, level 2 merges quarters, and the root spans the machine —
+// the barrier literally follows the cube hierarchy it synchronizes.
+//
+// Protocol, per round:
+//   * arrive(who) increments the participant's leaf-group counter with
+//     acq_rel. Every node's *last* arriver resets the node and climbs to
+//     the parent; earlier arrivers fall through to wait on the global
+//     generation word (futex park via std::atomic::wait).
+//   * The thread that wins the root runs the completion callback while
+//     every other participant is parked — the serial phase of the epoch —
+//     then publishes the next generation with a release store + notify.
+//   * Waiters re-check the generation under acquire, so everything the
+//     completion wrote happens-before every worker's next epoch, and every
+//     worker's pre-barrier writes happen-before the completion (they are
+//     ordered into the root arrival along the acq_rel climb).
+//
+// Node counters are reset by their last arriver *before* it climbs, which
+// is ordered before the generation bump, which is ordered before any
+// round-N+1 arrival — so a round's reset can never race the next round's
+// increments. A participant can only start round N+1 after observing the
+// round-N bump, and round N+1 cannot complete (and bump again) until every
+// participant of round N has arrived again, so a sleeping waiter can miss
+// at most one bump — the monotonically increasing generation word makes
+// that benign.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace fpst::sim {
+
+class TreeBarrier {
+ public:
+  /// `completion` runs once per round, on the last-arriving thread, while
+  /// all other participants are parked. Participants are identified by
+  /// index [0, participants); each index must be used by exactly one
+  /// thread per round.
+  explicit TreeBarrier(int participants, std::function<void()> completion)
+      : participants_{participants}, completion_{std::move(completion)} {
+    if (participants < 1) {
+      throw std::invalid_argument("TreeBarrier: need at least 1 participant");
+    }
+    // Level 0 nodes each merge a pair of participants; every higher level
+    // merges pairs of nodes. levels_[l][i] expects the arrivals of its
+    // pair (or a single odd straggler promoted unpaired).
+    int width = participants;
+    while (width > 1) {
+      const int nodes = (width + 1) / 2;
+      auto level = std::make_unique<Node[]>(static_cast<std::size_t>(nodes));
+      for (int i = 0; i < nodes; ++i) {
+        level[static_cast<std::size_t>(i)].expected =
+            (2 * i + 1 < width) ? 2 : 1;
+      }
+      levels_.push_back(std::move(level));
+      width = nodes;
+    }
+  }
+
+  TreeBarrier(const TreeBarrier&) = delete;
+  TreeBarrier& operator=(const TreeBarrier&) = delete;
+
+  int participants() const { return participants_; }
+
+  /// Current round number; starts at 0, bumps once per completed round.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  void arrive_and_wait(int who) {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    // Climb while this thread is the last arriver at each node.
+    int index = who;
+    for (auto& level : levels_) {
+      Node& node = level[static_cast<std::size_t>(index / 2)];
+      const std::uint32_t arrived =
+          node.count.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (arrived < node.expected) {
+        // Not last here: park until the round's generation bump.
+        while (generation_.load(std::memory_order_acquire) == gen) {
+          generation_.wait(gen, std::memory_order_acquire);
+        }
+        return;
+      }
+      // Last arriver: reset for the next round, then climb. The reset is
+      // ordered before this thread's parent fetch_add (program order +
+      // acq_rel), hence before the root win, the generation bump, and any
+      // next-round arrival here.
+      node.count.store(0, std::memory_order_relaxed);
+      index /= 2;
+    }
+    // Root winner: everyone else is parked (or about to park on `gen`).
+    if (completion_) {
+      completion_();
+    }
+    generation_.store(gen + 1, std::memory_order_release);
+    generation_.notify_all();
+  }
+
+ private:
+  struct alignas(64) Node {
+    std::atomic<std::uint32_t> count{0};
+    std::uint32_t expected = 0;
+  };
+
+  int participants_;
+  std::function<void()> completion_;
+  std::vector<std::unique_ptr<Node[]>> levels_;
+  alignas(64) std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace fpst::sim

@@ -277,6 +277,153 @@ TEST(ParallelSimCausalityDeathTest, LookaheadLieAbortsAcrossShards) {
 }
 
 // ---------------------------------------------------------------------------
+// Distance-aware lookahead matrix.
+
+TEST(LookaheadMatrixTest, EntriesRespectHopDistanceTimesTransferTime) {
+  // The conservative contract: lookahead(a, b) must never be *below*
+  // hop_distance(a, b) * base — a message crossing d cube dimensions takes
+  // at least d single-hop transfers — and set_topology installs exactly
+  // that bound. Checked for every pair at several shard scales.
+  const SimTime base = link::LinkParams::transfer_time(0);
+  for (const int shards : {2, 4, 8, 16}) {
+    ParallelSim::Options po;
+    po.shards = shards;
+    po.lookahead = base;
+    ParallelSim psim{po};
+    const ShardMap map{10, shards};
+    psim.set_topology(map);
+    for (int a = 0; a < shards; ++a) {
+      for (int b = 0; b < shards; ++b) {
+        if (a == b) {
+          continue;
+        }
+        const int d = map.hop_distance(a, b);
+        ASSERT_GE(d, 1);
+        EXPECT_GE(psim.lookahead(a, b).ps(),
+                  (base * static_cast<std::int64_t>(d)).ps())
+            << "shards=" << shards << " pair=(" << a << "," << b << ")";
+        // Metric axioms on the distance itself: symmetry plus the triangle
+        // inequality through every relay. The triangle inequality is what
+        // makes the matrix safe against indirect influence, so it is
+        // load-bearing, not decorative.
+        EXPECT_EQ(map.hop_distance(a, b), map.hop_distance(b, a));
+        for (int c = 0; c < shards; ++c) {
+          EXPECT_LE(map.hop_distance(a, b),
+                    map.hop_distance(a, c) + map.hop_distance(c, b));
+        }
+      }
+    }
+  }
+}
+
+TEST(LookaheadMatrixTest, UniformUntilTopologyInstalled) {
+  // Raw-engine users post with the single base-lookahead contract; the
+  // matrix must not assume cube distances until told the topology.
+  ParallelSim::Options po;
+  po.shards = 8;
+  po.lookahead = SimTime::microseconds(10);
+  ParallelSim psim{po};
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      if (a != b) {
+        EXPECT_EQ(psim.lookahead(a, b), SimTime::microseconds(10));
+      }
+    }
+  }
+}
+
+TEST(LookaheadMatrixTest, DistantShardsSitOutEpochs) {
+  // Two hot shards at Gray distance 3 (ranks 0 and 5: gray 000 vs 111)
+  // running purely local event chains. Under the uniform window every
+  // shard is scheduled every base-sized epoch; under distance-aware
+  // horizons the hot pair advances in multi-hop windows (fewer epochs)
+  // and the six idle shards are never scheduled at all. Both runs must
+  // execute the identical simulation.
+  const SimTime base = SimTime::microseconds(10);
+  const auto run_mode = [&base](bool uniform) {
+    ParallelSim::Options po;
+    po.shards = 8;
+    po.threads = 2;
+    po.lookahead = base;
+    po.uniform_window = uniform;
+    ParallelSim psim{po};
+    psim.set_topology(ShardMap{6, 8});
+    for (const int s : {0, 5}) {
+      for (int i = 0; i < 64; ++i) {
+        psim.shard(s).schedule_at(base * (1 + i), [] {});
+      }
+    }
+    psim.run();
+    return std::make_pair(psim.profile(), psim.events_processed());
+  };
+  const auto [uni, uni_events] = run_mode(true);
+  const auto [dist, dist_events] = run_mode(false);
+  EXPECT_EQ(uni_events, dist_events);
+  EXPECT_GT(uni.epochs, 0u);
+  EXPECT_LT(dist.epochs, uni.epochs);
+  ASSERT_EQ(dist.shard_syncs.size(), 8u);
+  // Idle shards never sync under distance-aware horizons; the uniform
+  // window scheduled them every epoch.
+  for (const int s : {1, 2, 3, 4, 6, 7}) {
+    EXPECT_EQ(dist.shard_syncs[static_cast<std::size_t>(s)], 0u) << s;
+    EXPECT_EQ(uni.shard_syncs[static_cast<std::size_t>(s)], uni.epochs) << s;
+  }
+  EXPECT_GT(dist.shard_syncs[0], 0u);
+  EXPECT_GT(dist.shard_syncs[5], 0u);
+}
+
+TEST(LookaheadMatrixTest, MailboxReserveShrinksAfterBurst) {
+  // A one-off 4096-message burst must not pin burst-sized buffers for the
+  // rest of the run: once drained and delivered, the serial phase releases
+  // capacity that the live traffic no longer justifies. Regression test
+  // for buffer hoarding when a pair then skips many epochs.
+  ParallelSim::Options po = two_shards();
+  ParallelSim psim{po};
+  constexpr int kBurst = 4096;
+  const SimTime at = SimTime::microseconds(100);
+  for (int i = 0; i < kBurst; ++i) {
+    psim.post(0, 1, at, static_cast<std::uint64_t>(i), [] {});
+  }
+  // Trailing sparse traffic so the engine keeps cycling epochs after the
+  // burst is long gone.
+  for (int i = 0; i < 32; ++i) {
+    psim.shard(0).schedule_at(SimTime::microseconds(200 + 20 * i), [] {});
+  }
+  psim.run();
+  const ParallelSim::Profile p = psim.profile();
+  EXPECT_EQ(p.mail_delivered, static_cast<std::uint64_t>(kBurst));
+  EXPECT_GT(p.epochs, 1u);
+  // The burst alone held >= 4096 Mail slots (~hundreds of KiB). After the
+  // run every box and pending buffer is empty; the retained reserve must
+  // be back down to idle-capacity territory, not burst territory.
+  EXPECT_LT(p.mail_reserve_bytes, 64u * 1024u);
+}
+
+TEST(ParallelSimCausalityDeathTest, InflatedMatrixEntryAbortsOnRealTraffic) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        // Manipulating one matrix entry above the link's true minimum
+        // delay is a lookahead lie: the scheduler lets shard 1 run beyond
+        // the next honest delivery, which must trip the causality abort
+        // rather than silently reorder.
+        ParallelSim::Options po;
+        po.shards = 2;
+        po.threads = 1;
+        po.lookahead = SimTime::microseconds(10);
+        ParallelSim psim{po};
+        psim.override_lookahead(0, 1, SimTime::milliseconds(1));
+        psim.shard(1).schedule_at(SimTime::microseconds(900), [] {});
+        psim.shard(0).schedule_at(SimTime::microseconds(400), [&psim] {
+          // Honest per the 10us link bound, a lie per the inflated matrix.
+          psim.post(0, 1, SimTime::microseconds(450), 1, [] {});
+        });
+        psim.run();
+      },
+      "causality violation");
+}
+
+// ---------------------------------------------------------------------------
 // Sharded machine end to end (under TSan this is the race detector's meal).
 
 double run_alltoall(int dim, int shards, int threads,

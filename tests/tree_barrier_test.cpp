@@ -1,0 +1,99 @@
+// Tests for the combining-tree epoch barrier (sim/tree_barrier.hpp): the
+// completion callback must run exactly once per round with every other
+// participant parked, rounds must stay in lockstep for every participant
+// count (including odd ones and one), and the whole protocol must be clean
+// under ThreadSanitizer — it replaces std::barrier on the engine's hot
+// epoch path, so its memory-ordering chain is what the determinism gates
+// ultimately stand on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sim/tree_barrier.hpp"
+
+namespace {
+
+using fpst::sim::TreeBarrier;
+
+TEST(TreeBarrierTest, SingleParticipantRunsCompletionInline) {
+  int completions = 0;
+  TreeBarrier barrier{1, [&completions] { ++completions; }};
+  for (int round = 0; round < 5; ++round) {
+    barrier.arrive_and_wait(0);
+  }
+  EXPECT_EQ(completions, 5);
+  EXPECT_EQ(barrier.generation(), 5u);
+}
+
+TEST(TreeBarrierTest, CompletionRunsOncePerRoundWhileOthersPark) {
+  // `inside` counts threads currently between arrival and release; the
+  // completion must observe every other participant parked (inside == n).
+  for (const int n : {2, 3, 4, 7, 8}) {
+    constexpr int kRounds = 200;
+    std::atomic<int> inside{0};
+    std::atomic<int> completions{0};
+    std::atomic<bool> saw_partial{false};
+    TreeBarrier barrier{
+        n, [&inside, &completions, &saw_partial, n] {
+          if (inside.load(std::memory_order_relaxed) != n) {
+            saw_partial.store(true, std::memory_order_relaxed);
+          }
+          completions.fetch_add(1, std::memory_order_relaxed);
+        }};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(n));
+    for (int who = 0; who < n; ++who) {
+      pool.emplace_back([&barrier, &inside, who] {
+        for (int round = 0; round < kRounds; ++round) {
+          inside.fetch_add(1, std::memory_order_relaxed);
+          barrier.arrive_and_wait(who);
+          inside.fetch_sub(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+    EXPECT_EQ(completions.load(), kRounds) << "participants=" << n;
+    EXPECT_FALSE(saw_partial.load()) << "participants=" << n;
+    EXPECT_EQ(barrier.generation(), static_cast<std::uint64_t>(kRounds));
+  }
+}
+
+TEST(TreeBarrierTest, CompletionWritesAreVisibleToEveryWorkerNextRound) {
+  // The engine's serial phase publishes plain (non-atomic) epoch state
+  // through the barrier; model that exactly: completion bumps a plain
+  // counter, every worker must read the fresh value each round. TSan
+  // verifies the happens-before chain; the asserts verify the values.
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 500;
+  int epoch = 0;  // plain int: ordered only by the barrier
+  std::atomic<bool> mismatch{false};
+  TreeBarrier barrier{kThreads, [&epoch] { ++epoch; }};
+  std::vector<std::thread> pool;
+  for (int who = 0; who < kThreads; ++who) {
+    pool.emplace_back([&barrier, &epoch, &mismatch, who] {
+      for (int round = 0; round < kRounds; ++round) {
+        barrier.arrive_and_wait(who);
+        if (epoch != round + 1) {
+          mismatch.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(epoch, kRounds);
+}
+
+TEST(TreeBarrierTest, RejectsNonPositiveParticipantCounts) {
+  EXPECT_THROW(TreeBarrier(0, nullptr), std::invalid_argument);
+  EXPECT_THROW(TreeBarrier(-3, nullptr), std::invalid_argument);
+}
+
+}  // namespace
